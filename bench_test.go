@@ -1,0 +1,421 @@
+// Package quicscan's root benchmark harness regenerates every table
+// and figure of the paper (one benchmark per artifact, operating on a
+// once-built campaign), measures the protocol substrate's hot paths,
+// and quantifies the design-choice ablations called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// The per-table/figure benchmarks measure the *analysis regeneration*
+// over a live campaign dataset; BenchmarkFullCampaign measures the
+// entire scan pipeline end to end.
+package quicscan
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"quicscan/internal/analysis"
+	"quicscan/internal/certgen"
+	"quicscan/internal/core"
+	"quicscan/internal/experiments"
+	"quicscan/internal/h3"
+	"quicscan/internal/internet"
+	"quicscan/internal/quic"
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/simnet"
+	"quicscan/internal/zmapquic"
+)
+
+// ---- campaign fixture ---------------------------------------------------
+
+var (
+	campaignOnce sync.Once
+	campaign     *experiments.Report
+	campaignErr  error
+)
+
+func benchCampaign(b *testing.B) *experiments.Report {
+	b.Helper()
+	campaignOnce.Do(func() {
+		campaign, campaignErr = experiments.Run(experiments.Options{
+			Spec:  internet.Spec{Seed: 9, Scale: 8192, ASScale: 48, DomainScale: 32768},
+			Weeks: []int{9, 18},
+		})
+	})
+	if campaignErr != nil {
+		b.Fatalf("campaign: %v", campaignErr)
+	}
+	return campaign
+}
+
+func benchRender(b *testing.B, id string) {
+	r := benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Render(id); len(out) < 20 {
+			b.Fatalf("%s produced %q", id, out)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B)  { benchRender(b, "T1") }
+func BenchmarkTable2(b *testing.B)  { benchRender(b, "T2") }
+func BenchmarkTable3(b *testing.B)  { benchRender(b, "T3") }
+func BenchmarkTable4(b *testing.B)  { benchRender(b, "T4") }
+func BenchmarkTable5(b *testing.B)  { benchRender(b, "T5") }
+func BenchmarkTable6(b *testing.B)  { benchRender(b, "T6") }
+func BenchmarkTable7(b *testing.B)  { benchRender(b, "T7") }
+func BenchmarkFigure3(b *testing.B) { benchRender(b, "F3") }
+func BenchmarkFigure4(b *testing.B) { benchRender(b, "F4") }
+func BenchmarkFigure5(b *testing.B) { benchRender(b, "F5") }
+func BenchmarkFigure6(b *testing.B) { benchRender(b, "F6") }
+func BenchmarkFigure7(b *testing.B) { benchRender(b, "F7") }
+func BenchmarkFigure8(b *testing.B) { benchRender(b, "F8") }
+func BenchmarkFigure9(b *testing.B) { benchRender(b, "F9") }
+func BenchmarkOverlap(b *testing.B) { benchRender(b, "OVERLAP") }
+
+// BenchmarkFullCampaign runs the entire pipeline (build, serve, three
+// discovery scans, stateful scans, ablation) per iteration, at a
+// smaller scale than the fixture.
+func BenchmarkFullCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(experiments.Options{
+			Spec:       internet.Spec{Seed: uint64(i) + 1, Scale: 32768, ASScale: 128, DomainScale: 131072},
+			SkipWeekly: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Close()
+	}
+}
+
+// ---- ablation benchmarks (DESIGN.md Section 4) --------------------------
+
+// BenchmarkPaddingAblation compares the wire cost of padded vs
+// unpadded forced-VN probes; the response-rate consequence is the
+// PADDING experiment.
+func BenchmarkPaddingAblation(b *testing.B) {
+	addr := netip.MustParseAddr("192.0.2.1")
+	b.Run("padded", func(b *testing.B) {
+		s := &zmapquic.Scanner{}
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += len(s.BuildProbe(addr))
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "probe-bytes")
+	})
+	b.Run("unpadded", func(b *testing.B) {
+		s := &zmapquic.Scanner{NoPadding: true}
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += len(s.BuildProbe(addr))
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "probe-bytes")
+	})
+}
+
+// BenchmarkDiscoveryCost reports bytes-on-wire per discovered target
+// for each method, from the campaign fixture.
+func BenchmarkDiscoveryCost(b *testing.B) {
+	r := benchCampaign(b)
+	wd := r.Headline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wd
+	}
+	if n := len(wd.V4.ZMap); n > 0 {
+		b.ReportMetric(float64(wd.ZMapBytesV4)/float64(n), "zmap-bytes/target")
+	}
+	b.ReportMetric(float64(len(wd.V4.HTTPSRR)), "https-rr-targets")
+	b.ReportMetric(float64(len(wd.V4.AltSvc)), "alt-svc-targets")
+}
+
+// ---- protocol substrate micro-benchmarks --------------------------------
+
+func BenchmarkVarintAppendParse(b *testing.B) {
+	vals := []uint64{37, 15293, 494878333, 151288809941952652}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, v := range vals {
+			buf = quicwire.AppendVarint(buf, v)
+		}
+		rest := buf
+		for len(rest) > 0 {
+			_, n, err := quicwire.ParseVarint(rest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+	}
+}
+
+func BenchmarkLongHeaderParse(b *testing.B) {
+	h := &quicwire.Header{
+		Type: quicwire.PacketInitial, Version: quicwire.Version1,
+		DstID: quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8}, SrcID: quicwire.ConnID{8, 7, 6, 5},
+		Token: []byte("token"), PacketNumber: 1, PacketNumberLen: 2,
+	}
+	pkt, _ := quicwire.AppendLongHeader(nil, h, 1200)
+	pkt = append(pkt, make([]byte, 1200)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := quicwire.ParseLongHeader(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	frames := []quicwire.Frame{
+		&quicwire.AckFrame{Ranges: []quicwire.AckRange{{Smallest: 0, Largest: 100}}},
+		&quicwire.CryptoFrame{Offset: 0, Data: make([]byte, 512)},
+		&quicwire.StreamFrame{StreamID: 0, Data: make([]byte, 256), Fin: true},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf []byte
+		for _, f := range frames {
+			buf = f.Append(buf)
+		}
+		if _, err := quicwire.ParseFrames(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInitialSealOpen(b *testing.B) {
+	dcid := quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8}
+	ik, err := quiccrypto.NewInitialKeys(quicwire.Version1, dcid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1162)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := &quicwire.Header{Type: quicwire.PacketInitial, Version: quicwire.Version1,
+			DstID: dcid, PacketNumber: uint64(i), PacketNumberLen: 4}
+		pkt, pnOff := quicwire.AppendLongHeader(nil, h, len(payload)+quiccrypto.SealOverhead)
+		pkt = append(pkt, payload...)
+		sealed := ik.Client.SealPacket(pkt, pnOff, 4, uint64(i))
+		if _, _, _, err := ik.Client.OpenPacket(sealed, pnOff, int64(i)-1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChaCha20Poly1305(b *testing.B) {
+	key := make([]byte, 32)
+	aead, err := quiccrypto.NewChaCha20Poly1305(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := make([]byte, 12)
+	msg := make([]byte, 1350)
+	aad := make([]byte, 32)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ct := aead.Seal(nil, nonce, msg, aad)
+		if _, err := aead.Open(ct[:0], nonce, ct, aad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVNProbe(b *testing.B) {
+	s := &zmapquic.Scanner{}
+	addr := netip.MustParseAddr("203.0.113.7")
+	probe := s.BuildProbe(addr)
+	hdr, _, _ := quicwire.ParseLongHeader(probe)
+	resp := quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, 0,
+		[]quicwire.Version{quicwire.VersionDraft29, quicwire.VersionDraft28, quicwire.VersionDraft27})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BuildProbe(addr)
+		if _, ok := s.ValidateResponse(addr, resp); !ok {
+			b.Fatal("validation failed")
+		}
+	}
+}
+
+func BenchmarkQPACKHeaders(b *testing.B) {
+	fields := []h3.HeaderField{
+		{Name: ":method", Value: "HEAD"},
+		{Name: ":scheme", Value: "https"},
+		{Name: ":authority", Value: "www.example.org"},
+		{Name: ":path", Value: "/"},
+		{Name: "user-agent", Value: "qscanner/1.0"},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := h3.EncodeHeaders(fields)
+		if _, err := h3.DecodeHeaders(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQUICHandshake measures a full QUIC+TLS1.3 handshake and
+// HTTP/3 HEAD round trip over the in-memory network.
+func BenchmarkQUICHandshake(b *testing.B) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+
+	ca, err := certgen.NewCA("bench-ca")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert, err := ca.Issue(certgen.LeafOptions{DNSNames: []string{"bench.example"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	ca.AddToPool(pool)
+
+	pc, err := n.ListenUDP(netip.MustParseAddrPort("192.0.2.1:443"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := quic.Listen(pc, &quic.Config{
+		TLS: &tls.Config{Certificates: []tls.Certificate{cert}, NextProtos: []string{"h3"}},
+	}, quic.ServerPolicy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept(context.Background())
+			if err != nil {
+				return
+			}
+			go func(conn *quic.Conn) {
+				ctx := context.Background()
+				if err := conn.HandshakeComplete(ctx); err != nil {
+					return
+				}
+				srv := &h3.Server{Handler: func(*h3.Request) *h3.Response {
+					return &h3.Response{Status: "200", Headers: []h3.HeaderField{{Name: "server", Value: "bench"}}}
+				}}
+				srv.Serve(ctx, conn)
+			}(conn)
+		}
+	}()
+
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpc, err := n.DialUDP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := quic.Dial(ctx, cpc, l.Addr(), &quic.Config{
+			TLS:              &tls.Config{RootCAs: pool, ServerName: "bench.example", NextProtos: []string{"h3"}},
+			HandshakeTimeout: 5 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hc, err := h3.NewClientConn(conn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := hc.RoundTrip(ctx, "HEAD", "bench.example", "/", nil)
+		if err != nil || resp.Status != "200" {
+			b.Fatalf("round trip: %v %v", resp, err)
+		}
+		conn.Close()
+	}
+}
+
+// BenchmarkQScannerTarget measures one stateful scan including
+// classification and HTTP/3 collection.
+func BenchmarkQScannerTarget(b *testing.B) {
+	r := benchCampaign(b)
+	var target core.Target
+	for _, d := range r.Universe.Deployments {
+		if d.Behavior == internet.BehaviorActive && len(d.Domains) > 0 && d.Addr.Is4() {
+			target = core.Target{Addr: d.Addr, SNI: d.Domains[0]}
+			break
+		}
+	}
+	if !target.Addr.IsValid() {
+		b.Fatal("no active deployment")
+	}
+	sc := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return r.Universe.Net.DialUDP() },
+		RootCAs:    r.Universe.RootCAs(),
+		Timeout:    2 * time.Second,
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sc.ScanTarget(ctx, target)
+		if res.Outcome != core.OutcomeSuccess {
+			b.Fatalf("scan failed: %s (%s)", res.Outcome, res.Error)
+		}
+	}
+}
+
+// BenchmarkSweepPermutation measures the ZMap-style address
+// permutation throughput.
+func BenchmarkSweepPermutation(b *testing.B) {
+	sw := zmapquic.NewSweep(1, []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")})
+	done := make(chan struct{})
+	defer close(done)
+	ch := sw.Addresses(done)
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := <-ch; !ok {
+			// Restart the sweep when exhausted.
+			ch = zmapquic.NewSweep(uint64(i), []netip.Prefix{netip.MustParsePrefix("10.0.0.0/16")}).Addresses(done)
+		}
+		count++
+	}
+	_ = count
+}
+
+// BenchmarkASLookup measures the longest-prefix-match join.
+func BenchmarkASLookup(b *testing.B) {
+	r := benchCampaign(b)
+	addrs := r.Headline().V4.ZMapKeys()
+	if len(addrs) == 0 {
+		b.Fatal("no addresses")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Universe.ASDB.Lookup(addrs[i%len(addrs)]); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkCDF measures the AS-rank CDF computation of Figures 4/8.
+func BenchmarkCDF(b *testing.B) {
+	r := benchCampaign(b)
+	addrs := r.Headline().V4.ZMapKeys()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cdf := analysis.ComputeASRankCDF(r.Universe.ASDB, "bench", addrs)
+		if cdf.ShareAt(1) <= 0 {
+			b.Fatal("empty CDF")
+		}
+	}
+}

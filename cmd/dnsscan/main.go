@@ -1,0 +1,113 @@
+// Command dnsscan bulk-resolves domain lists for A, AAAA and HTTPS
+// records (the MassDNS role in the paper's pipeline). HTTPS records
+// reveal QUIC endpoints — ALPN values plus ipv4hint/ipv6hint
+// addresses — with a single recursive query per name.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"quicscan/internal/dnsclient"
+	"quicscan/internal/dnswire"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:53", "DNS server address")
+		names   = flag.String("names", "", "file with one domain per line")
+		qtype   = flag.String("type", "HTTPS", "record type: A, AAAA or HTTPS")
+		workers = flag.Int("workers", 64, "concurrent queries")
+		timeout = flag.Duration("timeout", 2*time.Second, "per-query timeout")
+	)
+	flag.Parse()
+
+	if *names == "" {
+		fatal("-names is required")
+	}
+	var t uint16
+	switch strings.ToUpper(*qtype) {
+	case "A":
+		t = dnswire.TypeA
+	case "AAAA":
+		t = dnswire.TypeAAAA
+	case "HTTPS":
+		t = dnswire.TypeHTTPS
+	case "SVCB":
+		t = dnswire.TypeSVCB
+	default:
+		fatal("unsupported type %q", *qtype)
+	}
+
+	addr, err := net.ResolveUDPAddr("udp", *server)
+	if err != nil {
+		fatal("resolving -server: %v", err)
+	}
+	list, err := readLines(*names)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	cl := &dnsclient.Client{Server: addr, Timeout: *timeout}
+	results := cl.ResolveBatch(context.Background(), list, t, *workers)
+
+	resolved, withRecords := 0, 0
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		resolved++
+		switch t {
+		case dnswire.TypeA, dnswire.TypeAAAA:
+			addrs := r.Addrs()
+			if len(addrs) > 0 {
+				withRecords++
+				fmt.Printf("%s\t%s\n", r.Name, strings.Join(addrs, ","))
+			}
+		default:
+			for _, rr := range r.HTTPSRecords() {
+				withRecords++
+				var alpns, hints []string
+				for _, p := range rr.Params {
+					for _, a := range p.ALPN {
+						alpns = append(alpns, a)
+					}
+					for _, h := range p.Hints {
+						hints = append(hints, h.String())
+					}
+				}
+				fmt.Printf("%s\tpriority=%d\talpn=%s\thints=%s\n",
+					r.Name, rr.Priority, strings.Join(alpns, ","), strings.Join(hints, ","))
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dnsscan: names=%d resolved=%d with-records=%d\n", len(list), resolved, withRecords)
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return out, sc.Err()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dnsscan: "+format+"\n", args...)
+	os.Exit(1)
+}

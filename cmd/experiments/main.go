@@ -1,0 +1,80 @@
+// Command experiments runs the full measurement campaign against the
+// simulated Internet and regenerates the paper's tables and figures.
+//
+//	experiments                      # everything, default scale
+//	experiments -run T3              # one artifact
+//	experiments -scale 2048 -quick   # faster, smaller universe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"quicscan/internal/experiments"
+	"quicscan/internal/internet"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment ID to render (default: all); one of "+strings.Join(experiments.ExperimentIDs, ","))
+		scale   = flag.Int("scale", 2048, "population downscale factor vs the paper's counts")
+		asScale = flag.Int("as-scale", 0, "AS count downscale factor (default scale/64)")
+		seed    = flag.Uint64("seed", 42, "population seed")
+		weeks   = flag.String("weeks", "", "comma-separated calendar weeks (default 5,7,9,11,14,15,16,18)")
+		quick   = flag.Bool("quick", false, "skip the weekly series, only the headline week")
+		out     = flag.String("out", "", "write the report to a file instead of stdout")
+		tsvDir  = flag.String("tsv", "", "also export machine-readable TSV datasets to this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Spec:       internet.Spec{Seed: *seed, Scale: *scale, ASScale: *asScale},
+		SkipWeekly: *quick,
+	}
+	if *weeks != "" {
+		for _, w := range strings.Split(*weeks, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				fatal("parsing -weeks: %v", err)
+			}
+			opts.Weeks = append(opts.Weeks, n)
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "experiments: running campaign (scale 1/%d)...\n", *scale)
+	report, err := experiments.Run(opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer report.Close()
+	fmt.Fprintf(os.Stderr, "experiments: campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *tsvDir != "" {
+		if err := report.WriteTSV(*tsvDir); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: TSV datasets written to %s\n", *tsvDir)
+	}
+
+	text := report.RenderAll()
+	if *run != "" {
+		text = report.Render(*run)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+			fatal("writing -out: %v", err)
+		}
+		return
+	}
+	fmt.Print(text)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

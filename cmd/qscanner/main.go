@@ -1,0 +1,130 @@
+// Command qscanner is the stateful QUIC scanner: it completes full
+// QUIC handshakes with targets (IP addresses, optionally paired with
+// a domain used as SNI), classifies the outcome and records TLS
+// properties, transport parameters and the HTTP/3 Server header.
+//
+// Targets are read one per line from -targets (or a single -addr):
+//
+//	192.0.2.10
+//	192.0.2.10,www.example.org
+//	2001:db8::1,v6.example.org,https-rr
+//
+// The optional third field tags the discovery source, which the
+// analysis uses for per-source success rates. Results are emitted as
+// JSON lines on stdout or -output.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"quicscan/internal/core"
+	"quicscan/internal/quicwire"
+)
+
+func main() {
+	var (
+		targetsFile = flag.String("targets", "", "file with one target per line (addr[,sni[,source]])")
+		addr        = flag.String("addr", "", "single target address")
+		sni         = flag.String("sni", "", "SNI for the single target")
+		port        = flag.Int("port", 443, "target UDP port")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-target handshake timeout")
+		workers     = flag.Int("workers", 64, "concurrent connections")
+		output      = flag.String("output", "", "output file (default stdout)")
+		versions    = flag.String("versions", "", "comma-separated QUIC versions to offer (e.g. draft-29,ietf-01)")
+		skipHTTP    = flag.Bool("no-http", false, "skip the HTTP/3 HEAD request")
+	)
+	flag.Parse()
+
+	var targets []core.Target
+	switch {
+	case *addr != "":
+		a, err := netip.ParseAddr(*addr)
+		if err != nil {
+			fatal("parsing -addr: %v", err)
+		}
+		targets = append(targets, core.Target{Addr: a, Port: uint16(*port), SNI: *sni})
+	case *targetsFile != "":
+		var err error
+		targets, err = readTargets(*targetsFile, uint16(*port))
+		if err != nil {
+			fatal("%v", err)
+		}
+	default:
+		fatal("one of -addr or -targets is required")
+	}
+
+	scanner := &core.Scanner{
+		Timeout:  *timeout,
+		Workers:  *workers,
+		SkipHTTP: *skipHTTP,
+	}
+	if *versions != "" {
+		for _, name := range strings.Split(*versions, ",") {
+			v, ok := quicwire.ParseVersionName(strings.TrimSpace(name))
+			if !ok {
+				fatal("unknown version %q", name)
+			}
+			scanner.Versions = append(scanner.Versions, v)
+		}
+	}
+
+	results := scanner.Scan(context.Background(), targets)
+
+	out := os.Stdout
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := core.WriteJSONL(out, results); err != nil {
+		fatal("writing results: %v", err)
+	}
+
+	sum := core.Summarize(results)
+	fmt.Fprintf(os.Stderr, "qscanner: %s\n", sum)
+}
+
+func readTargets(path string, port uint16) ([]core.Target, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []core.Target
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		a, err := netip.ParseAddr(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		t := core.Target{Addr: a, Port: port}
+		if len(parts) > 1 {
+			t.SNI = strings.TrimSpace(parts[1])
+		}
+		if len(parts) > 2 {
+			t.Source = strings.TrimSpace(parts[2])
+		}
+		out = append(out, t)
+	}
+	return out, sc.Err()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qscanner: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command tlsscan performs stateful TLS-over-TCP scans (the
+// Goscanner's role): it completes TLS handshakes, issues an HTTP/1.1
+// HEAD request and reports Alt-Svc headers — the second discovery
+// channel for QUIC deployments.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"quicscan/internal/tlsscan"
+)
+
+func main() {
+	var (
+		targetsFile = flag.String("targets", "", "file with one target per line (addr[,sni])")
+		addr        = flag.String("addr", "", "single target address")
+		sni         = flag.String("sni", "", "SNI for the single target")
+		port        = flag.Int("port", 443, "target TCP port")
+		timeout     = flag.Duration("timeout", 3*time.Second, "per-target timeout")
+		workers     = flag.Int("workers", 64, "concurrent connections")
+	)
+	flag.Parse()
+
+	var targets []tlsscan.Target
+	switch {
+	case *addr != "":
+		a, err := netip.ParseAddr(*addr)
+		if err != nil {
+			fatal("parsing -addr: %v", err)
+		}
+		targets = append(targets, tlsscan.Target{Addr: a, Port: uint16(*port), SNI: *sni})
+	case *targetsFile != "":
+		f, err := os.Open(*targetsFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			parts := strings.Split(line, ",")
+			a, err := netip.ParseAddr(strings.TrimSpace(parts[0]))
+			if err != nil {
+				fatal("line %q: %v", line, err)
+			}
+			t := tlsscan.Target{Addr: a, Port: uint16(*port)}
+			if len(parts) > 1 {
+				t.SNI = strings.TrimSpace(parts[1])
+			}
+			targets = append(targets, t)
+		}
+		f.Close()
+	default:
+		fatal("one of -addr or -targets is required")
+	}
+
+	scanner := &tlsscan.Scanner{Timeout: *timeout, Workers: *workers}
+	results := scanner.Scan(context.Background(), targets)
+
+	enc := json.NewEncoder(os.Stdout)
+	ok, quicCapable := 0, 0
+	for i := range results {
+		if results[i].OK {
+			ok++
+		}
+		if len(results[i].QUICALPNs) > 0 {
+			quicCapable++
+		}
+		enc.Encode(&results[i])
+	}
+	fmt.Fprintf(os.Stderr, "tlsscan: targets=%d ok=%d quic-capable=%d\n", len(targets), ok, quicCapable)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tlsscan: "+format+"\n", args...)
+	os.Exit(1)
+}

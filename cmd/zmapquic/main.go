@@ -1,0 +1,149 @@
+// Command zmapquic is the stateless QUIC discovery scanner (the
+// paper's ZMap module): it forces Version Negotiation responses with
+// reserved-version Initial packets and reports each responding
+// address with its advertised version set.
+//
+// Scan a prefix sweep (randomized order) or a hitlist file:
+//
+//	zmapquic -prefixes 192.0.2.0/24,198.51.100.0/24 -rate 15000
+//	zmapquic -hitlist v6addrs.txt
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strings"
+	"time"
+
+	"quicscan/internal/pcap"
+	"quicscan/internal/zmapquic"
+)
+
+func main() {
+	var (
+		prefixes  = flag.String("prefixes", "", "comma-separated IPv4 prefixes to sweep")
+		hitlist   = flag.String("hitlist", "", "file with one address per line")
+		port      = flag.Int("port", 443, "target UDP port")
+		rate      = flag.Int("rate", 10000, "probes per second (0 = unlimited)")
+		cooldown  = flag.Duration("cooldown", 3*time.Second, "response collection time after the last probe")
+		noPadding = flag.Bool("no-padding", false, "send unpadded probes (RFC-violating ablation)")
+		seed      = flag.Uint64("seed", 1, "sweep permutation seed")
+		blockfile = flag.String("blocklist", "", "file with excluded prefixes, one per line")
+		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
+	)
+	flag.Parse()
+
+	var blocklist *zmapquic.Blocklist
+	if *blockfile != "" {
+		f, err := os.Open(*blockfile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		blocklist, err = zmapquic.ParseBlocklist(f)
+		f.Close()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "zmapquic: blocklist with %d prefixes loaded\n", blocklist.Len())
+	}
+
+	pc, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer pc.Close()
+
+	scanner := &zmapquic.Scanner{
+		Conn:      pc,
+		Port:      uint16(*port),
+		Rate:      *rate,
+		Cooldown:  *cooldown,
+		NoPadding: *noPadding,
+		Blocklist: blocklist,
+	}
+	if *pcapFile != "" {
+		f, err := os.Create(*pcapFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		scanner.Capture, err = pcap.NewWriter(f)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	ctx := context.Background()
+	var results []zmapquic.Result
+	var stats zmapquic.Stats
+
+	switch {
+	case *prefixes != "":
+		var ps []netip.Prefix
+		for _, s := range strings.Split(*prefixes, ",") {
+			p, err := netip.ParsePrefix(strings.TrimSpace(s))
+			if err != nil {
+				fatal("parsing prefix %q: %v", s, err)
+			}
+			ps = append(ps, p)
+		}
+		sweep := zmapquic.NewSweep(*seed, ps)
+		fmt.Fprintf(os.Stderr, "zmapquic: sweeping %d addresses\n", sweep.Total())
+		done := make(chan struct{})
+		results, stats, err = scanner.Scan(ctx, sweep.Addresses(done))
+		close(done)
+	case *hitlist != "":
+		addrs, rerr := readAddrs(*hitlist)
+		if rerr != nil {
+			fatal("%v", rerr)
+		}
+		results, stats, err = scanner.ScanAddrs(ctx, addrs)
+	default:
+		fatal("one of -prefixes or -hitlist is required")
+	}
+	if err != nil {
+		fatal("scan: %v", err)
+	}
+
+	for _, r := range results {
+		names := make([]string, len(r.Versions))
+		for i, v := range r.Versions {
+			names[i] = v.String()
+		}
+		fmt.Printf("%s\t%s\n", r.Addr, strings.Join(names, ","))
+	}
+	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
+		stats.ProbesSent, stats.BytesSent, stats.Responses, stats.InvalidResponses, stats.Blocked, len(results))
+}
+
+func readAddrs(path string) ([]netip.Addr, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []netip.Addr
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, err := netip.ParseAddr(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	return out, sc.Err()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "zmapquic: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Fingerprint: identify edge POPs of large providers from transport
+// parameters and HTTP Server headers, the paper's Section 5.2
+// analysis. QUIC deployments combine transport, TLS and HTTP in one
+// stack, so configurations fingerprint implementations: Facebook's
+// proxygen-bolt edge nodes and Google's gvs 1.0 caches sit in
+// thousands of third-party ASes but share provider-specific
+// transport parameter configurations.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"time"
+
+	"quicscan/internal/analysis"
+	"quicscan/internal/asdb"
+	"quicscan/internal/core"
+	"quicscan/internal/internet"
+)
+
+func main() {
+	u := internet.Build(internet.Spec{Seed: 21, Scale: 8192, ASScale: 32, DomainScale: 65536})
+	if err := u.Start(internet.StartOptions{Stateful: true}); err != nil {
+		log.Fatal(err)
+	}
+	defer u.Stop()
+
+	// Scan every active deployment with SNI where available.
+	var targets []core.Target
+	for _, d := range u.Deployments {
+		if d.Behavior != internet.BehaviorActive {
+			continue
+		}
+		t := core.Target{Addr: d.Addr}
+		if len(d.Domains) > 0 {
+			t.SNI = d.Domains[0]
+		}
+		targets = append(targets, t)
+	}
+	qs := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:    u.RootCAs(),
+		Timeout:    time.Second,
+		Workers:    64,
+	}
+	results := qs.Scan(context.Background(), targets)
+	fmt.Printf("scanned %d active deployments\n\n", len(results))
+
+	// Table 6: Server header values ranked by AS spread.
+	fmt.Println("HTTP Server values by AS spread (Table 6 shape):")
+	for _, s := range analysis.TopServerValues(results, u.ASDB, 6) {
+		fmt.Printf("  %-16s %4d ASes  %5d targets  %2d TP configs\n",
+			s.Server, s.ASes, s.Targets, s.TPConfigs)
+	}
+
+	// Figure 9: configuration distribution.
+	dist := analysis.TPConfigDistribution(results, u.ASDB)
+	fmt.Printf("\ndistinct transport parameter configurations: %d (paper: 45)\n", len(dist))
+
+	// The fingerprinting step: configurations seen with exactly one
+	// Server value across many ASes identify provider edge POPs.
+	type sig struct {
+		servers map[string]bool
+		ases    map[asdb.ASN]bool
+		count   int
+	}
+	byFP := make(map[string]*sig)
+	for _, r := range results {
+		if r.Outcome != core.OutcomeSuccess || r.TPFingerprint == "" || r.HTTP == nil {
+			continue
+		}
+		s := byFP[r.TPFingerprint]
+		if s == nil {
+			s = &sig{servers: make(map[string]bool), ases: make(map[asdb.ASN]bool)}
+			byFP[r.TPFingerprint] = s
+		}
+		s.servers[r.HTTP.Server] = true
+		if asn, ok := u.ASDB.Lookup(r.Target.Addr); ok {
+			s.ases[asn] = true
+		}
+		s.count++
+	}
+	type edge struct {
+		server string
+		ases   int
+		count  int
+	}
+	var edges []edge
+	for _, s := range byFP {
+		if len(s.servers) == 1 && len(s.ases) >= 2 {
+			for server := range s.servers {
+				edges = append(edges, edge{server: server, ases: len(s.ases), count: s.count})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].ases > edges[j].ases })
+	fmt.Println("\nedge POP candidates (one Server value, configuration shared across ASes):")
+	for _, e := range edges {
+		if e.server == "" {
+			e.server = "(no header)"
+		}
+		fmt.Printf("  %-16s configuration in %2d ASes (%d deployments)\n", e.server, e.ases, e.count)
+	}
+	fmt.Println("\nproxygen-bolt and gvs 1.0 appearing across many ASes with a single")
+	fmt.Println("configuration each reproduces the paper's finding that Facebook's and")
+	fmt.Println("Google's off-net edge deployments dominate the AS-count statistics.")
+}

@@ -1,0 +1,3 @@
+module quicscan
+
+go 1.24

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"quicscan/internal/asdb"
+	"quicscan/internal/core"
+	"quicscan/internal/tlsscan"
+)
+
+// OutcomeShares is one column of Table 3.
+type OutcomeShares struct {
+	Label   string
+	Summary core.Summary
+}
+
+// Render prints the column like the paper's Table 3.
+func (o OutcomeShares) Render() string {
+	s := o.Summary
+	return fmt.Sprintf("%-14s  success %6.2f%%  timeout %6.2f%%  crypto(0x128) %6.2f%%  version-mismatch %6.2f%%  other %6.2f%%  (n=%d)",
+		o.Label,
+		s.Rate(core.OutcomeSuccess), s.Rate(core.OutcomeTimeout), s.Rate(core.OutcomeCryptoError),
+		s.Rate(core.OutcomeVersionMismatch), s.Rate(core.OutcomeOther), s.Total)
+}
+
+// PerSourceSuccess computes Table 4: success rate by discovery source
+// recorded in the targets.
+func PerSourceSuccess(results []core.Result) map[string]core.Summary {
+	bySource := make(map[string][]core.Result)
+	for _, r := range results {
+		src := r.Target.Source
+		if src == "" {
+			src = "unknown"
+		}
+		bySource[src] = append(bySource[src], r)
+	}
+	out := make(map[string]core.Summary, len(bySource))
+	for src, rs := range bySource {
+		out[src] = core.Summarize(rs)
+	}
+	return out
+}
+
+// SuccessfulAddrs extracts the distinct addresses with at least one
+// successful handshake (Figure 8's population).
+func SuccessfulAddrs(results []core.Result) []netip.Addr {
+	seen := make(map[netip.Addr]bool)
+	var out []netip.Addr
+	for _, r := range results {
+		if r.Outcome == core.OutcomeSuccess && !seen[r.Target.Addr] {
+			seen[r.Target.Addr] = true
+			out = append(out, r.Target.Addr)
+		}
+	}
+	return out
+}
+
+// TLSComparison is Table 5: the share of hosts with identical TLS
+// properties over QUIC and TLS-over-TCP.
+type TLSComparison struct {
+	Compared int
+	// Shares in percent.
+	Certificate, TLSVersion, KeyExchangeGroup, Cipher, Extensions float64
+	// TLS13Count is the subset where both handshakes used TLS 1.3
+	// (the denominator for the post-version rows, as in the paper).
+	TLS13Count int
+}
+
+// CompareTLS joins QUIC and TCP scans of the same targets.
+func CompareTLS(quicResults []core.Result, tcpResults []tlsscan.Result) TLSComparison {
+	type key struct {
+		addr netip.Addr
+		sni  string
+	}
+	tcpByTarget := make(map[key]*tlsscan.Result)
+	for i := range tcpResults {
+		r := &tcpResults[i]
+		if r.OK && r.TLS != nil {
+			tcpByTarget[key{r.Target.Addr, r.Target.SNI}] = r
+		}
+	}
+
+	var cmp TLSComparison
+	var certMatch, versionMatch, groupMatch, cipherMatch, extMatch int
+	for _, q := range quicResults {
+		if q.Outcome != core.OutcomeSuccess || q.TLS == nil {
+			continue
+		}
+		t, ok := tcpByTarget[key{q.Target.Addr, q.Target.SNI}]
+		if !ok {
+			continue
+		}
+		cmp.Compared++
+		if q.TLS.CertFingerprint == t.TLS.CertFingerprint {
+			certMatch++
+		}
+		if q.TLS.Version == t.TLS.Version {
+			versionMatch++
+		}
+		if t.TLS.Version != q.TLS.Version {
+			continue // property comparison requires equal TLS versions
+		}
+		cmp.TLS13Count++
+		if q.TLS.KeyExchangeGroup == t.TLS.KeyExchangeGroup {
+			groupMatch++
+		}
+		if q.TLS.CipherSuite == t.TLS.CipherSuite {
+			cipherMatch++
+		}
+		if equalStrings(q.TLS.Extensions, t.TLS.Extensions) {
+			extMatch++
+		}
+	}
+	if cmp.Compared > 0 {
+		cmp.Certificate = 100 * float64(certMatch) / float64(cmp.Compared)
+		cmp.TLSVersion = 100 * float64(versionMatch) / float64(cmp.Compared)
+	}
+	if cmp.TLS13Count > 0 {
+		cmp.KeyExchangeGroup = 100 * float64(groupMatch) / float64(cmp.TLS13Count)
+		cmp.Cipher = 100 * float64(cipherMatch) / float64(cmp.TLS13Count)
+		cmp.Extensions = 100 * float64(extMatch) / float64(cmp.TLS13Count)
+	}
+	return cmp
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ServerValueStats is one row of Table 6.
+type ServerValueStats struct {
+	Server    string
+	ASes      int
+	Targets   int
+	TPConfigs int
+}
+
+// TopServerValues computes Table 6: HTTP Server header values ranked
+// by the number of ASes, with target counts and the number of
+// distinct transport parameter configurations seen alongside.
+func TopServerValues(results []core.Result, db *asdb.DB, k int) []ServerValueStats {
+	type agg struct {
+		ases    map[asdb.ASN]bool
+		targets int
+		configs map[string]bool
+	}
+	byServer := make(map[string]*agg)
+	for _, r := range results {
+		if r.Outcome != core.OutcomeSuccess || r.HTTP == nil || r.HTTP.Server == "" {
+			continue
+		}
+		a := byServer[r.HTTP.Server]
+		if a == nil {
+			a = &agg{ases: make(map[asdb.ASN]bool), configs: make(map[string]bool)}
+			byServer[r.HTTP.Server] = a
+		}
+		a.targets++
+		if asn, ok := db.Lookup(r.Target.Addr); ok {
+			a.ases[asn] = true
+		}
+		if r.TPFingerprint != "" {
+			a.configs[r.TPFingerprint] = true
+		}
+	}
+	out := make([]ServerValueStats, 0, len(byServer))
+	for server, a := range byServer {
+		out = append(out, ServerValueStats{Server: server, ASes: len(a.ases), Targets: a.targets, TPConfigs: len(a.configs)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASes != out[j].ASes {
+			return out[i].ASes > out[j].ASes
+		}
+		return out[i].Server < out[j].Server
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TPConfigRank is one point of Figure 9.
+type TPConfigRank struct {
+	Fingerprint string
+	Targets     int
+	ASes        int
+}
+
+// TPConfigDistribution ranks transport parameter configurations by
+// target count (Figure 9).
+func TPConfigDistribution(results []core.Result, db *asdb.DB) []TPConfigRank {
+	type agg struct {
+		targets int
+		ases    map[asdb.ASN]bool
+	}
+	byFP := make(map[string]*agg)
+	for _, r := range results {
+		if r.Outcome != core.OutcomeSuccess || r.TPFingerprint == "" {
+			continue
+		}
+		a := byFP[r.TPFingerprint]
+		if a == nil {
+			a = &agg{ases: make(map[asdb.ASN]bool)}
+			byFP[r.TPFingerprint] = a
+		}
+		a.targets++
+		if asn, ok := db.Lookup(r.Target.Addr); ok {
+			a.ases[asn] = true
+		}
+	}
+	out := make([]TPConfigRank, 0, len(byFP))
+	for fp, a := range byFP {
+		out = append(out, TPConfigRank{Fingerprint: fp, Targets: a.targets, ASes: len(a.ases)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Targets != out[j].Targets {
+			return out[i].Targets > out[j].Targets
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// ConfigsPerAS computes how many distinct configurations each AS
+// exposes (Section 5.2's "diversity within single ASes").
+func ConfigsPerAS(results []core.Result, db *asdb.DB) map[asdb.ASN]int {
+	byAS := make(map[asdb.ASN]map[string]bool)
+	for _, r := range results {
+		if r.Outcome != core.OutcomeSuccess || r.TPFingerprint == "" {
+			continue
+		}
+		asn, ok := db.Lookup(r.Target.Addr)
+		if !ok {
+			continue
+		}
+		if byAS[asn] == nil {
+			byAS[asn] = make(map[string]bool)
+		}
+		byAS[asn][r.TPFingerprint] = true
+	}
+	out := make(map[asdb.ASN]int, len(byAS))
+	for asn, set := range byAS {
+		out[asn] = len(set)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package certgen
+
+import (
+	"crypto/x509"
+	"testing"
+	"time"
+)
+
+func TestCAIssueAndVerify(t *testing.T) {
+	ca, err := NewCA("Test Root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.Issue(LeafOptions{DNSNames: []string{"www.example.org", "*.cdn.example.org"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	ca.AddToPool(pool)
+
+	for _, name := range []string{"www.example.org", "a.cdn.example.org"} {
+		if _, err := cert.Leaf.Verify(x509.VerifyOptions{Roots: pool, DNSName: name}); err != nil {
+			t.Errorf("verify for %s: %v", name, err)
+		}
+	}
+	if _, err := cert.Leaf.Verify(x509.VerifyOptions{Roots: pool, DNSName: "other.test"}); err == nil {
+		t.Error("verified for a name the certificate does not cover")
+	}
+	// The chain includes the CA certificate for transmission.
+	if len(cert.Certificate) != 2 {
+		t.Errorf("chain length %d", len(cert.Certificate))
+	}
+}
+
+func TestSelfSignedLeaf(t *testing.T) {
+	ca, _ := NewCA("Root")
+	cert, err := ca.Issue(LeafOptions{DNSNames: []string{"invalid2.invalid"}, SelfSigned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Leaf.Issuer.CommonName != cert.Leaf.Subject.CommonName {
+		t.Error("self-signed leaf has a different issuer")
+	}
+	pool := x509.NewCertPool()
+	ca.AddToPool(pool)
+	if _, err := cert.Leaf.Verify(x509.VerifyOptions{Roots: pool}); err == nil {
+		t.Error("self-signed leaf verified against the CA")
+	}
+	if len(cert.Certificate) != 1 {
+		t.Errorf("self-signed chain length %d", len(cert.Certificate))
+	}
+}
+
+func TestSerialsDistinct(t *testing.T) {
+	ca, _ := NewCA("Root")
+	a, _ := ca.Issue(LeafOptions{DNSNames: []string{"x.test"}})
+	b, _ := ca.Issue(LeafOptions{DNSNames: []string{"x.test"}})
+	if a.Leaf.SerialNumber.Cmp(b.Leaf.SerialNumber) == 0 {
+		t.Error("two issued certificates share a serial")
+	}
+	if FingerprintOf(a.Leaf) == FingerprintOf(b.Leaf) {
+		t.Error("fingerprints collide across issuances")
+	}
+	if FingerprintOf(nil) != "" {
+		t.Error("nil fingerprint not empty")
+	}
+}
+
+func TestValidityWindow(t *testing.T) {
+	ca, _ := NewCA("Root")
+	nb := time.Now().Add(-20 * time.Hour)
+	na := time.Now().Add(-10 * time.Hour)
+	cert, err := ca.Issue(LeafOptions{DNSNames: []string{"old.test"}, NotBefore: nb, NotAfter: na})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	ca.AddToPool(pool)
+	if _, err := cert.Leaf.Verify(x509.VerifyOptions{Roots: pool, DNSName: "old.test"}); err == nil {
+		t.Error("expired certificate verified")
+	}
+	if _, err := cert.Leaf.Verify(x509.VerifyOptions{Roots: pool, DNSName: "old.test", CurrentTime: time.Now().Add(-15 * time.Hour)}); err != nil {
+		t.Errorf("certificate invalid within its window: %v", err)
+	}
+}
+
+func TestCommonNameDefaults(t *testing.T) {
+	ca, _ := NewCA("Root")
+	cert, _ := ca.Issue(LeafOptions{DNSNames: []string{"first.test", "second.test"}})
+	if cert.Leaf.Subject.CommonName != "first.test" {
+		t.Errorf("CN = %q", cert.Leaf.Subject.CommonName)
+	}
+	cert, _ = ca.Issue(LeafOptions{CommonName: "explicit.test", DNSNames: []string{"a.test"}})
+	if cert.Leaf.Subject.CommonName != "explicit.test" {
+		t.Errorf("CN = %q", cert.Leaf.Subject.CommonName)
+	}
+}

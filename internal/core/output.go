@@ -1,0 +1,36 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// WriteJSONL streams results as one JSON object per line, the
+// QScanner's native output format.
+func WriteJSONL(w io.Writer, results []Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses results written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Result, error) {
+	var out []Result
+	dec := json.NewDecoder(r)
+	for {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, res)
+	}
+}

@@ -1,0 +1,425 @@
+// Package core implements the QScanner, the paper's primary
+// contribution (Section 3.4): a stateful QUIC scanner that completes
+// full handshakes with targets — IP addresses alone or combined with a
+// domain used as SNI — and extracts everything the analysis needs:
+//
+//   - handshake outcome classification (Success / Timeout / the
+//     generic crypto error 0x128 / Version Mismatch / Other),
+//   - TLS properties (version, cipher, key exchange group,
+//     certificates, extension set) for the QUIC-vs-TCP comparison,
+//   - the server's QUIC transport parameters and their configuration
+//     fingerprint, and
+//   - HTTP/3 response headers from a HEAD request (Server header).
+package core
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"quicscan/internal/certgen"
+	"quicscan/internal/h3"
+	"quicscan/internal/quic"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/transportparams"
+)
+
+// Target identifies one scan destination: an address, optionally
+// paired with a domain to use as SNI.
+type Target struct {
+	Addr netip.Addr `json:"addr"`
+	Port uint16     `json:"port"`
+	// SNI is the domain used for Server Name Indication; empty for
+	// "no SNI" scans.
+	SNI string `json:"sni,omitempty"`
+	// Source records which discovery method produced the target
+	// ("zmap", "alt-svc", "https-rr").
+	Source string `json:"source,omitempty"`
+}
+
+func (t Target) port() uint16 {
+	if t.Port == 0 {
+		return 443
+	}
+	return t.Port
+}
+
+// Outcome classifies a connection attempt, matching the rows of the
+// paper's Table 3.
+type Outcome string
+
+const (
+	OutcomeSuccess         Outcome = "success"
+	OutcomeTimeout         Outcome = "timeout"
+	OutcomeCryptoError     Outcome = "crypto_error_0x128"
+	OutcomeVersionMismatch Outcome = "version_mismatch"
+	OutcomeOther           Outcome = "other"
+)
+
+// TLSInfo captures the TLS properties of a successful handshake.
+type TLSInfo struct {
+	Version          uint16   `json:"version"`
+	CipherSuite      uint16   `json:"cipher_suite"`
+	KeyExchangeGroup string   `json:"key_exchange_group"`
+	ALPN             string   `json:"alpn"`
+	CertFingerprint  string   `json:"cert_fingerprint"`
+	CertCommonName   string   `json:"cert_common_name"`
+	CertDNSNames     []string `json:"cert_dns_names,omitempty"`
+	CertValid        bool     `json:"cert_valid"`
+	SelfSigned       bool     `json:"self_signed"`
+	// Extensions is the canonical observed extension set (see
+	// ExtensionSet); the QUIC transport_parameters extension is
+	// excluded to keep QUIC and TCP observations comparable, as in the
+	// paper's Table 5.
+	Extensions []string `json:"extensions"`
+}
+
+// HTTPInfo captures the HTTP/3 exchange.
+type HTTPInfo struct {
+	RequestOK bool              `json:"request_ok"`
+	Status    string            `json:"status,omitempty"`
+	Server    string            `json:"server,omitempty"`
+	AltSvc    string            `json:"alt_svc,omitempty"`
+	Headers   map[string]string `json:"headers,omitempty"`
+}
+
+// Result is the complete record for one target.
+type Result struct {
+	Target  Target  `json:"target"`
+	Outcome Outcome `json:"outcome"`
+	Error   string  `json:"error,omitempty"`
+
+	QUICVersion        string   `json:"quic_version,omitempty"`
+	VersionNegotiation bool     `json:"version_negotiation,omitempty"`
+	ServerVersions     []string `json:"server_versions,omitempty"`
+	Retried            bool     `json:"retried,omitempty"`
+
+	TLS             *TLSInfo                    `json:"tls,omitempty"`
+	TransportParams *transportparams.Parameters `json:"transport_params,omitempty"`
+	TPFingerprint   string                      `json:"tp_fingerprint,omitempty"`
+	HTTP            *HTTPInfo                   `json:"http,omitempty"`
+
+	HandshakeMillis float64 `json:"handshake_ms,omitempty"`
+}
+
+// Scanner is a stateful QUIC scanner.
+type Scanner struct {
+	// DialPacket opens the client socket for one connection; defaults
+	// to a kernel UDP socket. The simulated Internet substitutes its
+	// own dialer.
+	DialPacket func() (net.PacketConn, error)
+	// Versions offered, most preferred first; defaults to the
+	// QScanner-compatible set (drafts 29/32/34 and version 1).
+	Versions []quicwire.Version
+	// RootCAs validates server certificates. Validation failures are
+	// recorded, not fatal: the scanner always captures the
+	// certificate.
+	RootCAs *x509.CertPool
+	// ALPN values offered (default h3 and its draft variants).
+	ALPN []string
+	// Timeout bounds each connection attempt (default 3s).
+	Timeout time.Duration
+	// Workers is the parallelism of Scan (default 64).
+	Workers int
+	// SkipHTTP disables the HTTP/3 HEAD request.
+	SkipHTTP bool
+}
+
+func (s *Scanner) alpn() []string {
+	if len(s.ALPN) != 0 {
+		return s.ALPN
+	}
+	return []string{"h3", "h3-34", "h3-32", "h3-29"}
+}
+
+func (s *Scanner) timeout() time.Duration {
+	if s.Timeout == 0 {
+		return 3 * time.Second
+	}
+	return s.Timeout
+}
+
+func (s *Scanner) dial() (net.PacketConn, error) {
+	if s.DialPacket != nil {
+		return s.DialPacket()
+	}
+	return net.ListenPacket("udp", ":0")
+}
+
+// ScanTarget attempts a full QUIC handshake plus an HTTP/3 HEAD
+// request against one target.
+func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
+	res := Result{Target: t}
+
+	pconn, err := s.dial()
+	if err != nil {
+		res.Outcome = OutcomeOther
+		res.Error = err.Error()
+		return res
+	}
+
+	tlsCfg := &tls.Config{
+		ServerName: t.SNI,
+		NextProtos: s.alpn(),
+		RootCAs:    s.RootCAs,
+		// The scanner must record certificates even when verification
+		// fails; validity is checked explicitly below.
+		InsecureSkipVerify: true,
+		// Offer only X25519 so the negotiated key exchange group is
+		// known (the paper's scans did the same, Section 5.1).
+		CurvePreferences: []tls.CurveID{tls.X25519},
+	}
+
+	cfg := &quic.Config{
+		TLS:              tlsCfg,
+		Versions:         s.Versions,
+		HandshakeTimeout: s.timeout(),
+		TransportParams:  quic.DefaultClientParams(),
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.timeout())
+	defer cancel()
+	conn, err := quic.Dial(ctx, pconn, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
+	if err != nil {
+		pconn.Close()
+		res.Outcome, res.Error = classify(err)
+		var vne *quic.VersionNegotiationError
+		if errors.As(err, &vne) {
+			res.VersionNegotiation = true
+			for _, v := range vne.Server {
+				res.ServerVersions = append(res.ServerVersions, v.String())
+			}
+		}
+		return res
+	}
+	defer pconn.Close()
+	defer conn.Close()
+
+	res.Outcome = OutcomeSuccess
+	st := conn.Stats()
+	res.QUICVersion = conn.Version().String()
+	res.VersionNegotiation = st.VersionNegotiation
+	for _, v := range st.ServerVersions {
+		res.ServerVersions = append(res.ServerVersions, v.String())
+	}
+	res.Retried = st.Retried
+	res.HandshakeMillis = float64(st.HandshakeDuration.Microseconds()) / 1000
+
+	cs := conn.ConnectionState()
+	res.TLS = s.tlsInfo(&cs, t.SNI)
+
+	if params, ok := conn.PeerTransportParameters(); ok {
+		p := params
+		res.TransportParams = &p
+		res.TPFingerprint = p.Fingerprint()
+	}
+
+	if !s.SkipHTTP {
+		res.HTTP = s.doHTTP(ctx, conn, t)
+	}
+	return res
+}
+
+func classify(err error) (Outcome, string) {
+	var vne *quic.VersionNegotiationError
+	if errors.As(err, &vne) {
+		return OutcomeVersionMismatch, err.Error()
+	}
+	if errors.Is(err, quic.ErrHandshakeTimeout) || errors.Is(err, context.DeadlineExceeded) {
+		return OutcomeTimeout, err.Error()
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return OutcomeTimeout, err.Error()
+	}
+	var terr *quicwire.TransportErrorError
+	if errors.As(err, &terr) {
+		if terr.Code == quicwire.CryptoError0x128 {
+			return OutcomeCryptoError, err.Error()
+		}
+		return OutcomeOther, err.Error()
+	}
+	return OutcomeOther, err.Error()
+}
+
+// tlsInfo extracts the TLS facts of a completed handshake.
+func (s *Scanner) tlsInfo(cs *tls.ConnectionState, sni string) *TLSInfo {
+	info := &TLSInfo{
+		Version:     cs.Version,
+		CipherSuite: cs.CipherSuite,
+		ALPN:        cs.NegotiatedProtocol,
+		// Only X25519 is offered (see ScanTarget), so a completed
+		// TLS 1.3 handshake used it.
+		KeyExchangeGroup: "X25519",
+		Extensions:       ExtensionSet(cs.NegotiatedProtocol != "", sni != ""),
+	}
+	if len(cs.PeerCertificates) > 0 {
+		leaf := cs.PeerCertificates[0]
+		info.CertFingerprint = certgen.FingerprintOf(leaf)
+		info.CertCommonName = leaf.Subject.CommonName
+		info.CertDNSNames = leaf.DNSNames
+		info.SelfSigned = leaf.Issuer.CommonName == leaf.Subject.CommonName
+		if s.RootCAs != nil {
+			opts := x509.VerifyOptions{Roots: s.RootCAs, DNSName: sni}
+			if sni == "" {
+				opts.DNSName = ""
+			}
+			for _, ic := range cs.PeerCertificates[1:] {
+				if opts.Intermediates == nil {
+					opts.Intermediates = x509.NewCertPool()
+				}
+				opts.Intermediates.AddCert(ic)
+			}
+			_, err := leaf.Verify(opts)
+			info.CertValid = err == nil
+		}
+	}
+	return info
+}
+
+// ExtensionSet is the canonical observed TLS extension list used for
+// the QUIC vs TLS-over-TCP comparison (Table 5). The standard library
+// does not expose raw extensions, so the set is reconstructed from
+// handshake facts: ALPN presence and whether an SNI was sent. The
+// QUIC transport_parameters extension is deliberately excluded, as in
+// the paper.
+func ExtensionSet(alpnNegotiated, sniSent bool) []string {
+	ext := []string{"key_share", "supported_versions"}
+	if alpnNegotiated {
+		ext = append(ext, "application_layer_protocol_negotiation")
+	}
+	if sniSent {
+		ext = append(ext, "server_name")
+	}
+	sort.Strings(ext)
+	return ext
+}
+
+func (s *Scanner) doHTTP(ctx context.Context, conn *quic.Conn, t Target) *HTTPInfo {
+	info := &HTTPInfo{}
+	hc, err := h3.NewClientConn(conn)
+	if err != nil {
+		return info
+	}
+	authority := t.SNI
+	if authority == "" {
+		authority = t.Addr.String()
+	}
+	resp, err := hc.RoundTrip(ctx, "HEAD", authority, "/", nil)
+	if err != nil {
+		return info
+	}
+	info.RequestOK = true
+	info.Status = resp.Status
+	info.Server = resp.Header("server")
+	info.AltSvc = resp.Header("alt-svc")
+	info.Headers = make(map[string]string, len(resp.Headers))
+	for _, f := range resp.Headers {
+		if f.Name != ":status" {
+			info.Headers[f.Name] = f.Value
+		}
+	}
+	return info
+}
+
+// Scan processes all targets with a worker pool, preserving input
+// order.
+func (s *Scanner) Scan(ctx context.Context, targets []Target) []Result {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	results := make([]Result, len(targets))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.ScanTarget(ctx, targets[i])
+			}
+		}()
+	}
+	for i := range targets {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			for j := i; j < len(targets); j++ {
+				results[j] = Result{Target: targets[j], Outcome: OutcomeOther, Error: ctx.Err().Error()}
+			}
+			close(work)
+			wg.Wait()
+			return results
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// Summary tallies outcomes, the paper's Table 3 row shape.
+type Summary struct {
+	Total           int
+	Success         int
+	Timeout         int
+	CryptoError     int
+	VersionMismatch int
+	Other           int
+}
+
+// Summarize tallies results.
+func Summarize(results []Result) Summary {
+	var s Summary
+	s.Total = len(results)
+	for _, r := range results {
+		switch r.Outcome {
+		case OutcomeSuccess:
+			s.Success++
+		case OutcomeTimeout:
+			s.Timeout++
+		case OutcomeCryptoError:
+			s.CryptoError++
+		case OutcomeVersionMismatch:
+			s.VersionMismatch++
+		default:
+			s.Other++
+		}
+	}
+	return s
+}
+
+// Rate returns share of outcome o in percent.
+func (s Summary) Rate(o Outcome) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	n := 0
+	switch o {
+	case OutcomeSuccess:
+		n = s.Success
+	case OutcomeTimeout:
+		n = s.Timeout
+	case OutcomeCryptoError:
+		n = s.CryptoError
+	case OutcomeVersionMismatch:
+		n = s.VersionMismatch
+	case OutcomeOther:
+		n = s.Other
+	}
+	return 100 * float64(n) / float64(s.Total)
+}
+
+// String renders the summary like the paper's Table 3 cells.
+func (s Summary) String() string {
+	return fmt.Sprintf("total=%d success=%.2f%% timeout=%.2f%% crypto0x128=%.2f%% version_mismatch=%.2f%% other=%.2f%%",
+		s.Total, s.Rate(OutcomeSuccess), s.Rate(OutcomeTimeout), s.Rate(OutcomeCryptoError),
+		s.Rate(OutcomeVersionMismatch), s.Rate(OutcomeOther))
+}

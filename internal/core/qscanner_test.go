@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicscan/internal/certgen"
+	"quicscan/internal/h3"
+	"quicscan/internal/quic"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/simnet"
+	"quicscan/internal/transportparams"
+)
+
+// testWorld wires a simnet with configurable QUIC+HTTP/3 servers.
+type testWorld struct {
+	net  *simnet.Network
+	pool *x509.CertPool
+}
+
+func newWorld(t *testing.T) *testWorld {
+	t.Helper()
+	w := &testWorld{net: simnet.New(simnet.Config{}), pool: x509.NewCertPool()}
+	t.Cleanup(w.net.Close)
+	return w
+}
+
+func serverParams() transportparams.Parameters {
+	p := quic.DefaultServerParams()
+	p.MaxUDPPayloadSize = 1452
+	p.MaxIdleTimeout = 30000
+	return p
+}
+
+func (w *testWorld) addServer(t *testing.T, addr string, params transportparams.Parameters, policy quic.ServerPolicy, serverHeader string, domains ...string) netip.Addr {
+	t.Helper()
+	ca, err := certgen.NewCA("ca-" + addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.AddToPool(w.pool)
+	cert, err := ca.Issue(certgen.LeafOptions{DNSNames: domains})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := netip.MustParseAddrPort(addr)
+	pc, err := w.net.ListenUDP(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &quic.Config{
+		TLS:             &tls.Config{Certificates: []tls.Certificate{cert}, NextProtos: []string{"h3", "h3-34", "h3-32", "h3-29"}},
+		TransportParams: params,
+	}
+	l, err := quic.Listen(pc, cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := &h3.Server{Handler: func(req *h3.Request) *h3.Response {
+		return &h3.Response{Status: "200", Headers: []h3.HeaderField{{Name: "server", Value: serverHeader}}}
+	}}
+	go func() {
+		for {
+			conn, err := l.Accept(context.Background())
+			if err != nil {
+				return
+			}
+			go func(conn *quic.Conn) {
+				ctx := context.Background()
+				if err := conn.HandshakeComplete(ctx); err != nil {
+					return
+				}
+				srv.Serve(ctx, conn)
+			}(conn)
+		}
+	}()
+	return ap.Addr()
+}
+
+func newScanner(w *testWorld) *Scanner {
+	return &Scanner{
+		DialPacket: func() (net.PacketConn, error) { return w.net.DialUDP() },
+		RootCAs:    w.pool,
+		Timeout:    2 * time.Second,
+		Workers:    8,
+	}
+}
+
+func TestScanSuccessWithSNI(t *testing.T) {
+	w := newWorld(t)
+	params := serverParams()
+	addr := w.addServer(t, "192.0.2.10:443", params, quic.ServerPolicy{}, "nginx/1.20.0", "www.example.org")
+	s := newScanner(w)
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "www.example.org", Source: "zmap"})
+	if res.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+	if res.TLS == nil || res.TLS.Version != tls.VersionTLS13 {
+		t.Fatalf("tls = %+v", res.TLS)
+	}
+	if !res.TLS.CertValid {
+		t.Error("certificate did not validate against sim roots")
+	}
+	if res.TLS.KeyExchangeGroup != "X25519" {
+		t.Errorf("group = %s", res.TLS.KeyExchangeGroup)
+	}
+	if res.TLS.ALPN == "" {
+		t.Error("no ALPN")
+	}
+	if res.TransportParams == nil || res.TransportParams.MaxUDPPayloadSize != 1452 {
+		t.Errorf("params = %+v", res.TransportParams)
+	}
+	if res.TPFingerprint == "" {
+		t.Error("no fingerprint")
+	}
+	if res.HTTP == nil || !res.HTTP.RequestOK || res.HTTP.Server != "nginx/1.20.0" || res.HTTP.Status != "200" {
+		t.Errorf("http = %+v", res.HTTP)
+	}
+	if res.QUICVersion != "draft-29" {
+		t.Errorf("version = %s", res.QUICVersion)
+	}
+	if res.HandshakeMillis <= 0 {
+		t.Error("no handshake duration")
+	}
+}
+
+func TestScanNoSNIRejected(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.11:443", serverParams(), quic.ServerPolicy{
+		RequireSNI:  func(sni string) bool { return sni != "" },
+		CloseReason: "handshake failure: missing server name",
+	}, "cloudflare", "sni.example.org")
+	s := newScanner(w)
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr})
+	if res.Outcome != OutcomeCryptoError {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+	// Same target with SNI succeeds.
+	res = s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "sni.example.org"})
+	if res.Outcome != OutcomeSuccess {
+		t.Fatalf("with SNI: %s (%s)", res.Outcome, res.Error)
+	}
+}
+
+func TestScanTimeout(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.12:443", serverParams(), quic.ServerPolicy{DropAllInitials: true}, "akamai", "drop.example.org")
+	s := newScanner(w)
+	s.Timeout = 400 * time.Millisecond
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "drop.example.org"})
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+}
+
+func TestScanVersionMismatch(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.13:443", serverParams(), quic.ServerPolicy{
+		AdvertisedVersions: []quicwire.Version{quicwire.VersionGoogleQ050, quicwire.VersionGoogleT051},
+		AcceptVersions:     []quicwire.Version{quicwire.VersionGoogleQ050},
+	}, "gvs 1.0", "google.example")
+	s := newScanner(w)
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "google.example"})
+	if res.Outcome != OutcomeVersionMismatch {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+	if !res.VersionNegotiation || len(res.ServerVersions) != 2 || res.ServerVersions[0] != "Q050" {
+		t.Errorf("server versions = %v", res.ServerVersions)
+	}
+}
+
+func TestScanUnreachable(t *testing.T) {
+	w := newWorld(t)
+	s := newScanner(w)
+	s.Timeout = 300 * time.Millisecond
+	res := s.ScanTarget(context.Background(), Target{Addr: netip.MustParseAddr("192.0.2.99")})
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %s", res.Outcome)
+	}
+}
+
+func TestScanBatchAndSummary(t *testing.T) {
+	w := newWorld(t)
+	ok := w.addServer(t, "192.0.2.20:443", serverParams(), quic.ServerPolicy{}, "LiteSpeed", "a.example")
+	drop := w.addServer(t, "192.0.2.21:443", serverParams(), quic.ServerPolicy{DropAllInitials: true}, "x", "b.example")
+	rej := w.addServer(t, "192.0.2.22:443", serverParams(), quic.ServerPolicy{
+		RequireSNI: func(sni string) bool { return sni != "" },
+	}, "cloudflare", "c.example")
+	s := newScanner(w)
+	s.Timeout = 500 * time.Millisecond
+
+	targets := []Target{
+		{Addr: ok, SNI: "a.example"},
+		{Addr: ok},
+		{Addr: drop, SNI: "b.example"},
+		{Addr: rej}, // no SNI: rejected
+		{Addr: rej, SNI: "c.example"},
+	}
+	results := s.Scan(context.Background(), targets)
+	sum := Summarize(results)
+	if sum.Total != 5 {
+		t.Fatalf("total = %d", sum.Total)
+	}
+	if sum.Success != 3 || sum.Timeout != 1 || sum.CryptoError != 1 {
+		t.Errorf("summary = %+v\nresults: %+v", sum, results)
+	}
+	if sum.Rate(OutcomeSuccess) != 60 {
+		t.Errorf("success rate = %f", sum.Rate(OutcomeSuccess))
+	}
+	if sum.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.30:443", serverParams(), quic.ServerPolicy{}, "Caddy", "j.example")
+	s := newScanner(w)
+	results := s.Scan(context.Background(), []Target{{Addr: addr, SNI: "j.example", Source: "https-rr"}})
+
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("decoded %d results", len(back))
+	}
+	r := back[0]
+	if r.Outcome != OutcomeSuccess || r.Target.SNI != "j.example" || r.Target.Source != "https-rr" {
+		t.Errorf("decoded = %+v", r)
+	}
+	if r.HTTP == nil || r.HTTP.Server != "Caddy" {
+		t.Errorf("http = %+v", r.HTTP)
+	}
+	if r.TPFingerprint == "" {
+		t.Error("fingerprint lost")
+	}
+}
+
+func TestExtensionSet(t *testing.T) {
+	full := ExtensionSet(true, true)
+	if len(full) != 4 {
+		t.Errorf("full = %v", full)
+	}
+	minimal := ExtensionSet(false, false)
+	if len(minimal) != 2 {
+		t.Errorf("minimal = %v", minimal)
+	}
+	// Deterministic ordering for set comparison.
+	again := ExtensionSet(true, true)
+	for i := range full {
+		if full[i] != again[i] {
+			t.Error("extension set not deterministic")
+		}
+	}
+}
+
+func TestSelfSignedDetection(t *testing.T) {
+	w := newWorld(t)
+	ca, _ := certgen.NewCA("selfsigned-test")
+	cert, err := ca.Issue(certgen.LeafOptions{DNSNames: []string{"self.example"}, SelfSigned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := w.net.ListenUDP(netip.MustParseAddrPort("192.0.2.40:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := quic.Listen(pc, &quic.Config{
+		TLS: &tls.Config{Certificates: []tls.Certificate{cert}, NextProtos: []string{"h3"}},
+	}, quic.ServerPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(context.Background()); err != nil {
+				return
+			}
+		}
+	}()
+
+	s := newScanner(w)
+	s.SkipHTTP = true
+	res := s.ScanTarget(context.Background(), Target{Addr: netip.MustParseAddr("192.0.2.40")})
+	if res.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+	if !res.TLS.SelfSigned {
+		t.Error("self-signed certificate not flagged")
+	}
+	if res.TLS.CertValid {
+		t.Error("self-signed certificate validated")
+	}
+}

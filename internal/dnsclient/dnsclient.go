@@ -1,0 +1,194 @@
+// Package dnsclient is the bulk resolver of the tool set (the role
+// MassDNS plus a local Unbound plays in the paper): it resolves large
+// domain lists for A, AAAA and HTTPS records with a worker pool,
+// per-query timeouts and retries.
+package dnsclient
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"quicscan/internal/dnswire"
+)
+
+// Client queries a single DNS server.
+type Client struct {
+	// Server is the resolver address.
+	Server net.Addr
+	// DialPacket opens a client socket; defaults to a UDP socket for
+	// real networks, and is replaced by the simnet dialer in
+	// simulation.
+	DialPacket func() (net.PacketConn, error)
+	// Timeout per attempt (default 2s).
+	Timeout time.Duration
+	// Retries per query after the first attempt (default 2).
+	Retries int
+}
+
+func (c *Client) dial() (net.PacketConn, error) {
+	if c.DialPacket != nil {
+		return c.DialPacket()
+	}
+	return net.ListenPacket("udp", ":0")
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return 2 * time.Second
+	}
+	return c.Timeout
+}
+
+// Query performs a single DNS query with retries.
+func (c *Client) Query(ctx context.Context, name string, qtype uint16) (*dnswire.Message, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries || (c.Retries == 0 && attempt <= 2); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m, err := c.queryOnce(ctx, name, qtype)
+		if err == nil {
+			return m, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) queryOnce(ctx context.Context, name string, qtype uint16) (*dnswire.Message, error) {
+	pc, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer pc.Close()
+
+	var idb [2]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, err
+	}
+	id := uint16(idb[0])<<8 | uint16(idb[1])
+	q := &dnswire.Message{
+		Header:    dnswire.Header{ID: id, RecursionDesired: true},
+		Questions: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassINET}},
+	}
+	wire, err := q.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := pc.WriteTo(wire, c.Server); err != nil {
+		return nil, err
+	}
+
+	deadline := time.Now().Add(c.timeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	pc.SetReadDeadline(deadline)
+
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return nil, fmt.Errorf("dnsclient: query %s/%s: %w", name, dnswire.TypeName(qtype), err)
+		}
+		m, err := dnswire.Parse(buf[:n])
+		if err != nil || !m.Header.Response || m.Header.ID != id {
+			continue // stray or corrupt datagram; keep waiting
+		}
+		return m, nil
+	}
+}
+
+// Result is the outcome of one batch query.
+type Result struct {
+	Name  string
+	Type  uint16
+	RCode uint8
+	// Records are the answer records (nil on error or NXDOMAIN).
+	Records []dnswire.Record
+	Err     error
+}
+
+// ErrNXDomain marks names that do not exist.
+var ErrNXDomain = errors.New("dnsclient: NXDOMAIN")
+
+// ResolveBatch resolves every (name, type) pair using a worker pool,
+// preserving input order in the result slice.
+func (c *Client) ResolveBatch(ctx context.Context, names []string, qtype uint16, workers int) []Result {
+	if workers <= 0 {
+		workers = 64
+	}
+	results := make([]Result, len(names))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = c.resolveOne(ctx, names[i], qtype)
+			}
+		}()
+	}
+	for i := range names {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			for j := i; j < len(names); j++ {
+				results[j] = Result{Name: names[j], Type: qtype, Err: ctx.Err()}
+			}
+			close(work)
+			wg.Wait()
+			return results
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+func (c *Client) resolveOne(ctx context.Context, name string, qtype uint16) Result {
+	r := Result{Name: name, Type: qtype}
+	m, err := c.Query(ctx, name, qtype)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.RCode = m.Header.RCode
+	switch m.Header.RCode {
+	case dnswire.RCodeSuccess:
+		r.Records = m.Answers
+	case dnswire.RCodeNXDomain:
+		r.Err = ErrNXDomain
+	default:
+		r.Err = fmt.Errorf("dnsclient: rcode %d for %s", m.Header.RCode, name)
+	}
+	return r
+}
+
+// Addrs extracts the A/AAAA addresses from a result.
+func (r *Result) Addrs() []string {
+	var out []string
+	for _, rr := range r.Records {
+		if rr.Type == dnswire.TypeA || rr.Type == dnswire.TypeAAAA {
+			out = append(out, rr.Addr.String())
+		}
+	}
+	return out
+}
+
+// HTTPSRecords extracts service-mode HTTPS records (priority > 0).
+func (r *Result) HTTPSRecords() []dnswire.Record {
+	var out []dnswire.Record
+	for _, rr := range r.Records {
+		if (rr.Type == dnswire.TypeHTTPS || rr.Type == dnswire.TypeSVCB) && rr.Priority > 0 {
+			out = append(out, rr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package dnsclient
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quicscan/internal/dnswire"
+)
+
+// flakyServer answers queries but drops the first n.
+type flakyServer struct {
+	pc    net.PacketConn
+	drops atomic.Int32
+}
+
+func startFlaky(t *testing.T, dropFirst int32) *flakyServer {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &flakyServer{pc: pc}
+	s.drops.Store(dropFirst)
+	t.Cleanup(func() { pc.Close() })
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			if s.drops.Add(-1) >= 0 {
+				continue // drop
+			}
+			q, err := dnswire.Parse(buf[:n])
+			if err != nil || len(q.Questions) == 0 {
+				continue
+			}
+			resp := &dnswire.Message{
+				Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+				Questions: q.Questions,
+				Answers: []dnswire.Record{{
+					Name: q.Questions[0].Name, Type: dnswire.TypeA, TTL: 60,
+					Addr: netip.MustParseAddr("192.0.2.1"),
+				}},
+			}
+			out, _ := resp.Marshal()
+			pc.WriteTo(out, from)
+		}
+	}()
+	return s
+}
+
+func TestRetriesRecoverFromLoss(t *testing.T) {
+	s := startFlaky(t, 2) // first two queries vanish
+	cl := &Client{Server: s.pc.LocalAddr(), Timeout: 200 * time.Millisecond, Retries: 3}
+	m, err := cl.Query(context.Background(), "retry.test", dnswire.TypeA)
+	if err != nil {
+		t.Fatalf("query failed despite retries: %v", err)
+	}
+	if len(m.Answers) != 1 {
+		t.Errorf("answers = %+v", m.Answers)
+	}
+}
+
+func TestQueryTimesOutEventually(t *testing.T) {
+	s := startFlaky(t, 1<<30) // drops everything
+	cl := &Client{Server: s.pc.LocalAddr(), Timeout: 100 * time.Millisecond, Retries: 1}
+	start := time.Now()
+	_, err := cl.Query(context.Background(), "never.test", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("query succeeded against a black hole")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("retries took too long")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	s := startFlaky(t, 1<<30)
+	cl := &Client{Server: s.pc.LocalAddr(), Timeout: 5 * time.Second, Retries: 0}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := cl.Query(ctx, "cancel.test", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("query ignored context cancellation")
+	}
+}
+
+func TestMismatchedIDIgnored(t *testing.T) {
+	// A server that echoes a wrong transaction ID first, then stops:
+	// the client must not accept the forged response.
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			q, err := dnswire.Parse(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := &dnswire.Message{
+				Header:    dnswire.Header{ID: q.Header.ID ^ 0xffff, Response: true},
+				Questions: q.Questions,
+			}
+			out, _ := resp.Marshal()
+			pc.WriteTo(out, from)
+		}
+	}()
+	cl := &Client{Server: pc.LocalAddr(), Timeout: 150 * time.Millisecond, Retries: 1}
+	if _, err := cl.Query(context.Background(), "forged.test", dnswire.TypeA); err == nil {
+		t.Error("client accepted a response with the wrong transaction ID")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Records: []dnswire.Record{
+		{Type: dnswire.TypeA, Addr: netip.MustParseAddr("192.0.2.1")},
+		{Type: dnswire.TypeAAAA, Addr: netip.MustParseAddr("2001:db8::1")},
+		{Type: dnswire.TypeHTTPS, Priority: 1},
+		{Type: dnswire.TypeHTTPS, Priority: 0, Target: "alias.test"}, // alias mode: excluded
+		{Type: dnswire.TypeCNAME, Target: "x"},
+	}}
+	if got := r.Addrs(); len(got) != 2 {
+		t.Errorf("addrs = %v", got)
+	}
+	if got := r.HTTPSRecords(); len(got) != 1 {
+		t.Errorf("https records = %v", got)
+	}
+}

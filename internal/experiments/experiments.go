@@ -1,0 +1,444 @@
+// Package experiments orchestrates the full measurement campaign
+// against the simulated Internet and regenerates every table and
+// figure of the paper's evaluation: weekly stateless scans (ZMap
+// version negotiation, DNS HTTPS-RR resolution, TLS-over-TCP Alt-Svc
+// collection) for the time-series figures, and the week-18 stateful
+// QScanner campaign for the outcome, TLS-comparison, Server-header
+// and transport-parameter analyses.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"quicscan/internal/altsvc"
+	"quicscan/internal/analysis"
+	"quicscan/internal/core"
+	"quicscan/internal/dnsclient"
+	"quicscan/internal/dnswire"
+	"quicscan/internal/internet"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/tlsscan"
+	"quicscan/internal/zmapquic"
+)
+
+// Options configure a campaign.
+type Options struct {
+	// Spec is the week-18 universe specification; weekly scans derive
+	// their specs from it.
+	Spec internet.Spec
+	// Weeks to scan statelessly (default: the paper's calendar weeks
+	// 5,7,9,11,14,15,16,18).
+	Weeks []int
+	// Workers for stateful scans (default 64).
+	Workers int
+	// MaxSNITargetsPerAddr caps domains per address per source
+	// (paper's ethical cap of 100).
+	MaxSNITargetsPerAddr int
+	// SkipWeekly skips the weekly stateless series (Figures 3,5,6,7),
+	// keeping only week 18.
+	SkipWeekly bool
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Weeks) == 0 {
+		o.Weeks = []int{5, 7, 9, 11, 14, 15, 16, 18}
+	}
+	if o.Workers == 0 {
+		o.Workers = 64
+	}
+	if o.MaxSNITargetsPerAddr == 0 {
+		o.MaxSNITargetsPerAddr = 100
+	}
+	return o
+}
+
+// DNSSourceStats records one week's HTTPS-RR resolution success for
+// one input list (Figure 3).
+type DNSSourceStats struct {
+	Source   string
+	Resolved int
+	WithRR   int
+}
+
+// Rate returns the HTTPS-RR success rate in percent.
+func (s DNSSourceStats) Rate() float64 {
+	if s.Resolved == 0 {
+		return 0
+	}
+	return 100 * float64(s.WithRR) / float64(s.Resolved)
+}
+
+// WeekData is the stateless view of one calendar week.
+type WeekData struct {
+	Week int
+	V4   *analysis.Discovery
+	V6   *analysis.Discovery
+	DNS  []DNSSourceStats
+
+	ZMapProbesV4, ZMapProbesV6 int
+	ZMapBytesV4                int64
+	TLSTargets                 int
+	DomainsResolved            int
+}
+
+// Report is the complete campaign output.
+type Report struct {
+	Options Options
+
+	// Weeks in ascending order; the last one is the headline week.
+	Weeks []*WeekData
+
+	// Week-18 stateful results.
+	StatefulNoSNIV4, StatefulNoSNIV6 []core.Result
+	StatefulSNIV4, StatefulSNIV6     []core.Result
+
+	// TCP TLS results for the Table 5 comparison (same targets as the
+	// stateful scans).
+	TCPNoSNI, TCPSNI []tlsscan.Result
+
+	// Padding ablation (Section 3.1).
+	PaddedResponses, UnpaddedResponses int
+	UnpaddedTopASShare                 float64
+
+	// Universe of the headline week (kept for AS lookups).
+	Universe *internet.Universe
+}
+
+// Headline returns the last (headline) week's data.
+func (r *Report) Headline() *WeekData { return r.Weeks[len(r.Weeks)-1] }
+
+// Run executes the campaign.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	report := &Report{Options: opts}
+
+	weeks := opts.Weeks
+	if opts.SkipWeekly {
+		weeks = []int{weeks[len(weeks)-1]}
+	}
+
+	for i, week := range weeks {
+		last := i == len(weeks)-1
+		spec := opts.Spec
+		spec.Week = week
+		u := internet.Build(spec)
+		if err := u.Start(internet.StartOptions{Stateful: last, Web: true}); err != nil {
+			return nil, fmt.Errorf("experiments: starting week %d: %w", week, err)
+		}
+
+		wd, err := scanWeek(u, opts)
+		if err != nil {
+			u.Stop()
+			return nil, fmt.Errorf("experiments: week %d: %w", week, err)
+		}
+		report.Weeks = append(report.Weeks, wd)
+
+		if last {
+			if err := report.runStateful(u, wd, opts); err != nil {
+				u.Stop()
+				return nil, err
+			}
+			if err := report.runPaddingAblation(u, wd); err != nil {
+				u.Stop()
+				return nil, err
+			}
+			report.Universe = u
+			// Keep the headline universe running until Close.
+		} else {
+			u.Stop()
+		}
+	}
+	return report, nil
+}
+
+// Close releases the headline universe.
+func (r *Report) Close() {
+	if r.Universe != nil {
+		r.Universe.Stop()
+	}
+}
+
+// scanWeek runs the three stateless discovery methods.
+func scanWeek(u *internet.Universe, opts Options) (*WeekData, error) {
+	wd := &WeekData{
+		Week: u.Spec.Week,
+		V4:   analysis.NewDiscovery(),
+		V6:   analysis.NewDiscovery(),
+	}
+	ctx := context.Background()
+
+	// --- DNS scans: A/AAAA/HTTPS over every input list -----------------
+	cl := &dnsclient.Client{
+		Server:     net.UDPAddrFromAddrPort(internet.DNSAddr),
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		Timeout:    2 * time.Second,
+	}
+	resolved := make(map[string]bool)
+	var allNames []string
+	for src, names := range u.SourceLists {
+		stats := DNSSourceStats{Source: src}
+		httpsResults := cl.ResolveBatch(ctx, names, dnswire.TypeHTTPS, 64)
+		for _, res := range httpsResults {
+			if res.Err != nil {
+				continue
+			}
+			stats.Resolved++
+			rrs := res.HTTPSRecords()
+			if len(rrs) == 0 {
+				continue
+			}
+			stats.WithRR++
+			wd.V4.HTTPSRRDomains[res.Name] = true
+			wd.V6.HTTPSRRDomains[res.Name] = true
+			for _, rr := range rrs {
+				for _, p := range rr.Params {
+					for _, hint := range p.Hints {
+						if hint.Is4() {
+							wd.V4.HTTPSRR[hint] = true
+						} else {
+							wd.V6.HTTPSRR[hint] = true
+						}
+					}
+				}
+			}
+		}
+		wd.DNS = append(wd.DNS, stats)
+		for _, n := range names {
+			if !resolved[n] {
+				resolved[n] = true
+				allNames = append(allNames, n)
+			}
+		}
+	}
+	wd.DomainsResolved = len(allNames)
+
+	// A and AAAA joins.
+	for _, res := range cl.ResolveBatch(ctx, allNames, dnswire.TypeA, 64) {
+		for _, rr := range res.Records {
+			if rr.Type == dnswire.TypeA {
+				wd.V4.DomainsByAddr[rr.Addr] = append(wd.V4.DomainsByAddr[rr.Addr], res.Name)
+			}
+		}
+	}
+	for _, res := range cl.ResolveBatch(ctx, allNames, dnswire.TypeAAAA, 64) {
+		for _, rr := range res.Records {
+			if rr.Type == dnswire.TypeAAAA {
+				wd.V6.DomainsByAddr[rr.Addr.Unmap()] = append(wd.V6.DomainsByAddr[rr.Addr.Unmap()], res.Name)
+			}
+		}
+	}
+
+	// --- ZMap scans ------------------------------------------------------
+	pc, err := u.Net.DialUDP()
+	if err != nil {
+		return nil, err
+	}
+	zs := &zmapquic.Scanner{Conn: pc, Cooldown: 400 * time.Millisecond}
+	sweep := zmapquic.NewSweep(u.Spec.Seed, u.V4Prefixes())
+	done := make(chan struct{})
+	results, stats, err := zs.Scan(ctx, sweep.Addresses(done))
+	close(done)
+	pc.Close()
+	if err != nil {
+		return nil, err
+	}
+	wd.ZMapProbesV4 = stats.ProbesSent
+	wd.ZMapBytesV4 = stats.BytesSent
+	for _, r := range results {
+		wd.V4.ZMap[r.Addr] = r.Versions
+	}
+
+	// IPv6: hitlist plus AAAA-resolved addresses (Section 3.1).
+	v6set := make(map[netip.Addr]bool)
+	for _, a := range u.IPv6Hitlist {
+		v6set[a] = true
+	}
+	for a := range wd.V6.DomainsByAddr {
+		v6set[a] = true
+	}
+	v6targets := make([]netip.Addr, 0, len(v6set))
+	for a := range v6set {
+		v6targets = append(v6targets, a)
+	}
+	pc6, err := u.Net.DialUDP()
+	if err != nil {
+		return nil, err
+	}
+	zs6 := &zmapquic.Scanner{Conn: pc6, Cooldown: 400 * time.Millisecond}
+	results6, stats6, err := zs6.ScanAddrs(ctx, v6targets)
+	pc6.Close()
+	if err != nil {
+		return nil, err
+	}
+	wd.ZMapProbesV6 = stats6.ProbesSent
+	for _, r := range results6 {
+		wd.V6.ZMap[r.Addr] = r.Versions
+	}
+
+	// --- TLS-over-TCP Alt-Svc collection ----------------------------------
+	ts := &tlsscan.Scanner{
+		Dial: func(ctx context.Context, addr netip.AddrPort) (net.Conn, error) {
+			return u.Net.DialStream(addr)
+		},
+		RootCAs: u.RootCAs(),
+		Timeout: 2 * time.Second,
+		Workers: opts.Workers,
+	}
+	var tlsTargets []tlsscan.Target
+	for _, d := range u.Deployments {
+		sni := ""
+		if len(d.Domains) > 0 {
+			sni = d.Domains[0]
+		}
+		tlsTargets = append(tlsTargets, tlsscan.Target{Addr: d.Addr, SNI: sni})
+	}
+	wd.TLSTargets = len(tlsTargets)
+	for _, res := range ts.Scan(ctx, tlsTargets) {
+		if !res.OK || len(res.QUICALPNs) == 0 {
+			continue
+		}
+		disc := wd.V4
+		if res.Target.Addr.Is6() {
+			disc = wd.V6
+		}
+		disc.AltSvc[res.Target.Addr] = res.QUICALPNs
+		for _, dom := range disc.DomainsByAddr[res.Target.Addr] {
+			disc.AltSvcDomains[dom] = true
+		}
+	}
+	return wd, nil
+}
+
+// statefulTargets assembles the SNI and no-SNI target lists from the
+// three discovery sources (Section 5).
+func statefulTargets(wd *WeekData, family string, cap int) (noSNI []core.Target, sni []core.Target) {
+	disc := wd.V4
+	if family == "IPv6" {
+		disc = wd.V6
+	}
+	// No-SNI scan: every ZMap-found address that announced a
+	// QScanner-compatible version.
+	for addr, versions := range disc.ZMap {
+		if compatible(versions) {
+			noSNI = append(noSNI, core.Target{Addr: addr, Source: "zmap"})
+		}
+	}
+
+	// SNI scans: (address, domain) pairs per source.
+	addPairs := func(addr netip.Addr, source string) {
+		doms := disc.DomainsByAddr[addr]
+		if len(doms) > cap {
+			doms = doms[:cap]
+		}
+		for _, dom := range doms {
+			sni = append(sni, core.Target{Addr: addr, SNI: dom, Source: source})
+		}
+	}
+	for addr, versions := range disc.ZMap {
+		if compatible(versions) {
+			addPairs(addr, "zmap")
+		}
+	}
+	for addr := range disc.AltSvc {
+		addPairs(addr, "alt-svc")
+	}
+	for addr := range disc.HTTPSRR {
+		addPairs(addr, "https-rr")
+	}
+	return noSNI, sni
+}
+
+// compatible checks for a version the QScanner supports (drafts
+// 29/32/34 or v1), matching the paper's target filtering.
+func compatible(versions []quicwire.Version) bool {
+	for _, v := range versions {
+		switch v {
+		case quicwire.VersionDraft29, quicwire.VersionDraft32, quicwire.VersionDraft34, quicwire.Version1:
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Report) runStateful(u *internet.Universe, wd *WeekData, opts Options) error {
+	ctx := context.Background()
+	qs := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:    u.RootCAs(),
+		Timeout:    2 * time.Second,
+		Workers:    opts.Workers,
+	}
+
+	noSNI4, sni4 := statefulTargets(wd, "IPv4", opts.MaxSNITargetsPerAddr)
+	noSNI6, sni6 := statefulTargets(wd, "IPv6", opts.MaxSNITargetsPerAddr)
+
+	r.StatefulNoSNIV4 = qs.Scan(ctx, noSNI4)
+	r.StatefulSNIV4 = qs.Scan(ctx, sni4)
+	r.StatefulNoSNIV6 = qs.Scan(ctx, noSNI6)
+	r.StatefulSNIV6 = qs.Scan(ctx, sni6)
+
+	// Matching TCP scans for Table 5.
+	ts := &tlsscan.Scanner{
+		Dial: func(ctx context.Context, addr netip.AddrPort) (net.Conn, error) {
+			return u.Net.DialStream(addr)
+		},
+		RootCAs: u.RootCAs(),
+		Timeout: 2 * time.Second,
+		Workers: opts.Workers,
+	}
+	toTLS := func(ts []core.Target) []tlsscan.Target {
+		out := make([]tlsscan.Target, len(ts))
+		for i, t := range ts {
+			out[i] = tlsscan.Target{Addr: t.Addr, SNI: t.SNI}
+		}
+		return out
+	}
+	r.TCPNoSNI = ts.Scan(ctx, toTLS(append(append([]core.Target{}, noSNI4...), noSNI6...)))
+	r.TCPSNI = ts.Scan(ctx, toTLS(append(append([]core.Target{}, sni4...), sni6...)))
+	return nil
+}
+
+// runPaddingAblation reruns the v4 sweep without padding
+// (Section 3.1: only 11.3% answer, 95.4% from one AS).
+func (r *Report) runPaddingAblation(u *internet.Universe, wd *WeekData) error {
+	ctx := context.Background()
+	pc, err := u.Net.DialUDP()
+	if err != nil {
+		return err
+	}
+	defer pc.Close()
+	zs := &zmapquic.Scanner{Conn: pc, Cooldown: 400 * time.Millisecond, NoPadding: true}
+	var targets []netip.Addr
+	for addr := range wd.V4.ZMap {
+		targets = append(targets, addr)
+	}
+	results, _, err := zs.ScanAddrs(ctx, targets)
+	if err != nil {
+		return err
+	}
+	r.PaddedResponses = len(wd.V4.ZMap)
+	r.UnpaddedResponses = len(results)
+	if len(results) > 0 {
+		byAS := make(map[string]int)
+		for _, res := range results {
+			if asn, ok := u.ASDB.Lookup(res.Addr); ok {
+				byAS[fmt.Sprint(asn)]++
+			}
+		}
+		top := 0
+		for _, n := range byAS {
+			if n > top {
+				top = n
+			}
+		}
+		r.UnpaddedTopASShare = float64(top) / float64(len(results))
+	}
+	return nil
+}
+
+// H3ALPNsOf is re-exported for the campaign example.
+func H3ALPNsOf(services []altsvc.Service) []string { return altsvc.H3ALPNs(services) }

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"net/netip"
+	"strconv"
+
+	"quicscan/internal/analysis"
+	"quicscan/internal/quicwire"
+)
+
+func analysisNewDiscovery() *analysis.Discovery { return analysis.NewDiscovery() }
+func netipAddr(s string) netip.Addr             { return netip.MustParseAddr(s) }
+func strconvItoa(i int) string                  { return strconv.Itoa(i) }
+
+func compatibleVersions() []quicwire.Version {
+	return []quicwire.Version{quicwire.VersionDraft29}
+}
+
+func googleOnlyVersions() []quicwire.Version {
+	return []quicwire.Version{quicwire.VersionGoogleQ050}
+}

@@ -1,0 +1,420 @@
+package internet
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicscan/internal/core"
+	"quicscan/internal/dnsclient"
+	"quicscan/internal/dnswire"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/tlsscan"
+	"quicscan/internal/zmapquic"
+)
+
+func tinySpec() Spec {
+	return Spec{Seed: 1, Scale: 16384, ASScale: 64, DomainScale: 65536, Week: 18}
+}
+
+func TestAllTPConfigsDistinct(t *testing.T) {
+	configs := AllTPConfigs()
+	if len(configs) != 45 {
+		t.Fatalf("got %d configurations, want the paper's 45", len(configs))
+	}
+	seen := make(map[string]int)
+	for i, c := range configs {
+		fp := c.Fingerprint()
+		if j, dup := seen[fp]; dup {
+			t.Errorf("configs %d and %d share fingerprint %s", i, j, fp)
+		}
+		seen[fp] = i
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	u1 := Build(tinySpec())
+	u2 := Build(tinySpec())
+	defer u1.Net.Close()
+	defer u2.Net.Close()
+	if len(u1.Deployments) != len(u2.Deployments) {
+		t.Fatalf("deployment counts differ: %d vs %d", len(u1.Deployments), len(u2.Deployments))
+	}
+	for i := range u1.Deployments {
+		a, b := u1.Deployments[i], u2.Deployments[i]
+		if a.Addr != b.Addr || a.Behavior != b.Behavior || a.Provider != b.Provider {
+			t.Fatalf("deployment %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(u1.Domains) != len(u2.Domains) {
+		t.Errorf("domain counts differ: %d vs %d", len(u1.Domains), len(u2.Domains))
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	u := Build(tinySpec())
+	defer u.Net.Close()
+
+	byProvider := make(map[string]int)
+	v4, v6 := 0, 0
+	for _, d := range u.Deployments {
+		byProvider[d.Provider]++
+		if d.Addr.Is4() {
+			v4++
+		} else {
+			v6++
+		}
+	}
+	if byProvider["cloudflare"] == 0 || byProvider["google"] == 0 || byProvider["akamai"] == 0 {
+		t.Fatalf("providers missing: %v", byProvider)
+	}
+	// Cloudflare dominates IPv4 as in Table 2.
+	if byProvider["cloudflare"] <= byProvider["akamai"] {
+		t.Errorf("cloudflare (%d) should exceed akamai (%d)", byProvider["cloudflare"], byProvider["akamai"])
+	}
+	if v6 == 0 {
+		t.Error("no IPv6 deployments")
+	}
+	// AS lookups resolve for every deployment.
+	for _, d := range u.Deployments[:10] {
+		if _, ok := u.ASDB.Lookup(d.Addr); !ok {
+			t.Errorf("no AS for %v", d.Addr)
+		}
+	}
+	// Domains exist and QUIC domains resolve in the zone.
+	if len(u.Domains) == 0 || len(u.SourceLists) != 5 {
+		t.Fatalf("domains=%d lists=%d", len(u.Domains), len(u.SourceLists))
+	}
+	// The hitlist covers v6 deployments.
+	if len(u.IPv6Hitlist) == 0 {
+		t.Error("empty IPv6 hitlist")
+	}
+}
+
+func startedUniverse(t *testing.T, spec Spec, opts StartOptions) *Universe {
+	t.Helper()
+	u := Build(spec)
+	if err := u.Start(opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+	return u
+}
+
+func TestZMapDiscovery(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{Stateful: true})
+
+	pc, err := u.Net.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &zmapquic.Scanner{Conn: pc, Cooldown: 300 * time.Millisecond}
+
+	var want int
+	var targets []netip.Addr
+	for _, d := range u.Deployments {
+		if d.Addr.Is4() {
+			targets = append(targets, d.Addr)
+			if d.ZMapVisible {
+				want++
+			}
+		}
+	}
+	results, stats, err := sc.ScanAddrs(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != want {
+		t.Errorf("found %d, want %d ZMap-visible (probes %d)", len(results), want, stats.ProbesSent)
+	}
+	// Week 18: Cloudflare advertises Version 1 (ietf-01).
+	foundV1 := false
+	for _, r := range results {
+		d := u.ByAddr[r.Addr]
+		if d.Provider == "cloudflare" {
+			for _, v := range r.Versions {
+				if v == quicwire.Version1 {
+					foundV1 = true
+				}
+			}
+		}
+	}
+	if !foundV1 {
+		t.Error("no cloudflare address advertised ietf-01 at week 18")
+	}
+}
+
+func TestZMapWeek9NoV1(t *testing.T) {
+	spec := tinySpec()
+	spec.Week = 9
+	u := startedUniverse(t, spec, StartOptions{})
+
+	pc, _ := u.Net.DialUDP()
+	sc := &zmapquic.Scanner{Conn: pc, Cooldown: 200 * time.Millisecond}
+	var targets []netip.Addr
+	for _, d := range u.Deployments {
+		if d.Addr.Is4() && d.Provider == "cloudflare" && d.ZMapVisible {
+			targets = append(targets, d.Addr)
+		}
+	}
+	results, _, err := sc.ScanAddrs(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		for _, v := range r.Versions {
+			if v == quicwire.Version1 {
+				t.Fatal("ietf-01 advertised at week 9")
+			}
+		}
+	}
+}
+
+func TestDNSDiscovery(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{})
+
+	cl := &dnsclient.Client{
+		Server:     net.UDPAddrFromAddrPort(DNSAddr),
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		Timeout:    time.Second,
+	}
+	names := u.SourceLists["alexa"]
+	if len(names) == 0 {
+		t.Fatal("empty alexa list")
+	}
+	results := cl.ResolveBatch(context.Background(), names, dnswire.TypeHTTPS, 16)
+	withRR := 0
+	for _, r := range results {
+		if len(r.HTTPSRecords()) > 0 {
+			withRR++
+			rr := r.HTTPSRecords()[0]
+			hasALPN := false
+			for _, p := range rr.Params {
+				if p.Key == dnswire.SvcParamALPN && len(p.ALPN) > 0 {
+					hasALPN = true
+				}
+			}
+			if !hasALPN {
+				t.Errorf("HTTPS RR for %s lacks ALPN", r.Name)
+			}
+		}
+	}
+	// A records must resolve for the whole list.
+	aResults := cl.ResolveBatch(context.Background(), names, dnswire.TypeA, 16)
+	for _, r := range aResults {
+		if r.Err != nil {
+			t.Errorf("A lookup %s: %v", r.Name, r.Err)
+		}
+	}
+	t.Logf("alexa HTTPS RR rate: %d/%d", withRR, len(names))
+}
+
+func TestStatefulScanBehaviours(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{Stateful: true})
+
+	sc := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:    u.RootCAs(),
+		Timeout:    700 * time.Millisecond,
+		Workers:    32,
+	}
+
+	find := func(provider string, b Behavior) *Deployment {
+		for _, d := range u.Deployments {
+			if d.Provider == provider && d.Behavior == b && d.Addr.Is4() {
+				return d
+			}
+		}
+		return nil
+	}
+
+	if d := find("cloudflare", BehaviorGhost0x128); d != nil {
+		res := sc.ScanTarget(context.Background(), core.Target{Addr: d.Addr})
+		if res.Outcome != core.OutcomeCryptoError {
+			t.Errorf("cloudflare ghost: %s (%s)", res.Outcome, res.Error)
+		}
+	} else {
+		t.Error("no cloudflare ghost deployment generated")
+	}
+
+	if d := find("akamai", BehaviorGhostTimeout); d != nil {
+		res := sc.ScanTarget(context.Background(), core.Target{Addr: d.Addr})
+		if res.Outcome != core.OutcomeTimeout {
+			t.Errorf("akamai ghost: %s (%s)", res.Outcome, res.Error)
+		}
+	}
+
+	if d := find("google", BehaviorMismatch); d != nil {
+		res := sc.ScanTarget(context.Background(), core.Target{Addr: d.Addr})
+		if res.Outcome != core.OutcomeVersionMismatch {
+			t.Errorf("google mismatch: %s (%s)", res.Outcome, res.Error)
+		}
+	} else {
+		t.Error("no google mismatch deployment generated")
+	}
+
+	// An active deployment with one of its domains as SNI succeeds and
+	// reports the provider's transport parameter fingerprint.
+	var active *Deployment
+	for _, d := range u.Deployments {
+		if d.Behavior == BehaviorActive && len(d.Domains) > 0 && d.Addr.Is4() {
+			active = d
+			break
+		}
+	}
+	if active == nil {
+		t.Fatal("no active deployment with domains")
+	}
+	res := sc.ScanTarget(context.Background(), core.Target{Addr: active.Addr, SNI: active.Domains[0]})
+	if res.Outcome != core.OutcomeSuccess {
+		t.Fatalf("active scan: %s (%s)", res.Outcome, res.Error)
+	}
+	if res.TPFingerprint != active.TPConfig.Fingerprint() {
+		t.Errorf("fingerprint mismatch:\n got %s\nwant %s", res.TPFingerprint, active.TPConfig.Fingerprint())
+	}
+	if res.HTTP == nil || res.HTTP.Server != active.ServerHeader {
+		t.Errorf("server header: %+v (want %q)", res.HTTP, active.ServerHeader)
+	}
+	if !res.TLS.CertValid {
+		t.Errorf("certificate for %s did not validate", active.Domains[0])
+	}
+}
+
+func TestAltSvcDiscovery(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{Web: true})
+
+	sc := &tlsscan.Scanner{
+		Dial: func(ctx context.Context, addr netip.AddrPort) (net.Conn, error) {
+			return u.Net.DialStream(addr)
+		},
+		RootCAs: u.RootCAs(),
+		Timeout: 2 * time.Second,
+		Workers: 16,
+	}
+
+	var altVisible, altInvisible *Deployment
+	for _, d := range u.Deployments {
+		if !d.Addr.Is4() {
+			continue
+		}
+		if d.AltVisible && altVisible == nil && len(d.Domains) > 0 {
+			altVisible = d
+		}
+		if !d.AltVisible && altInvisible == nil {
+			altInvisible = d
+		}
+	}
+	if altVisible == nil || altInvisible == nil {
+		t.Fatal("universe lacks alt-visible/invisible deployments")
+	}
+
+	res := sc.ScanTarget(context.Background(), tlsscan.Target{Addr: altVisible.Addr, SNI: altVisible.Domains[0]})
+	if !res.OK {
+		t.Fatalf("TLS scan failed: %s", res.Error)
+	}
+	if len(res.QUICALPNs) == 0 {
+		t.Errorf("alt-visible deployment advertised no H3 ALPNs: %+v", res.HTTP)
+	}
+	res = sc.ScanTarget(context.Background(), tlsscan.Target{Addr: altInvisible.Addr})
+	if !res.OK {
+		t.Fatalf("TLS scan of invisible failed: %s", res.Error)
+	}
+	if len(res.QUICALPNs) != 0 {
+		t.Errorf("alt-invisible deployment advertised ALPNs %v", res.QUICALPNs)
+	}
+}
+
+func TestUnpaddedResponderAS(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{})
+
+	pc, _ := u.Net.DialUDP()
+	sc := &zmapquic.Scanner{Conn: pc, Cooldown: 200 * time.Millisecond, NoPadding: true}
+	var targets []netip.Addr
+	for _, d := range u.Deployments {
+		if d.Addr.Is4() && d.ZMapVisible {
+			targets = append(targets, d.Addr)
+		}
+	}
+	results, _, err := sc.ScanAddrs(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		d := u.ByAddr[r.Addr]
+		if !d.Profile.RespondToUnpadded {
+			t.Errorf("%s (%s) answered an unpadded probe", r.Addr, d.Provider)
+		}
+	}
+	if len(results) == 0 {
+		t.Error("the unpadded-responder AS did not answer")
+	}
+}
+
+func TestGoogleTCPSelfSignedNoSNI(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{Web: true})
+	sc := &tlsscan.Scanner{
+		Dial: func(ctx context.Context, addr netip.AddrPort) (net.Conn, error) {
+			return u.Net.DialStream(addr)
+		},
+		RootCAs: u.RootCAs(),
+		Timeout: 2 * time.Second,
+	}
+	var g *Deployment
+	for _, d := range u.Deployments {
+		if d.Provider == "google" && d.Addr.Is4() {
+			g = d
+			break
+		}
+	}
+	if g == nil {
+		t.Fatal("no google deployment")
+	}
+	res := sc.ScanTarget(context.Background(), tlsscan.Target{Addr: g.Addr})
+	if !res.OK {
+		t.Fatalf("google no-SNI TCP scan failed: %s", res.Error)
+	}
+	if !res.TLS.SelfSigned {
+		t.Errorf("expected self-signed error certificate, got %q", res.TLS.CertCommonName)
+	}
+	if res.TLS.ALPN != "" {
+		t.Errorf("google TCP stack negotiated ALPN %q", res.TLS.ALPN)
+	}
+}
+
+// TestFacebookRetry verifies mvfst-style address validation: scanning
+// a Facebook deployment involves a Retry round trip, which the scanner
+// records and survives.
+func TestFacebookRetry(t *testing.T) {
+	u := startedUniverse(t, tinySpec(), StartOptions{Stateful: true})
+	sc := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:    u.RootCAs(),
+		Timeout:    2 * time.Second,
+	}
+	var fb *Deployment
+	for _, d := range u.Deployments {
+		if d.Provider == "facebook" && d.Behavior == BehaviorActive && d.Addr.Is4() {
+			fb = d
+			break
+		}
+	}
+	if fb == nil {
+		t.Skip("no facebook deployment at this scale")
+	}
+	target := core.Target{Addr: fb.Addr}
+	if len(fb.Domains) > 0 {
+		target.SNI = fb.Domains[0]
+	}
+	res := sc.ScanTarget(context.Background(), target)
+	if res.Outcome != core.OutcomeSuccess {
+		t.Fatalf("facebook scan: %s (%s)", res.Outcome, res.Error)
+	}
+	if !res.Retried {
+		t.Error("scan did not record the Retry round trip")
+	}
+	if res.HTTP == nil || res.HTTP.Server != "proxygen-bolt" {
+		t.Errorf("server header = %+v", res.HTTP)
+	}
+}

@@ -1,0 +1,455 @@
+package internet
+
+import (
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sync"
+
+	"quicscan/internal/altsvc"
+	"quicscan/internal/certgen"
+	"quicscan/internal/dnsserver"
+	"quicscan/internal/h3"
+	"quicscan/internal/quic"
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+)
+
+// StartOptions select which parts of the universe run real servers.
+type StartOptions struct {
+	// Stateful instantiates QUIC listeners for deployments that can
+	// complete handshakes (active and require-SNI). Without it, only
+	// the stateless synthetic responder answers QUIC probes.
+	Stateful bool
+	// Web instantiates HTTPS (TLS-over-TCP) servers for deployments,
+	// required for Alt-Svc discovery and the Table 5 comparison.
+	Web bool
+}
+
+// servers holds the running infrastructure of a universe.
+type servers struct {
+	dns       *dnsserver.Server
+	rootCA    *certgen.CA
+	rootPool  *x509.CertPool
+	quicLs    []*quic.Listener
+	webSrvs   []*http.Server
+	certCache map[string]tls.Certificate
+	mu        sync.Mutex
+}
+
+// DNSAddr is where the universe's resolver listens.
+var DNSAddr = netip.MustParseAddrPort("198.51.0.53:53")
+
+// Start brings the universe online. It is idempotent per universe.
+func (u *Universe) Start(opts StartOptions) error {
+	if u.servers != nil {
+		return fmt.Errorf("internet: universe already started")
+	}
+	s := &servers{certCache: make(map[string]tls.Certificate)}
+	u.servers = s
+
+	ca, err := certgen.NewCA("quicscan Simulation Root CA")
+	if err != nil {
+		return err
+	}
+	s.rootCA = ca
+	s.rootPool = x509.NewCertPool()
+	ca.AddToPool(s.rootPool)
+
+	// DNS.
+	dnsPC, err := u.Net.ListenUDP(DNSAddr)
+	if err != nil {
+		return err
+	}
+	s.dns = dnsserver.Serve(dnsPC, u.Zone)
+
+	// Stateless QUIC behaviour for every address without a socket.
+	u.Net.SetSyntheticResponder(u.syntheticQUIC)
+
+	for _, d := range u.Deployments {
+		needsQUIC := opts.Stateful && (d.Behavior == BehaviorActive || d.Behavior == BehaviorRequireSNI)
+		if needsQUIC {
+			if err := u.startQUICServer(d); err != nil {
+				return fmt.Errorf("internet: QUIC server for %v: %w", d.Addr, err)
+			}
+		}
+		if opts.Web {
+			if err := u.startWebServer(d); err != nil {
+				return fmt.Errorf("internet: web server for %v: %w", d.Addr, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Stop tears everything down.
+func (u *Universe) Stop() {
+	if u.servers == nil {
+		return
+	}
+	for _, l := range u.servers.quicLs {
+		l.Close()
+	}
+	for _, srv := range u.servers.webSrvs {
+		srv.Close()
+	}
+	u.servers.dns.Close()
+	u.Net.Close()
+	u.servers = nil
+}
+
+// RootCAs returns the trust anchors scanners should validate against.
+func (u *Universe) RootCAs() *x509.CertPool { return u.servers.rootPool }
+
+// certFor returns the (cached) certificate for a deployment. Providers
+// share wildcard certificates over their domain namespaces, like real
+// CDNs; generation selects the rotation generation (Google rotates
+// weekly, Section 5.1).
+func (u *Universe) certFor(d *Deployment, generation int) (tls.Certificate, error) {
+	key := fmt.Sprintf("%s/gen%d", d.Provider, generation)
+	s := u.servers
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cert, ok := s.certCache[key]; ok {
+		return cert, nil
+	}
+	names := providerCertNames(d)
+	cert, err := s.rootCA.Issue(certgen.LeafOptions{
+		CommonName: d.Provider + ".sim",
+		DNSNames:   names,
+	})
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	s.certCache[key] = cert
+	return cert, nil
+}
+
+// providerCertNames builds the wildcard SAN list covering every name
+// the generator can attach to this provider's deployments.
+func providerCertNames(d *Deployment) []string {
+	return []string{
+		d.Provider + ".sim",
+		"*." + d.Provider + "-sites.com",
+		d.Provider + "-sites.com",
+		"*." + d.Profile.Name + "-tail.net",
+	}
+}
+
+// selfSignedFor returns the Google-style self-signed "SNI required"
+// error certificate.
+func (u *Universe) selfSignedFor(d *Deployment) (tls.Certificate, error) {
+	key := d.Provider + "/selfsigned"
+	s := u.servers
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cert, ok := s.certCache[key]; ok {
+		return cert, nil
+	}
+	cert, err := s.rootCA.Issue(certgen.LeafOptions{
+		CommonName: "invalid2.invalid",
+		DNSNames:   []string{"invalid2.invalid"},
+		SelfSigned: true,
+	})
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	s.certCache[key] = cert
+	return cert, nil
+}
+
+// acceptedVersions resolves the versions a deployment completes
+// handshakes with.
+func (d *Deployment) acceptedVersions(week int) []quicwire.Version {
+	if d.Profile.AcceptVersions != nil && d.Behavior == BehaviorMismatch {
+		return d.Profile.AcceptVersions
+	}
+	var out []quicwire.Version
+	for _, v := range d.quicVersionsForWeek(week) {
+		if v.IsIETF() {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = []quicwire.Version{quicwire.VersionDraft29}
+	}
+	return out
+}
+
+func (u *Universe) startQUICServer(d *Deployment) error {
+	cert, err := u.certFor(d, u.Spec.Week)
+	if err != nil {
+		return err
+	}
+	pc, err := u.Net.ListenUDP(netip.AddrPortFrom(d.Addr, 443))
+	if err != nil {
+		return err
+	}
+	params := d.TPConfig
+	cfg := &quic.Config{
+		TLS: &tls.Config{
+			Certificates: []tls.Certificate{cert},
+			NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"},
+		},
+		Versions:        d.acceptedVersions(u.Spec.Week),
+		TransportParams: params,
+	}
+	policy := quic.ServerPolicy{
+		AdvertisedVersions: d.quicVersionsForWeek(u.Spec.Week),
+		AcceptVersions:     d.acceptedVersions(u.Spec.Week),
+		RespondToUnpadded:  d.Profile.RespondToUnpadded,
+		UseRetry:           d.Profile.UseRetry,
+	}
+	if policy.AdvertisedVersions == nil && !d.ZMapVisible {
+		// Alt-Svc-only deployments stay invisible to forced VN.
+		policy.AdvertisedVersions = []quicwire.Version{}
+	}
+	if !d.ZMapVisible {
+		policy.AdvertisedVersions = []quicwire.Version{}
+	}
+	if d.Behavior == BehaviorRequireSNI {
+		policy.RequireSNI = func(sni string) bool { return sni != "" }
+		policy.CloseCode = quicwire.CryptoError0x128
+		policy.CloseReason = closeReasonFor(d.Provider)
+	}
+	l, err := quic.Listen(pc, cfg, policy)
+	if err != nil {
+		pc.Close()
+		return err
+	}
+	u.servers.quicLs = append(u.servers.quicLs, l)
+
+	handler := u.h3HandlerFor(d)
+	go func() {
+		for {
+			conn, err := l.Accept(context.Background())
+			if err != nil {
+				return
+			}
+			go func(conn *quic.Conn) {
+				ctx := context.Background()
+				if err := conn.HandshakeComplete(ctx); err != nil {
+					return
+				}
+				srv := &h3.Server{Handler: handler}
+				srv.Serve(ctx, conn)
+			}(conn)
+		}
+	}()
+	return nil
+}
+
+// closeReasonFor reproduces the implementation-specific 0x128 reason
+// phrases the paper observed (Cloudflare's wording most prominent,
+// Google's second).
+func closeReasonFor(provider string) string {
+	switch provider {
+	case "cloudflare", "cloudflare-london":
+		return "handshake failure: no application protocol or server name"
+	case "google", "google-edge":
+		return "TLS handshake failure (ENCRYPTION_HANDSHAKE) 40: handshake failure"
+	default:
+		return "handshake failure"
+	}
+}
+
+func (u *Universe) h3HandlerFor(d *Deployment) h3.Handler {
+	week := u.Spec.Week
+	return func(req *h3.Request) *h3.Response {
+		headers := []h3.HeaderField{
+			{Name: "content-type", Value: "text/html; charset=utf-8"},
+		}
+		if d.ServerHeader != "" {
+			headers = append(headers, h3.HeaderField{Name: "server", Value: d.ServerHeader})
+		}
+		if d.AltVisible && d.Profile.ALPNSet != nil {
+			headers = append(headers, h3.HeaderField{Name: "alt-svc", Value: altSvcValue(d.Profile.ALPNSet(week))})
+		}
+		return &h3.Response{Status: "200", Headers: headers, Body: []byte("<html>quicscan simulated deployment</html>")}
+	}
+}
+
+func altSvcValue(alpns []string) string {
+	services := make([]altsvc.Service, 0, len(alpns))
+	for _, a := range alpns {
+		services = append(services, altsvc.Service{ALPN: a, Port: 443, MaxAge: 86400})
+	}
+	return altsvc.Format(services)
+}
+
+// startWebServer runs the TLS-over-TCP HTTP/1.1 side of a deployment.
+func (u *Universe) startWebServer(d *Deployment) error {
+	cert, err := u.certFor(d, u.tcpCertGeneration(d))
+	if err != nil {
+		return err
+	}
+	l, err := u.Net.ListenStream(netip.AddrPortFrom(d.Addr, 443))
+	if err != nil {
+		return err
+	}
+
+	tcfg := &tls.Config{Certificates: []tls.Certificate{cert}}
+	if !d.Profile.TCPNoALPN {
+		tcfg.NextProtos = []string{"http/1.1"}
+	}
+	if d.Profile.TCPMaxTLS12Share > 0 && d.Index%d.Profile.TCPMaxTLS12Share == 1 {
+		tcfg.MaxVersion = tls.VersionTLS12
+	}
+	if d.Profile.TCPSelfSignedNoSNI {
+		selfSigned, err := u.selfSignedFor(d)
+		if err != nil {
+			return err
+		}
+		// Certificates would take precedence over GetCertificate, so
+		// the SNI-dependent selection must be the only source.
+		tcfg.Certificates = nil
+		tcfg.GetCertificate = func(chi *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			if chi.ServerName == "" {
+				return &selfSigned, nil
+			}
+			return &cert, nil
+		}
+	}
+
+	week := u.Spec.Week
+	srv := &http.Server{Handler: http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if d.ServerHeader != "" {
+			rw.Header().Set("Server", d.ServerHeader)
+		}
+		if d.AltVisible && d.Profile.ALPNSet != nil {
+			rw.Header().Set("Alt-Svc", altSvcValue(d.Profile.ALPNSet(week)))
+		}
+		rw.WriteHeader(200)
+	})}
+	u.servers.webSrvs = append(u.servers.webSrvs, srv)
+	go srv.Serve(tls.NewListener(l, tcfg))
+	return nil
+}
+
+// tcpCertGeneration: Google's weekly rotation means the TCP scan can
+// observe a different certificate generation than the QUIC scan for a
+// share of targets (Section 5.1).
+func (u *Universe) tcpCertGeneration(d *Deployment) int {
+	if d.Profile.CertRotationWeekly && d.Index%10 == 0 {
+		return u.Spec.Week - 1
+	}
+	return u.Spec.Week
+}
+
+// ---- stateless synthetic behaviour -------------------------------------
+
+// syntheticQUIC answers datagrams for addresses without sockets:
+// version negotiation for ghosts and mismatching deployments, and
+// stateless CONNECTION_CLOSE(0x128) Initials for ghost-0x128
+// addresses. Everything else is silence.
+func (u *Universe) syntheticQUIC(dst netip.AddrPort, payload []byte) [][]byte {
+	if dst.Port() != 443 {
+		return nil
+	}
+	d := u.ByAddr[dst.Addr()]
+	if d == nil || !d.ZMapVisible {
+		return nil
+	}
+	hdr, _, err := quicwire.ParseLongHeader(payload)
+	if err != nil || hdr.Type != quicwire.PacketInitial {
+		return nil
+	}
+	advertised := d.quicVersionsForWeek(u.Spec.Week)
+	if len(advertised) == 0 {
+		return nil
+	}
+	if len(payload) < quicwire.MinInitialSize && !d.Profile.RespondToUnpadded {
+		return nil
+	}
+
+	accepted := d.acceptedVersions(u.Spec.Week)
+	offeredAccepted := false
+	for _, v := range accepted {
+		if v == hdr.Version {
+			offeredAccepted = true
+			break
+		}
+	}
+
+	switch {
+	case hdr.Version.IsForcedNegotiation():
+		return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, payload[0], advertised)}
+	case !offeredAccepted:
+		// A version the deployment does not really accept: respond
+		// with the *accepted* set. For Google's roll-out anomaly this
+		// list lacks the advertised IETF drafts, so the scanner
+		// records a version mismatch.
+		return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, payload[0], accepted)}
+	}
+
+	// The offered version is acceptable; behaviour now depends on the
+	// deployment class.
+	switch d.Behavior {
+	case BehaviorGhostTimeout:
+		return nil // middlebox answered VN; end host drops Initials
+	case BehaviorGhost0x128, BehaviorRequireSNI:
+		// Require-SNI ghosts without a stateful server also reject.
+		pkt, err := statelessClose(hdr, quicwire.CryptoError0x128, closeReasonFor(d.Provider))
+		if err != nil {
+			return nil
+		}
+		return [][]byte{pkt}
+	case BehaviorMismatch:
+		return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, payload[0], accepted)}
+	default:
+		// Active deployment without a stateful server (stateless-only
+		// start): drop, which the scanner reports as timeout.
+		return nil
+	}
+}
+
+// statelessClose builds a server Initial carrying only
+// CONNECTION_CLOSE, computable from the client's header alone
+// (RFC 9000, Section 10.3 pattern used by real servers to refuse
+// connections cheaply).
+func statelessClose(hdr *quicwire.Header, code quicwire.TransportError, reason string) ([]byte, error) {
+	ik, err := quiccrypto.NewInitialKeys(hdr.Version, hdr.DstID)
+	if err != nil {
+		return nil, err
+	}
+	keys := ik.Server
+	var payload []byte
+	payload = (&quicwire.ConnectionCloseFrame{ErrorCode: uint64(code), ReasonPhrase: reason}).Append(payload)
+	for len(payload) < 3 {
+		payload = append(payload, 0)
+	}
+	respHdr := &quicwire.Header{
+		Type:            quicwire.PacketInitial,
+		Version:         hdr.Version,
+		DstID:           hdr.SrcID,
+		SrcID:           quicwire.NewRandomConnID(8),
+		PacketNumber:    0,
+		PacketNumberLen: 1,
+	}
+	pkt, pnOff := quicwire.AppendLongHeader(nil, respHdr, len(payload)+16)
+	pkt = append(pkt, payload...)
+	return keys.SealPacket(pkt, pnOff, 1, 0), nil
+}
+
+// WebServerHeaderFor exposes the Server header a deployment reports,
+// used by analysis tests.
+func (u *Universe) WebServerHeaderFor(addr netip.Addr) string {
+	if d := u.ByAddr[addr]; d != nil {
+		return d.ServerHeader
+	}
+	return ""
+}
+
+// DomainsOf lists a provider's domains (analysis helper).
+func (u *Universe) DomainsOf(provider string) []string {
+	var out []string
+	for _, dom := range u.Domains {
+		if dom.Provider == provider {
+			out = append(out, dom.Name)
+		}
+	}
+	return out
+}

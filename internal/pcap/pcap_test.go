@@ -1,0 +1,141 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestGlobalHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header length %d", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicMicroseconds {
+		t.Errorf("magic = %#x", binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	if binary.LittleEndian.Uint32(hdr[20:]) != linkTypeRaw {
+		t.Errorf("linktype = %d", binary.LittleEndian.Uint32(hdr[20:]))
+	}
+}
+
+func TestWriteUDPv4Record(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddrPort("198.18.0.1:54321")
+	dst := netip.MustParseAddrPort("192.0.2.1:443")
+	payload := []byte("quic-probe-payload")
+	ts := time.Unix(1620000000, 123456000)
+	if err := w.WriteUDP(ts, src, dst, payload); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	rec := buf.Bytes()[24:]
+	if binary.LittleEndian.Uint32(rec[0:]) != 1620000000 {
+		t.Errorf("ts sec = %d", binary.LittleEndian.Uint32(rec[0:]))
+	}
+	if binary.LittleEndian.Uint32(rec[4:]) != 123456 {
+		t.Errorf("ts usec = %d", binary.LittleEndian.Uint32(rec[4:]))
+	}
+	caplen := binary.LittleEndian.Uint32(rec[8:])
+	pkt := rec[16 : 16+caplen]
+	// IPv4 header sanity.
+	if pkt[0] != 0x45 || pkt[9] != 17 {
+		t.Errorf("ip header: version/ihl=%#x proto=%d", pkt[0], pkt[9])
+	}
+	if got := binary.BigEndian.Uint16(pkt[2:]); int(got) != 20+8+len(payload) {
+		t.Errorf("total length = %d", got)
+	}
+	if !bytes.Equal(pkt[12:16], []byte{198, 18, 0, 1}) || !bytes.Equal(pkt[16:20], []byte{192, 0, 2, 1}) {
+		t.Error("addresses wrong")
+	}
+	// The IP checksum must validate (sum over header including the
+	// stored checksum is 0xffff).
+	var sum uint32
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pkt[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Errorf("ip checksum does not validate: %#x", sum)
+	}
+	// UDP ports and payload.
+	udp := pkt[20:]
+	if binary.BigEndian.Uint16(udp[0:]) != 54321 || binary.BigEndian.Uint16(udp[2:]) != 443 {
+		t.Error("ports wrong")
+	}
+	if !bytes.Equal(udp[8:], payload) {
+		t.Error("payload wrong")
+	}
+}
+
+func TestWriteUDPv6Record(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	src := netip.MustParseAddrPort("[2001:db8::1]:1234")
+	dst := netip.MustParseAddrPort("[2001:db8::2]:443")
+	if err := w.WriteUDP(time.Now(), src, dst, []byte("v6")); err != nil {
+		t.Fatal(err)
+	}
+	rec := buf.Bytes()[24:]
+	caplen := binary.LittleEndian.Uint32(rec[8:])
+	pkt := rec[16 : 16+caplen]
+	if pkt[0]>>4 != 6 || pkt[6] != 17 {
+		t.Errorf("v6 header: %#x proto=%d", pkt[0], pkt[6])
+	}
+	if int(binary.BigEndian.Uint16(pkt[4:])) != 8+2 {
+		t.Errorf("payload length = %d", binary.BigEndian.Uint16(pkt[4:]))
+	}
+}
+
+func TestFamilyMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	err := w.WriteUDP(time.Now(),
+		netip.MustParseAddrPort("192.0.2.1:1"),
+		netip.MustParseAddrPort("[2001:db8::1]:2"), []byte("x"))
+	if err == nil {
+		t.Error("family mismatch accepted")
+	}
+}
+
+func TestMultipleRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	src := netip.MustParseAddrPort("10.0.0.1:1000")
+	dst := netip.MustParseAddrPort("10.0.0.2:443")
+	for i := 0; i < 5; i++ {
+		if err := w.WriteUDP(time.Now(), src, dst, bytes.Repeat([]byte{byte(i)}, 10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Errorf("count = %d", w.Count())
+	}
+	// Walk the records.
+	rec := buf.Bytes()[24:]
+	for i := 0; i < 5; i++ {
+		if len(rec) < 16 {
+			t.Fatalf("record %d truncated", i)
+		}
+		caplen := binary.LittleEndian.Uint32(rec[8:])
+		rec = rec[16+caplen:]
+	}
+	if len(rec) != 0 {
+		t.Errorf("%d trailing bytes", len(rec))
+	}
+}

@@ -1,0 +1,151 @@
+package quic
+
+import (
+	"quicscan/internal/quicwire"
+)
+
+// ackManager tracks received packet numbers in one packet number space
+// and produces ACK frames.
+type ackManager struct {
+	ranges     []quicwire.AckRange // sorted descending by Largest
+	largest    int64               // largest received, -1 if none
+	ackPending bool                // an ack-eliciting packet awaits acknowledgment
+	ackedUpTo  int64               // everything at or below is known delivered (unused ranges pruned)
+}
+
+func newAckManager() *ackManager {
+	return &ackManager{largest: -1, ackedUpTo: -1}
+}
+
+// onReceived records an incoming packet. ackEliciting marks whether
+// the packet contained ack-eliciting frames. It reports whether the
+// packet is a duplicate.
+func (m *ackManager) onReceived(pn uint64, ackEliciting bool) (duplicate bool) {
+	for i, r := range m.ranges {
+		if pn >= r.Smallest && pn <= r.Largest {
+			return true
+		}
+		// Extend an adjacent range.
+		if pn+1 == r.Smallest {
+			m.ranges[i].Smallest = pn
+			m.mergeFrom(i)
+			m.finish(pn, ackEliciting)
+			return false
+		}
+		if pn == r.Largest+1 {
+			m.ranges[i].Largest = pn
+			if i > 0 {
+				m.mergeFrom(i - 1)
+			}
+			m.finish(pn, ackEliciting)
+			return false
+		}
+	}
+	// Insert a new range, keeping descending order.
+	idx := len(m.ranges)
+	for i, r := range m.ranges {
+		if pn > r.Largest {
+			idx = i
+			break
+		}
+	}
+	m.ranges = append(m.ranges, quicwire.AckRange{})
+	copy(m.ranges[idx+1:], m.ranges[idx:])
+	m.ranges[idx] = quicwire.AckRange{Smallest: pn, Largest: pn}
+	m.finish(pn, ackEliciting)
+	return false
+}
+
+// mergeFrom merges ranges[i] with ranges[i+1] if they became adjacent.
+func (m *ackManager) mergeFrom(i int) {
+	if i+1 < len(m.ranges) && m.ranges[i].Smallest <= m.ranges[i+1].Largest+1 {
+		m.ranges[i].Smallest = m.ranges[i+1].Smallest
+		m.ranges = append(m.ranges[:i+1], m.ranges[i+2:]...)
+	}
+}
+
+func (m *ackManager) finish(pn uint64, ackEliciting bool) {
+	if int64(pn) > m.largest {
+		m.largest = int64(pn)
+	}
+	if ackEliciting {
+		m.ackPending = true
+	}
+	// Bound state: keep at most 32 ranges (oldest dropped).
+	if len(m.ranges) > 32 {
+		m.ranges = m.ranges[:32]
+	}
+}
+
+// needsAck reports whether an ACK frame should be sent.
+func (m *ackManager) needsAck() bool { return m.ackPending }
+
+// buildAck returns an ACK frame covering everything received, or nil
+// if nothing has been received. Calling it clears the pending flag.
+func (m *ackManager) buildAck() *quicwire.AckFrame {
+	if len(m.ranges) == 0 {
+		return nil
+	}
+	m.ackPending = false
+	f := &quicwire.AckFrame{DelayRaw: 0}
+	f.Ranges = append(f.Ranges, m.ranges...)
+	return f
+}
+
+// sentPacket records an outgoing ack-eliciting packet for loss
+// recovery.
+type sentPacket struct {
+	pn     uint64
+	frames []quicwire.Frame // ack-eliciting frames to retransmit on loss
+}
+
+// lossState tracks unacknowledged packets in one space.
+type lossState struct {
+	sent         []sentPacket
+	largestAcked int64
+}
+
+func newLossState() *lossState { return &lossState{largestAcked: -1} }
+
+func (l *lossState) onSent(pn uint64, frames []quicwire.Frame) {
+	var retrans []quicwire.Frame
+	for _, f := range frames {
+		if quicwire.AckEliciting(f) {
+			retrans = append(retrans, f)
+		}
+	}
+	if len(retrans) > 0 {
+		l.sent = append(l.sent, sentPacket{pn: pn, frames: retrans})
+	}
+}
+
+// onAck removes acknowledged packets and returns whether anything new
+// was acknowledged.
+func (l *lossState) onAck(ack *quicwire.AckFrame) bool {
+	if int64(ack.Ranges[0].Largest) > l.largestAcked {
+		l.largestAcked = int64(ack.Ranges[0].Largest)
+	}
+	anyNew := false
+	rest := l.sent[:0]
+	for _, sp := range l.sent {
+		if ack.Acks(sp.pn) {
+			anyNew = true
+		} else {
+			rest = append(rest, sp)
+		}
+	}
+	l.sent = rest
+	return anyNew
+}
+
+// unacked returns all frames awaiting acknowledgment, for PTO
+// retransmission, and clears the sent list (the frames will be
+// re-recorded when re-sent).
+func (l *lossState) unacked() []quicwire.Frame {
+	var frames []quicwire.Frame
+	for _, sp := range l.sent {
+		frames = append(frames, sp.frames...)
+	}
+	l.sent = l.sent[:0]
+	return frames
+}

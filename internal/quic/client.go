@@ -1,0 +1,151 @@
+package quic
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"net"
+	"time"
+
+	"quicscan/internal/quicwire"
+)
+
+// Dial establishes a QUIC connection over pconn to remote, completing
+// the TLS handshake before returning. The PacketConn is owned by the
+// returned connection and closed with it.
+//
+// If the server answers with a Version Negotiation packet, Dial
+// retries once with the best mutually supported version; if there is
+// none it returns a *VersionNegotiationError — the paper's "Version
+// Mismatch" outcome.
+func Dial(ctx context.Context, pconn net.PacketConn, remote net.Addr, config *Config) (*Conn, error) {
+	cfg := config.clone()
+	ctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout)
+	defer cancel()
+
+	version := cfg.Versions[0]
+	for attempt := 0; ; attempt++ {
+		conn, err := dialVersion(ctx, pconn, remote, cfg, version)
+		if err == nil {
+			return conn, nil
+		}
+		var vne *VersionNegotiationError
+		if attempt == 0 && errors.As(err, &vne) {
+			if v, ok := chooseVersion(cfg.Versions, vne.Server); ok {
+				version = v
+				continue
+			}
+		}
+		return nil, err
+	}
+}
+
+// chooseVersion picks the client's most preferred version the server
+// supports.
+func chooseVersion(offered, server []quicwire.Version) (quicwire.Version, bool) {
+	for _, o := range offered {
+		for _, s := range server {
+			if o == s {
+				return o, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func dialVersion(ctx context.Context, pconn net.PacketConn, remote net.Addr, cfg *Config, version quicwire.Version) (*Conn, error) {
+	c := newConn(cfg, true)
+	c.pconn = pconn
+	c.remote = remote
+	c.version = version
+	c.dcid = quicwire.NewRandomConnID(8)
+	c.origDcid = c.dcid
+	c.scid = quicwire.NewRandomConnID(8)
+	c.sendFunc = func(b []byte) error {
+		_, err := pconn.WriteTo(b, remote)
+		return err
+	}
+	if err := c.setupInitialKeys(); err != nil {
+		return nil, err
+	}
+
+	tlsCfg := cfg.TLS
+	if tlsCfg == nil {
+		tlsCfg = &tls.Config{InsecureSkipVerify: true, NextProtos: []string{"h3"}}
+	}
+	c.tls = tls.QUICClient(&tls.QUICConfig{TLSConfig: forTLS13(tlsCfg)})
+	c.tls.SetTransportParameters(localParams(cfg, c.scid))
+
+	c.mu.Lock()
+	if err := c.tls.Start(ctx); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if err := c.drainTLSEvents(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.sendPendingLocked()
+	c.mu.Unlock()
+
+	c.readDone = make(chan struct{})
+	go c.readLoop()
+
+	if err := c.waitHandshake(ctx); err != nil {
+		c.abort(err)
+		// Wait for the read loop to release the socket, then reset the
+		// deadline so Dial can retry on it after version negotiation.
+		<-c.readDone
+		pconn.SetReadDeadline(time.Time{})
+		return nil, err
+	}
+	return c, nil
+}
+
+// forTLS13 clones a TLS config and pins the version to 1.3, which QUIC
+// mandates (RFC 9001, Section 4.2).
+func forTLS13(cfg *tls.Config) *tls.Config {
+	out := cfg.Clone()
+	out.MinVersion = tls.VersionTLS13
+	return out
+}
+
+// localParams marshals the configured transport parameters with the
+// connection's source ID attached, without mutating the Config.
+func localParams(cfg *Config, scid quicwire.ConnID) []byte {
+	p := cfg.TransportParams
+	p.InitialSourceConnectionID = scid
+	p.HasInitialSourceConnectionID = true
+	return p.Marshal()
+}
+
+// readLoop receives datagrams for a client connection.
+func (c *Conn) readLoop() {
+	defer close(c.readDone)
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+		n, _, err := c.pconn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-c.closed:
+				return // deadline poke from closeLocked
+			default:
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				c.abort(ErrHandshakeTimeout)
+			} else {
+				c.abort(err)
+			}
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		c.handleDatagram(pkt)
+	}
+}

@@ -1,0 +1,145 @@
+// Package quic implements a QUIC transport (RFC 9000/9001 and the late
+// IETF drafts 29/32/34) sufficient for Internet measurement: complete
+// client and server handshakes on top of crypto/tls's QUIC support,
+// version negotiation, transport parameter exchange, bidirectional and
+// unidirectional streams, and connection close semantics — the
+// substrate beneath the stateful QScanner and the simulated
+// deployments it scans.
+//
+// The implementation favours clarity and measurement fidelity over raw
+// transfer performance: flow control windows are honoured from
+// transport parameters but congestion control is a simple PTO-based
+// retransmission scheme, which is ample for handshakes and small
+// HTTP/3 exchanges.
+package quic
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"time"
+
+	"quicscan/internal/quicwire"
+	"quicscan/internal/transportparams"
+)
+
+// Config configures a client or server connection.
+type Config struct {
+	// TLS is the TLS configuration. NextProtos must be set (QUIC
+	// requires ALPN).
+	TLS *tls.Config
+
+	// Versions are the QUIC versions to offer or accept, most
+	// preferred first. Defaults to [draft-29, draft-32, draft-34,
+	// version 1] — the QScanner-compatible set from the paper's
+	// Section 3.4.
+	Versions []quicwire.Version
+
+	// TransportParams are the local transport parameters.
+	TransportParams transportparams.Parameters
+
+	// HandshakeTimeout bounds the entire handshake (default 5s).
+	HandshakeTimeout time.Duration
+
+	// MaxIdleTimeout tears down connections with no activity
+	// (default 30s).
+	MaxIdleTimeout time.Duration
+
+	// PTO is the retransmission timeout (default 150ms).
+	PTO time.Duration
+
+	// MaxDatagramSize caps outgoing UDP payloads (default 1350).
+	MaxDatagramSize int
+}
+
+// ScannerVersions is the version set supported by the QScanner in the
+// paper's measurement window: drafts 29, 32, 34 (and version 1 after
+// the RFC 9000 release).
+func ScannerVersions() []quicwire.Version {
+	return []quicwire.Version{
+		quicwire.VersionDraft29,
+		quicwire.VersionDraft32,
+		quicwire.VersionDraft34,
+		quicwire.Version1,
+	}
+}
+
+func (c *Config) clone() *Config {
+	out := *c
+	if out.Versions == nil {
+		out.Versions = ScannerVersions()
+	}
+	if out.HandshakeTimeout == 0 {
+		out.HandshakeTimeout = 5 * time.Second
+	}
+	if out.MaxIdleTimeout == 0 {
+		out.MaxIdleTimeout = 30 * time.Second
+	}
+	if out.PTO == 0 {
+		out.PTO = 150 * time.Millisecond
+	}
+	if out.MaxDatagramSize == 0 {
+		out.MaxDatagramSize = 1350
+	}
+	if out.TransportParams.MaxUDPPayloadSize == 0 {
+		out.TransportParams = DefaultClientParams()
+	}
+	return &out
+}
+
+// DefaultClientParams returns sensible client transport parameters for
+// scanning: generous receive windows so servers are never blocked.
+func DefaultClientParams() transportparams.Parameters {
+	p := transportparams.Default()
+	p.MaxIdleTimeout = 30000
+	p.InitialMaxData = 1 << 22
+	p.InitialMaxStreamDataBidiLocal = 1 << 20
+	p.InitialMaxStreamDataBidiRemote = 1 << 20
+	p.InitialMaxStreamDataUni = 1 << 20
+	p.InitialMaxStreamsBidi = 16
+	p.InitialMaxStreamsUni = 16
+	p.MaxUDPPayloadSize = 1452
+	return p
+}
+
+// VersionNegotiationError is returned by Dial when the server's
+// Version Negotiation packet shares no version with the client's
+// offer — the paper's "Version Mismatch" outcome (Table 3).
+type VersionNegotiationError struct {
+	Offered []quicwire.Version
+	Server  []quicwire.Version
+}
+
+func (e *VersionNegotiationError) Error() string {
+	return fmt.Sprintf("quic: version mismatch: offered %v, server supports %v", e.Offered, e.Server)
+}
+
+// ErrHandshakeTimeout is returned when the handshake deadline expires,
+// the paper's "Timeout" outcome.
+var ErrHandshakeTimeout = errors.New("quic: handshake timeout")
+
+// ErrConnectionClosed is returned for operations on a closed
+// connection.
+var ErrConnectionClosed = errors.New("quic: connection closed")
+
+// ErrIdleTimeout is the error a connection dies with after the
+// negotiated max_idle_timeout elapses without traffic (RFC 9000,
+// Section 10.1).
+var ErrIdleTimeout = errors.New("quic: connection idle timeout")
+
+// Stats captures measurement-relevant facts about a connection
+// attempt.
+type Stats struct {
+	// VersionNegotiation is true if the server replied with a Version
+	// Negotiation packet during the handshake.
+	VersionNegotiation bool
+	// ServerVersions is the version list from that packet.
+	ServerVersions []quicwire.Version
+	// Retried is true if the server sent a Retry packet.
+	Retried bool
+	// HandshakeDuration is the time from first Initial to handshake
+	// completion.
+	HandshakeDuration time.Duration
+	// BytesSent and BytesReceived count UDP payload bytes.
+	BytesSent, BytesReceived int
+}

@@ -1,0 +1,907 @@
+package quic
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/transportparams"
+)
+
+// space indices.
+const (
+	spaceInitial = iota
+	spaceHandshake
+	spaceApp
+	numSpaces
+)
+
+func levelFor(idx int) tls.QUICEncryptionLevel {
+	switch idx {
+	case spaceInitial:
+		return tls.QUICEncryptionLevelInitial
+	case spaceHandshake:
+		return tls.QUICEncryptionLevelHandshake
+	default:
+		return tls.QUICEncryptionLevelApplication
+	}
+}
+
+func spaceFor(level tls.QUICEncryptionLevel) int {
+	switch level {
+	case tls.QUICEncryptionLevelInitial:
+		return spaceInitial
+	case tls.QUICEncryptionLevelHandshake:
+		return spaceHandshake
+	default:
+		return spaceApp
+	}
+}
+
+// pnSpace is the per-encryption-level packet state.
+type pnSpace struct {
+	sendKeys *quiccrypto.Keys
+	recvKeys *quiccrypto.Keys
+	suite    uint16
+
+	nextPN    uint64
+	largestRx int64 // largest received packet number
+
+	acks   *ackManager
+	loss   *lossState
+	crypto cryptoAssembler
+
+	outCrypto    []byte           // pending TLS bytes to send at this level
+	cryptoOffset uint64           // send offset of the first outCrypto byte
+	outFrames    []quicwire.Frame // pending non-crypto frames
+
+	// Key update state (1-RTT space only, RFC 9001 Section 6).
+	sendPhase bool
+	nextRecv  *quiccrypto.Keys // pre-derived next-generation read keys
+	// updateInitiated marks that this endpoint started the pending
+	// update, so the peer's flipped packets must not advance the send
+	// keys a second time.
+	updateInitiated bool
+
+	dropped bool // keys discarded
+}
+
+func newPNSpace() *pnSpace {
+	return &pnSpace{acks: newAckManager(), loss: newLossState(), largestRx: -1}
+}
+
+// Conn is a QUIC connection. All exported methods are safe for
+// concurrent use.
+type Conn struct {
+	cfg      *Config
+	isClient bool
+
+	pconn  net.PacketConn
+	remote net.Addr
+	// sendFunc abstracts the transmit path so server connections can
+	// share the listener's socket.
+	sendFunc func(b []byte) error
+
+	mu     sync.Mutex
+	spaces [numSpaces]*pnSpace
+	tls    *tls.QUICConn
+
+	version  quicwire.Version
+	dcid     quicwire.ConnID // destination: peer's current ID
+	scid     quicwire.ConnID // our source ID
+	origDcid quicwire.ConnID // client's first destination ID (initial keys)
+
+	peerParams     transportparams.Parameters
+	havePeerParams bool
+
+	handshakeDone bool
+	handshakeCh   chan struct{}
+	hsErr         error
+
+	streams  map[uint64]*Stream
+	acceptCh chan *Stream
+	nextBidi uint64
+	nextUni  uint64
+
+	stats       Stats
+	started     time.Time
+	retryToken  []byte
+	dcidUpdated bool // client switched to the server-chosen DCID
+	peerConnIDs []peerConnID
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	readDone  chan struct{} // closed when the client read loop exits
+
+	ptoTimer  *time.Timer
+	ptoCount  int
+	idleTimer *time.Timer
+
+	// onHandshakeDone, used by the server to install post-handshake
+	// behaviour (HANDSHAKE_DONE frame).
+	onHandshakeDone func()
+
+	// forceCloseCode, when non-zero, overrides the CONNECTION_CLOSE
+	// error code chosen for TLS failures. The simulated deployments
+	// use it to reproduce provider-specific close behaviour such as
+	// the generic crypto error 0x128. Guarded by policyMu, not mu: it
+	// is written from TLS callbacks that run while mu is held.
+	policyMu         sync.Mutex
+	forceCloseCode   quicwire.TransportError
+	forceCloseReason string
+}
+
+// peerConnID is an alternate connection ID issued by the peer via
+// NEW_CONNECTION_ID, with its stateless reset token.
+type peerConnID struct {
+	seq   uint64
+	id    quicwire.ConnID
+	token [16]byte
+}
+
+// PeerConnectionIDs returns the alternate connection IDs the peer has
+// issued (RFC 9000, Section 5.1.1).
+func (c *Conn) PeerConnectionIDs() []quicwire.ConnID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]quicwire.ConnID, len(c.peerConnIDs))
+	for i, p := range c.peerConnIDs {
+		out[i] = p.id
+	}
+	return out
+}
+
+// setForcedClose records a policy-mandated close code. Safe to call
+// from TLS callbacks.
+func (c *Conn) setForcedClose(code quicwire.TransportError, reason string) {
+	c.policyMu.Lock()
+	c.forceCloseCode = code
+	c.forceCloseReason = reason
+	c.policyMu.Unlock()
+}
+
+func (c *Conn) forcedClose() (quicwire.TransportError, string) {
+	c.policyMu.Lock()
+	defer c.policyMu.Unlock()
+	return c.forceCloseCode, c.forceCloseReason
+}
+
+func newConn(cfg *Config, isClient bool) *Conn {
+	c := &Conn{
+		cfg:         cfg,
+		isClient:    isClient,
+		handshakeCh: make(chan struct{}),
+		streams:     make(map[uint64]*Stream),
+		acceptCh:    make(chan *Stream, 16),
+		closed:      make(chan struct{}),
+		started:     time.Now(),
+	}
+	for i := range c.spaces {
+		c.spaces[i] = newPNSpace()
+	}
+	if isClient {
+		c.nextBidi, c.nextUni = 0, 2
+	} else {
+		c.nextBidi, c.nextUni = 1, 3
+	}
+	return c
+}
+
+// ConnectionState returns the TLS state of the connection.
+func (c *Conn) ConnectionState() tls.ConnectionState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tls.ConnectionState()
+}
+
+// PeerTransportParameters returns the transport parameters the peer
+// sent, and whether they have been received.
+func (c *Conn) PeerTransportParameters() (transportparams.Parameters, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peerParams, c.havePeerParams
+}
+
+// Version returns the negotiated QUIC version.
+func (c *Conn) Version() quicwire.Version {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Stats returns measurement statistics for the connection.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// setupInitialKeys derives Initial packet protection from origDcid.
+func (c *Conn) setupInitialKeys() error {
+	ik, err := quiccrypto.NewInitialKeys(c.version, c.origDcid)
+	if err != nil {
+		return err
+	}
+	sp := c.spaces[spaceInitial]
+	if c.isClient {
+		sp.sendKeys, sp.recvKeys = ik.Client, ik.Server
+	} else {
+		sp.sendKeys, sp.recvKeys = ik.Server, ik.Client
+	}
+	return nil
+}
+
+// drainTLSEvents processes pending crypto/tls events. Must be called
+// with c.mu held.
+func (c *Conn) drainTLSEvents() error {
+	for {
+		ev := c.tls.NextEvent()
+		switch ev.Kind {
+		case tls.QUICNoEvent:
+			return nil
+		case tls.QUICSetReadSecret:
+			keys, err := quiccrypto.NewKeys(ev.Suite, ev.Data)
+			if err != nil {
+				return err
+			}
+			c.spaces[spaceFor(ev.Level)].recvKeys = keys
+			c.spaces[spaceFor(ev.Level)].suite = ev.Suite
+		case tls.QUICSetWriteSecret:
+			keys, err := quiccrypto.NewKeys(ev.Suite, ev.Data)
+			if err != nil {
+				return err
+			}
+			c.spaces[spaceFor(ev.Level)].sendKeys = keys
+		case tls.QUICWriteData:
+			sp := c.spaces[spaceFor(ev.Level)]
+			sp.outCrypto = append(sp.outCrypto, ev.Data...)
+		case tls.QUICTransportParameters:
+			params, err := transportparams.Unmarshal(ev.Data)
+			if err != nil {
+				return &quicwire.TransportErrorError{Code: quicwire.TransportParameterError, Reason: err.Error()}
+			}
+			c.peerParams = params
+			c.havePeerParams = true
+		case tls.QUICTransportParametersRequired:
+			c.tls.SetTransportParameters(c.cfg.TransportParams.Marshal())
+		case tls.QUICHandshakeDone:
+			c.completeHandshakeLocked()
+		case tls.QUICRejectedEarlyData, tls.QUICResumeSession, tls.QUICStoreSession:
+			// 0-RTT and resumption are out of scope for scanning.
+		}
+	}
+}
+
+func (c *Conn) completeHandshakeLocked() {
+	if c.handshakeDone {
+		return
+	}
+	c.handshakeDone = true
+	c.stats.HandshakeDuration = time.Since(c.started)
+	c.armIdleTimerLocked()
+	// A client that finished TLS has 1-RTT keys and never sends at the
+	// Initial level again (RFC 9001, Section 4.9.1).
+	if c.isClient {
+		c.spaces[spaceInitial].dropped = true
+	}
+	if c.onHandshakeDone != nil {
+		c.onHandshakeDone()
+	}
+	close(c.handshakeCh)
+}
+
+// waitHandshake blocks until the handshake completes, fails, or the
+// context expires.
+func (c *Conn) waitHandshake(ctx context.Context) error {
+	select {
+	case <-c.handshakeCh:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.hsErr
+	case <-c.closed:
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.hsErr != nil {
+			return c.hsErr
+		}
+		return c.closeErr
+	case <-ctx.Done():
+		c.abort(ErrHandshakeTimeout)
+		return ErrHandshakeTimeout
+	}
+}
+
+// idleTimeoutLocked resolves the effective idle timeout: the minimum
+// of the local configuration and the peer's max_idle_timeout transport
+// parameter (RFC 9000, Section 10.1).
+func (c *Conn) idleTimeoutLocked() time.Duration {
+	d := c.cfg.MaxIdleTimeout
+	if c.havePeerParams && c.peerParams.MaxIdleTimeout > 0 {
+		peer := time.Duration(c.peerParams.MaxIdleTimeout) * time.Millisecond
+		if peer < d {
+			d = peer
+		}
+	}
+	return d
+}
+
+// armIdleTimerLocked (re)starts the idle teardown timer.
+func (c *Conn) armIdleTimerLocked() {
+	if c.idleTimer != nil {
+		c.idleTimer.Stop()
+	}
+	d := c.idleTimeoutLocked()
+	if d <= 0 {
+		return
+	}
+	c.idleTimer = time.AfterFunc(d, func() {
+		c.abort(ErrIdleTimeout)
+	})
+}
+
+// handleDatagram processes one received UDP payload, which may contain
+// multiple coalesced QUIC packets.
+func (c *Conn) handleDatagram(data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.BytesReceived += len(data)
+	if c.handshakeDone {
+		c.armIdleTimerLocked()
+	}
+
+	for len(data) > 0 {
+		if quicwire.IsLongHeader(data[0]) {
+			n := c.handleLongPacketLocked(data)
+			if n <= 0 {
+				return
+			}
+			data = data[n:]
+			continue
+		}
+		c.handleShortPacketLocked(data)
+		return // a short header packet extends to the datagram's end
+	}
+}
+
+// handleLongPacketLocked handles one long header packet and returns
+// the number of bytes it occupied (0 to abandon the datagram).
+func (c *Conn) handleLongPacketLocked(data []byte) int {
+	hdr, pnOff, err := quicwire.ParseLongHeader(data)
+	if err != nil {
+		return 0
+	}
+
+	switch hdr.Type {
+	case quicwire.PacketVersionNegotiation:
+		c.handleVersionNegotiationLocked(hdr)
+		return 0
+	case quicwire.PacketRetry:
+		c.handleRetryLocked(hdr, data)
+		return 0
+	}
+
+	if hdr.Version != c.version {
+		return 0 // not for this connection's version
+	}
+	var spIdx int
+	switch hdr.Type {
+	case quicwire.PacketInitial:
+		spIdx = spaceInitial
+	case quicwire.PacketHandshake:
+		spIdx = spaceHandshake
+	default:
+		return 0 // 0-RTT not used
+	}
+	sp := c.spaces[spIdx]
+	packetLen := pnOff + int(hdr.Length)
+	if sp.dropped || sp.recvKeys == nil {
+		return packetLen
+	}
+
+	pkt := data[:packetLen]
+	payload, pn, _, err := sp.recvKeys.OpenPacket(pkt, pnOff, sp.largestRx)
+	if err != nil {
+		return packetLen // undecryptable: ignore, do not kill the datagram
+	}
+	// On the first valid Initial from the server, the client adopts the
+	// server's chosen source connection ID as its destination
+	// (RFC 9000, Section 7.2).
+	if c.isClient && hdr.Type == quicwire.PacketInitial && !c.dcidUpdated {
+		c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
+		c.dcidUpdated = true
+	}
+	c.processPayloadLocked(spIdx, pn, payload)
+
+	// Once Handshake packets flow, Initial keys are discarded on both
+	// sides (RFC 9001, Section 4.9.1): the server because the client
+	// provably has handshake keys, the client because it will never
+	// need to send at the Initial level again.
+	if hdr.Type == quicwire.PacketHandshake {
+		c.spaces[spaceInitial].dropped = true
+	}
+	return packetLen
+}
+
+func (c *Conn) handleShortPacketLocked(data []byte) {
+	sp := c.spaces[spaceApp]
+	if sp.recvKeys == nil || sp.dropped {
+		return
+	}
+	// Undecryptable datagrams may be stateless resets; the check must
+	// run on the unmodified datagram, so copy before header removal.
+	raw := append([]byte(nil), data...)
+	_, pnOff, err := quicwire.ParseShortHeader(data, len(c.scid))
+	if err != nil {
+		if c.isStatelessResetLocked(raw) {
+			c.closeLocked(ErrStatelessReset)
+		}
+		return
+	}
+	payload, pn, _, err := sp.recvKeys.OpenPacket(data, pnOff, sp.largestRx)
+	if err != nil {
+		// The peer may have initiated a key update (flipped key phase
+		// bit); retry with the next key generation on a fresh copy,
+		// since OpenPacket mutates its input.
+		if payload2, pn2, ok := c.tryNextKeysLocked(sp, raw, pnOff); ok {
+			c.processPayloadLocked(spaceApp, pn2, payload2)
+			return
+		}
+		if c.isStatelessResetLocked(raw) {
+			c.closeLocked(ErrStatelessReset)
+		}
+		return
+	}
+	c.processPayloadLocked(spaceApp, pn, payload)
+}
+
+// tryNextKeysLocked attempts decryption with the next key generation
+// and, on success, completes the key update for both directions.
+func (c *Conn) tryNextKeysLocked(sp *pnSpace, raw []byte, pnOff int) ([]byte, uint64, bool) {
+	if !c.handshakeDone {
+		return nil, 0, false
+	}
+	if sp.nextRecv == nil {
+		next, err := sp.recvKeys.Next()
+		if err != nil {
+			return nil, 0, false
+		}
+		sp.nextRecv = next
+	}
+	cp := append([]byte(nil), raw...)
+	payload, pn, _, err := sp.nextRecv.OpenPacket(cp, pnOff, sp.largestRx)
+	if err != nil {
+		return nil, 0, false
+	}
+	// Commit the update: rotate read keys. If the peer initiated, the
+	// send keys advance to the same generation before anything else is
+	// sent (RFC 9001, 6.2); if this endpoint initiated, the send side
+	// already advanced in UpdateKeys and must not advance again.
+	sp.recvKeys = sp.nextRecv
+	sp.nextRecv = nil
+	if sp.updateInitiated {
+		sp.updateInitiated = false
+	} else if nextSend, err := sp.sendKeys.Next(); err == nil {
+		sp.sendKeys = nextSend
+		sp.sendPhase = !sp.sendPhase
+	}
+	return payload, pn, true
+}
+
+// UpdateKeys initiates a key update (RFC 9001, Section 6): subsequent
+// 1-RTT packets use the next key generation and a flipped key phase
+// bit. Only valid after the handshake completes.
+func (c *Conn) UpdateKeys() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.handshakeDone {
+		return errors.New("quic: key update before handshake completion")
+	}
+	sp := c.spaces[spaceApp]
+	nextSend, err := sp.sendKeys.Next()
+	if err != nil {
+		return err
+	}
+	nextRecv, err := sp.recvKeys.Next()
+	if err != nil {
+		return err
+	}
+	sp.sendKeys = nextSend
+	sp.sendPhase = !sp.sendPhase
+	sp.nextRecv = nextRecv
+	sp.updateInitiated = true
+	return nil
+}
+
+func (c *Conn) handleVersionNegotiationLocked(hdr *quicwire.Header) {
+	// A VN packet is only acted on before any packet has been
+	// successfully processed (RFC 9000, Section 6.2).
+	if c.stats.VersionNegotiation || c.spaces[spaceInitial].largestRx >= 0 || c.handshakeDone {
+		return
+	}
+	c.stats.VersionNegotiation = true
+	c.stats.ServerVersions = hdr.SupportedVersions
+	// A VN listing the offered version is invalid and must be ignored.
+	for _, v := range hdr.SupportedVersions {
+		if v == c.version {
+			return
+		}
+	}
+	c.hsErr = &VersionNegotiationError{Offered: c.cfg.Versions, Server: hdr.SupportedVersions}
+	c.closeLocked(c.hsErr)
+}
+
+func (c *Conn) handleRetryLocked(hdr *quicwire.Header, pkt []byte) {
+	if !c.isClient || c.stats.Retried || c.spaces[spaceInitial].largestRx >= 0 {
+		return
+	}
+	if err := quiccrypto.VerifyRetryIntegrity(c.version, c.origDcid, pkt); err != nil {
+		return
+	}
+	c.stats.Retried = true
+	c.retryToken = append([]byte(nil), hdr.Token...)
+	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
+	// Initial keys are re-derived from the Retry source connection ID.
+	prevOrig := c.origDcid
+	c.origDcid = c.dcid
+	if err := c.setupInitialKeys(); err != nil {
+		c.origDcid = prevOrig
+		return
+	}
+	// Retransmit the pending first flight with the token attached.
+	sp := c.spaces[spaceInitial]
+	sp.outFrames = append(sp.outFrames, sp.loss.unacked()...)
+	c.sendPendingLocked()
+}
+
+func (c *Conn) processPayloadLocked(spIdx int, pn uint64, payload []byte) {
+	sp := c.spaces[spIdx]
+	frames, err := quicwire.ParseFrames(payload)
+	if err != nil {
+		c.closeWithTransportErrorLocked(quicwire.FrameEncodingError, err.Error())
+		return
+	}
+	ackEliciting := false
+	for _, f := range frames {
+		if quicwire.AckEliciting(f) {
+			ackEliciting = true
+			break
+		}
+	}
+	if sp.acks.onReceived(pn, ackEliciting) {
+		return // duplicate
+	}
+	if int64(pn) > sp.largestRx {
+		sp.largestRx = int64(pn)
+	}
+
+	for _, f := range frames {
+		c.handleFrameLocked(spIdx, f)
+		select {
+		case <-c.closed:
+			return
+		default:
+		}
+	}
+	c.sendPendingLocked()
+}
+
+func (c *Conn) handleFrameLocked(spIdx int, f quicwire.Frame) {
+	sp := c.spaces[spIdx]
+	switch fr := f.(type) {
+	case *quicwire.PaddingFrame, *quicwire.PingFrame:
+		// PADDING needs nothing; PING only elicits the ACK already queued.
+	case *quicwire.AckFrame:
+		if sp.loss.onAck(fr) {
+			c.ptoCount = 0
+		}
+	case *quicwire.CryptoFrame:
+		out, err := sp.crypto.push(fr.Offset, fr.Data)
+		if err != nil {
+			c.closeWithTransportErrorLocked(quicwire.CryptoBufferExceeded, err.Error())
+			return
+		}
+		if len(out) > 0 {
+			if err := c.tls.HandleData(levelFor(spIdx), out); err != nil {
+				c.closeWithTLSErrorLocked(err)
+				return
+			}
+		}
+		if err := c.drainTLSEvents(); err != nil {
+			c.closeWithTLSErrorLocked(err)
+			return
+		}
+	case *quicwire.StreamFrame:
+		c.handleStreamFrameLocked(fr)
+	case *quicwire.ResetStreamFrame:
+		if s, ok := c.streams[fr.StreamID]; ok {
+			s.handleReset(fr.ErrorCode)
+		}
+	case *quicwire.StopSendingFrame:
+		// Peer no longer wants our data; nothing queued worth aborting.
+	case *quicwire.HandshakeDoneFrame:
+		if c.isClient {
+			c.spaces[spaceHandshake].dropped = true
+		}
+	case *quicwire.ConnectionCloseFrame:
+		code := quicwire.TransportError(fr.ErrorCode)
+		err := &quicwire.TransportErrorError{Code: code, Reason: fr.ReasonPhrase, Remote: true}
+		if fr.IsApp {
+			err = &quicwire.TransportErrorError{Code: quicwire.ApplicationError, Reason: fr.ReasonPhrase, Remote: true}
+		}
+		if !c.handshakeDone {
+			c.hsErr = err
+		}
+		c.closeLocked(err)
+	case *quicwire.PathChallengeFrame:
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.PathResponseFrame{Data: fr.Data})
+	case *quicwire.NewConnectionIDFrame:
+		// Store alternate IDs the peer issued; a future sender may
+		// switch to them (connection migration is out of scope, but
+		// the inventory is part of the connection state).
+		c.peerConnIDs = append(c.peerConnIDs, peerConnID{
+			seq:   fr.SequenceNumber,
+			id:    append(quicwire.ConnID(nil), fr.ConnectionID...),
+			token: fr.StatelessResetToken,
+		})
+	case *quicwire.RetireConnectionIDFrame,
+		*quicwire.NewTokenFrame, *quicwire.MaxDataFrame, *quicwire.MaxStreamDataFrame,
+		*quicwire.MaxStreamsFrame, *quicwire.DataBlockedFrame,
+		*quicwire.StreamDataBlockedFrame, *quicwire.StreamsBlockedFrame,
+		*quicwire.PathResponseFrame:
+		// Accepted and ignored: the scanner transfers too little data
+		// for these to matter.
+	}
+}
+
+func (c *Conn) handleStreamFrameLocked(fr *quicwire.StreamFrame) {
+	s, ok := c.streams[fr.StreamID]
+	if !ok {
+		_, clientInit := streamDirOf(fr.StreamID)
+		if clientInit == c.isClient {
+			// A frame for a stream we should have initiated but did not.
+			c.closeWithTransportErrorLocked(quicwire.StreamStateError,
+				fmt.Sprintf("stream %d not opened", fr.StreamID))
+			return
+		}
+		s = newStream(fr.StreamID, c)
+		c.streams[fr.StreamID] = s
+		select {
+		case c.acceptCh <- s:
+		default:
+		}
+	}
+	s.handleData(fr.Offset, fr.Data, fr.Fin)
+}
+
+// OpenStream opens a new bidirectional stream.
+func (c *Conn) OpenStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return nil, c.closeErr
+	default:
+	}
+	id := c.nextBidi
+	c.nextBidi += 4
+	s := newStream(id, c)
+	c.streams[id] = s
+	return s, nil
+}
+
+// OpenUniStream opens a new unidirectional stream.
+func (c *Conn) OpenUniStream() (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return nil, c.closeErr
+	default:
+	}
+	id := c.nextUni
+	c.nextUni += 4
+	s := newStream(id, c)
+	c.streams[id] = s
+	return s, nil
+}
+
+// AcceptStream returns the next peer-initiated stream (bidirectional
+// or unidirectional).
+func (c *Conn) AcceptStream(ctx context.Context) (*Stream, error) {
+	select {
+	case s := <-c.acceptCh:
+		return s, nil
+	case <-c.closed:
+		return nil, c.closeErr
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// queueStreamData appends stream data (and/or a FIN) to the send
+// queue.
+func (c *Conn) queueStreamData(id uint64, data []byte, fin bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return c.closeErr
+	default:
+	}
+	sp := c.spaces[spaceApp]
+	var offset uint64
+	// Find the current write offset for the stream by scanning queued
+	// frames; persistent per-stream offsets live in the stream frames
+	// themselves once sent.
+	if s, ok := c.streams[id]; ok {
+		s.mu.Lock()
+		offset = s.sendOffset()
+		s.sendOff += uint64(len(data))
+		s.mu.Unlock()
+	}
+	sp.outFrames = append(sp.outFrames, &quicwire.StreamFrame{
+		StreamID: id, Offset: offset, Data: append([]byte(nil), data...), Fin: fin,
+	})
+	c.sendPendingLocked()
+	return nil
+}
+
+// CloseWithError sends CONNECTION_CLOSE with an application error code
+// and tears the connection down.
+func (c *Conn) CloseWithError(code uint64, reason string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{IsApp: true, ErrorCode: code, ReasonPhrase: reason})
+	c.closeLocked(&quicwire.TransportErrorError{Code: quicwire.ApplicationError, Reason: reason})
+	return nil
+}
+
+// Close closes the connection immediately with NO_ERROR.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{ErrorCode: uint64(quicwire.NoError)})
+	c.closeLocked(ErrConnectionClosed)
+	return nil
+}
+
+// abort closes without sending CONNECTION_CLOSE (e.g. on timeout).
+func (c *Conn) abort(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hsErr == nil && !c.handshakeDone {
+		c.hsErr = err
+	}
+	c.closeLocked(err)
+}
+
+func (c *Conn) closeWithTransportErrorLocked(code quicwire.TransportError, reason string) {
+	c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{ErrorCode: uint64(code), ReasonPhrase: reason})
+	err := &quicwire.TransportErrorError{Code: code, Reason: reason}
+	if !c.handshakeDone && c.hsErr == nil {
+		c.hsErr = err
+	}
+	c.closeLocked(err)
+}
+
+// closeWithTLSErrorLocked maps a crypto/tls handshake error onto a
+// CONNECTION_CLOSE crypto error frame (RFC 9001, Section 4.8).
+func (c *Conn) closeWithTLSErrorLocked(err error) {
+	code := quicwire.CryptoError(80) // internal_error
+	var alert tls.AlertError
+	if errors.As(err, &alert) {
+		code = quicwire.CryptoError(uint8(alert))
+	}
+	forcedCode, forcedReason := c.forcedClose()
+	if forcedCode != 0 {
+		code = forcedCode
+	}
+	c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{ErrorCode: uint64(code), ReasonPhrase: forcedReason})
+	terr := &quicwire.TransportErrorError{Code: code, Reason: err.Error()}
+	if !c.handshakeDone && c.hsErr == nil {
+		c.hsErr = terr
+	}
+	c.closeLocked(terr)
+}
+
+// sendConnectionCloseLocked emits a CONNECTION_CLOSE in the most
+// mature space with send keys.
+func (c *Conn) sendConnectionCloseLocked(frame *quicwire.ConnectionCloseFrame) {
+	for idx := spaceApp; idx >= spaceInitial; idx-- {
+		sp := c.spaces[idx]
+		if sp.sendKeys != nil && !sp.dropped {
+			sp.outFrames = append(sp.outFrames, frame)
+			c.sendPendingLocked()
+			return
+		}
+	}
+}
+
+func (c *Conn) closeLocked(err error) {
+	c.closeOnce.Do(func() {
+		c.closeErr = err
+		if c.ptoTimer != nil {
+			c.ptoTimer.Stop()
+		}
+		if c.idleTimer != nil {
+			c.idleTimer.Stop()
+		}
+		close(c.closed)
+		for _, s := range c.streams {
+			s.connClosed(err)
+		}
+		if c.tls != nil {
+			c.tls.Close()
+		}
+		// Unblock a client read loop parked in ReadFrom so the socket
+		// can be reused (version negotiation retry) or closed.
+		if c.isClient && c.pconn != nil {
+			c.pconn.SetReadDeadline(time.Now())
+		}
+	})
+}
+
+// Closed returns a channel closed when the connection dies.
+func (c *Conn) Closed() <-chan struct{} { return c.closed }
+
+// schedulePTOLocked arms the retransmission timer.
+func (c *Conn) schedulePTOLocked() {
+	if c.ptoTimer != nil {
+		c.ptoTimer.Stop()
+	}
+	if c.handshakeDone && !c.anyUnackedLocked() {
+		return
+	}
+	d := c.cfg.PTO << c.ptoCount
+	c.ptoTimer = time.AfterFunc(d, c.onPTO)
+}
+
+func (c *Conn) anyUnackedLocked() bool {
+	for _, sp := range c.spaces {
+		if len(sp.loss.sent) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Conn) onPTO() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	if c.ptoCount >= 6 {
+		// Give up: idle/handshake failure is signalled elsewhere.
+		return
+	}
+	c.ptoCount++
+	resent := false
+	for _, sp := range c.spaces {
+		if sp.dropped || sp.sendKeys == nil {
+			continue
+		}
+		if frames := sp.loss.unacked(); len(frames) > 0 {
+			sp.outFrames = append(sp.outFrames, frames...)
+			resent = true
+		}
+	}
+	if resent {
+		c.sendPendingLocked()
+	} else {
+		c.schedulePTOLocked()
+	}
+}

@@ -1,0 +1,69 @@
+package quic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cryptoAssembler reorders CRYPTO frame data for one encryption level
+// into the contiguous byte stream TLS consumes.
+type cryptoAssembler struct {
+	next     uint64 // offset of the next byte to deliver
+	segments []cryptoSegment
+}
+
+type cryptoSegment struct {
+	offset uint64
+	data   []byte
+}
+
+// maxCryptoBuffer bounds buffered out-of-order handshake data
+// (RFC 9000 recommends at least 4096; real handshakes here are a few
+// kilobytes).
+const maxCryptoBuffer = 1 << 20
+
+// push adds frame data. It returns any newly contiguous bytes ready
+// for delivery to TLS (possibly nil).
+func (a *cryptoAssembler) push(offset uint64, data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return a.pop(), nil
+	}
+	if offset+uint64(len(data)) > a.next+maxCryptoBuffer {
+		return nil, fmt.Errorf("quic: crypto buffer exceeded at offset %d", offset)
+	}
+	// Discard fully delivered duplicates.
+	if offset+uint64(len(data)) <= a.next {
+		return a.pop(), nil
+	}
+	// Trim the already-delivered prefix.
+	if offset < a.next {
+		data = data[a.next-offset:]
+		offset = a.next
+	}
+	a.segments = append(a.segments, cryptoSegment{offset: offset, data: append([]byte(nil), data...)})
+	return a.pop(), nil
+}
+
+// pop returns the contiguous bytes available at the delivery offset.
+func (a *cryptoAssembler) pop() []byte {
+	if len(a.segments) == 0 {
+		return nil
+	}
+	sort.Slice(a.segments, func(i, j int) bool { return a.segments[i].offset < a.segments[j].offset })
+	var out []byte
+	rest := a.segments[:0]
+	for _, s := range a.segments {
+		end := s.offset + uint64(len(s.data))
+		switch {
+		case end <= a.next:
+			// fully consumed duplicate
+		case s.offset <= a.next:
+			out = append(out, s.data[a.next-s.offset:]...)
+			a.next = end
+		default:
+			rest = append(rest, s)
+		}
+	}
+	a.segments = append([]cryptoSegment(nil), rest...)
+	return out
+}

@@ -1,0 +1,59 @@
+package quic
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quicscan/internal/transportparams"
+)
+
+// TestIdleTimeoutTearsDown: an established connection with a short
+// negotiated idle timeout dies after silence, while traffic keeps it
+// alive.
+func TestIdleTimeoutTearsDown(t *testing.T) {
+	scfg, pool := serverConfig(t, "idle.test")
+	p := transportparams.Default()
+	p.MaxIdleTimeout = 300 // ms, announced by the server
+	p.InitialMaxData = 1 << 20
+	p.InitialMaxStreamDataBidiRemote = 1 << 18
+	p.InitialMaxStreamsBidi = 4
+	p.InitialMaxStreamsUni = 4
+	scfg.TransportParams = p
+	_, addr := startServer(t, scfg, ServerPolicy{})
+
+	ccfg := clientConfig(pool, "idle.test")
+	ccfg.MaxIdleTimeout = 10 * time.Second // local side is generous
+	conn, err := Dial(context.Background(), newUDP(t), addr, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep-alive: traffic within the window must prevent teardown.
+	for i := 0; i < 3; i++ {
+		time.Sleep(120 * time.Millisecond)
+		s, err := conn.OpenStream()
+		if err != nil {
+			t.Fatalf("keep-alive round %d: %v", i, err)
+		}
+		s.Write([]byte("ka"))
+		s.Close()
+		buf := make([]byte, 8)
+		if _, err := s.Read(buf); err != nil {
+			t.Fatalf("keep-alive read %d: %v", i, err)
+		}
+	}
+	// Silence: the connection must die within roughly the negotiated
+	// 300ms (plus slack).
+	select {
+	case <-conn.Closed():
+	case <-time.After(3 * time.Second):
+		t.Fatal("connection survived idle timeout")
+	}
+	conn.mu.Lock()
+	err = conn.closeErr
+	conn.mu.Unlock()
+	if !errors.Is(err, ErrIdleTimeout) {
+		t.Errorf("close error = %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+package quic
+
+import (
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+)
+
+// maxCryptoChunk bounds CRYPTO frame data per packet, leaving room for
+// headers and the AEAD tag within a datagram.
+const packetOverheadBudget = 96
+
+// sendPendingLocked drains all queued frames and crypto data into
+// protected datagrams and transmits them. Must be called with c.mu
+// held.
+func (c *Conn) sendPendingLocked() {
+	for {
+		datagram, sentAny := c.packDatagramLocked()
+		if !sentAny {
+			break
+		}
+		c.stats.BytesSent += len(datagram)
+		if err := c.sendFunc(datagram); err != nil {
+			c.closeLocked(err)
+			return
+		}
+	}
+	c.schedulePTOLocked()
+}
+
+// cryptoOffsets tracks per-space CRYPTO send offsets. They live on the
+// space to survive multiple pack calls.
+func (sp *pnSpace) takeCrypto(max int) *quicwire.CryptoFrame {
+	if len(sp.outCrypto) == 0 || max <= 0 {
+		return nil
+	}
+	n := len(sp.outCrypto)
+	if n > max {
+		n = max
+	}
+	f := &quicwire.CryptoFrame{Offset: sp.cryptoOffset, Data: sp.outCrypto[:n:n]}
+	sp.outCrypto = sp.outCrypto[n:]
+	sp.cryptoOffset += uint64(n)
+	return f
+}
+
+// packDatagramLocked assembles one datagram with as many coalesced
+// packets as fit. It returns the datagram and whether anything was
+// packed.
+func (c *Conn) packDatagramLocked() ([]byte, bool) {
+	budget := c.cfg.MaxDatagramSize
+	var datagram []byte
+	packedAny := false
+	containsInitial := false
+
+	for idx := spaceInitial; idx <= spaceApp; idx++ {
+		sp := c.spaces[idx]
+		if sp.dropped || sp.sendKeys == nil {
+			continue
+		}
+		if len(sp.outCrypto) == 0 && len(sp.outFrames) == 0 && !sp.acks.needsAck() {
+			continue
+		}
+		remaining := budget - len(datagram)
+		if remaining < 256 {
+			break // leave for the next datagram
+		}
+		pkt := c.packPacketLocked(idx, remaining)
+		if pkt == nil {
+			continue
+		}
+		if idx == spaceInitial {
+			containsInitial = true
+		}
+		datagram = append(datagram, pkt...)
+		packedAny = true
+	}
+
+	if !packedAny {
+		return nil, false
+	}
+
+	// Datagrams carrying Initial packets must be at least 1200 bytes
+	// (RFC 9000, Section 14.1). packPacketLocked pads the plaintext of
+	// every Initial so the sealed packet alone satisfies this; the
+	// check here is a defensive backstop.
+	if containsInitial && len(datagram) < quicwire.MinInitialSize {
+		pad := make([]byte, quicwire.MinInitialSize-len(datagram))
+		datagram = append(datagram, pad...)
+	}
+	return datagram, true
+}
+
+// packPacketLocked builds one protected packet for the given space
+// within the size budget, or nil if nothing is pending.
+func (c *Conn) packPacketLocked(idx int, budget int) []byte {
+	sp := c.spaces[idx]
+
+	var frames []quicwire.Frame
+	if ack := func() *quicwire.AckFrame {
+		if sp.acks.needsAck() {
+			return sp.acks.buildAck()
+		}
+		return nil
+	}(); ack != nil {
+		frames = append(frames, ack)
+	}
+
+	// Queued frames first, then fill with fresh CRYPTO data. Oversized
+	// CRYPTO and STREAM frames (e.g. retransmitted ClientHello chunks
+	// after a Retry) are split so a frame larger than one packet can
+	// never stall the queue.
+	var frameBytes []byte
+	for len(sp.outFrames) > 0 {
+		f := sp.outFrames[0]
+		avail := budget - packetOverheadBudget - len(frameBytes)
+		b := f.Append(nil)
+		if len(b) > avail {
+			if head, rest, ok := splitFrame(f, avail); ok {
+				sp.outFrames[0] = rest
+				frameBytes = append(frameBytes, head.Append(nil)...)
+				frames = append(frames, head)
+			}
+			break
+		}
+		frameBytes = append(frameBytes, b...)
+		frames = append(frames, f)
+		sp.outFrames = sp.outFrames[1:]
+	}
+
+	if cf := sp.takeCrypto(budget - packetOverheadBudget - len(frameBytes)); cf != nil {
+		frames = append(frames, cf)
+	}
+
+	if len(frames) == 0 {
+		return nil
+	}
+
+	var payload []byte
+	for _, f := range frames {
+		payload = f.Append(payload)
+	}
+
+	pn := sp.nextPN
+	sp.nextPN++
+	pnLen := quicwire.PacketNumberLenFor(pn, sp.loss.largestAcked)
+	if pnLen < 2 {
+		pnLen = 2 // keep headers uniform and samples long enough
+	}
+
+	// The payload plus packet number must be at least 4 bytes for
+	// header protection sampling.
+	for len(payload)+pnLen < 4 {
+		payload = append(payload, 0)
+	}
+
+	var pkt []byte
+	var pnOff int
+	switch idx {
+	case spaceInitial, spaceHandshake:
+		typ := quicwire.PacketInitial
+		token := []byte(nil)
+		if idx == spaceInitial {
+			if c.isClient {
+				token = c.retryToken
+			}
+		} else {
+			typ = quicwire.PacketHandshake
+		}
+		// A client Initial must arrive in a 1200-byte datagram; pad
+		// the plaintext so the sealed packet alone satisfies it.
+		if idx == spaceInitial {
+			target := quicwire.MinInitialSize - c.headerOverheadLocked(typ, len(token), pnLen) - quiccrypto.SealOverhead
+			for len(payload) < target {
+				payload = append(payload, 0)
+			}
+		}
+		hdr := &quicwire.Header{
+			Type:            typ,
+			Version:         c.version,
+			DstID:           c.dcid,
+			SrcID:           c.scid,
+			Token:           token,
+			PacketNumber:    pn,
+			PacketNumberLen: pnLen,
+		}
+		pkt, pnOff = quicwire.AppendLongHeader(nil, hdr, len(payload)+quiccrypto.SealOverhead)
+	default:
+		pkt, pnOff = quicwire.AppendShortHeader(nil, c.dcid, pn, pnLen, sp.sendPhase)
+	}
+	pkt = append(pkt, payload...)
+	pkt = sp.sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
+
+	sp.loss.onSent(pn, frames)
+	return pkt
+}
+
+// splitFrame cuts a CRYPTO or STREAM frame so its head fits in avail
+// serialized bytes. A FIN bit stays with the tail.
+func splitFrame(f quicwire.Frame, avail int) (head, rest quicwire.Frame, ok bool) {
+	// Leave room for type byte and worst-case varint offsets/lengths.
+	n := avail - 20
+	if n <= 0 {
+		return nil, nil, false
+	}
+	switch fr := f.(type) {
+	case *quicwire.CryptoFrame:
+		if n >= len(fr.Data) {
+			return nil, nil, false // would have fit; nothing to split
+		}
+		head = &quicwire.CryptoFrame{Offset: fr.Offset, Data: fr.Data[:n]}
+		rest = &quicwire.CryptoFrame{Offset: fr.Offset + uint64(n), Data: fr.Data[n:]}
+		return head, rest, true
+	case *quicwire.StreamFrame:
+		if n >= len(fr.Data) {
+			return nil, nil, false
+		}
+		head = &quicwire.StreamFrame{StreamID: fr.StreamID, Offset: fr.Offset, Data: fr.Data[:n]}
+		rest = &quicwire.StreamFrame{StreamID: fr.StreamID, Offset: fr.Offset + uint64(n), Data: fr.Data[n:], Fin: fr.Fin}
+		return head, rest, true
+	}
+	return nil, nil, false
+}
+
+// headerOverheadLocked computes the long header size for padding math.
+func (c *Conn) headerOverheadLocked(typ quicwire.PacketType, tokenLen, pnLen int) int {
+	n := 1 + 4 + 1 + len(c.dcid) + 1 + len(c.scid)
+	if typ == quicwire.PacketInitial {
+		n += quicwire.VarintLen(uint64(tokenLen)) + tokenLen
+	}
+	n += 2 // Length field (2-byte varint)
+	n += pnLen
+	return n
+}

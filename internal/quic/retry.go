@@ -1,0 +1,96 @@
+package quic
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+)
+
+// retryMinter issues and validates address-validation tokens for
+// Retry packets (RFC 9000, Section 8.1). Tokens bind the client
+// address and the original destination connection ID under an
+// HMAC so the server stays stateless until a validated Initial
+// arrives.
+type retryMinter struct {
+	once sync.Once
+	key  [32]byte
+}
+
+func (m *retryMinter) init() {
+	m.once.Do(func() {
+		if _, err := rand.Read(m.key[:]); err != nil {
+			panic("quic: reading randomness: " + err.Error())
+		}
+	})
+}
+
+// tokenLifetime bounds how long a Retry token stays valid.
+const tokenLifetime = 30 * time.Second
+
+// mint builds a token for (addr, odcid).
+func (m *retryMinter) mint(addr net.Addr, odcid quicwire.ConnID) []byte {
+	m.init()
+	var token []byte
+	token = binary.BigEndian.AppendUint64(token, uint64(time.Now().Unix()))
+	token = append(token, byte(len(odcid)))
+	token = append(token, odcid...)
+	mac := hmac.New(sha256.New, m.key[:])
+	mac.Write(token)
+	mac.Write([]byte(addr.String()))
+	return mac.Sum(token)
+}
+
+// validate checks a token and returns the original destination
+// connection ID it was minted for.
+func (m *retryMinter) validate(addr net.Addr, token []byte) (quicwire.ConnID, bool) {
+	m.init()
+	if len(token) < 8+1+sha256.Size {
+		return nil, false
+	}
+	body := token[:len(token)-sha256.Size]
+	sum := token[len(token)-sha256.Size:]
+	mac := hmac.New(sha256.New, m.key[:])
+	mac.Write(body)
+	mac.Write([]byte(addr.String()))
+	if !hmac.Equal(sum, mac.Sum(nil)) {
+		return nil, false
+	}
+	issued := time.Unix(int64(binary.BigEndian.Uint64(body[:8])), 0)
+	if time.Since(issued) > tokenLifetime {
+		return nil, false
+	}
+	odcidLen := int(body[8])
+	if len(body) != 8+1+odcidLen {
+		return nil, false
+	}
+	return quicwire.ConnID(body[9 : 9+odcidLen]), true
+}
+
+// sendRetry answers a token-less Initial with a Retry packet.
+func (l *Listener) sendRetry(hdr *quicwire.Header, from net.Addr) {
+	newSCID := quicwire.NewRandomConnID(8)
+	token := l.retry.mint(from, hdr.DstID)
+
+	// Retry packet: type bits 3, ODCID-derived integrity tag.
+	first := byte(0x80 | 0x40 | 3<<4)
+	pkt := []byte{first}
+	pkt = append(pkt, byte(hdr.Version>>24), byte(hdr.Version>>16), byte(hdr.Version>>8), byte(hdr.Version))
+	pkt = append(pkt, byte(len(hdr.SrcID)))
+	pkt = append(pkt, hdr.SrcID...)
+	pkt = append(pkt, byte(len(newSCID)))
+	pkt = append(pkt, newSCID...)
+	pkt = append(pkt, token...)
+	tag, err := quiccrypto.RetryIntegrityTag(hdr.Version, hdr.DstID, pkt)
+	if err != nil {
+		return
+	}
+	pkt = append(pkt, tag[:]...)
+	l.pconn.WriteTo(pkt, from)
+}

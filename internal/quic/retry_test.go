@@ -1,0 +1,150 @@
+package quic
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"quicscan/internal/quicwire"
+)
+
+func TestRetryHandshake(t *testing.T) {
+	scfg, pool := serverConfig(t, "retry.test")
+	_, addr := startServer(t, scfg, ServerPolicy{UseRetry: true})
+
+	conn, err := Dial(context.Background(), newUDP(t), addr, clientConfig(pool, "retry.test"))
+	if err != nil {
+		t.Fatalf("Dial through Retry: %v", err)
+	}
+	defer conn.Close()
+	if !conn.Stats().Retried {
+		t.Error("stats did not record the Retry")
+	}
+	// The peer's transport parameters must authenticate the Retry
+	// exchange: original_destination_connection_id is the client's
+	// first DCID and retry_source_connection_id the server's Retry ID.
+	params, ok := conn.PeerTransportParameters()
+	if !ok {
+		t.Fatal("no transport parameters")
+	}
+	if params.RetrySourceConnectionID == nil {
+		t.Error("missing retry_source_connection_id after Retry")
+	}
+	if !bytes.Equal(params.RetrySourceConnectionID, conn.origDcid) {
+		t.Errorf("retry_source_connection_id = %x want %x", params.RetrySourceConnectionID, conn.origDcid)
+	}
+	// And the stream path still works.
+	s, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write([]byte("after retry"))
+	s.Close()
+	resp := make([]byte, 32)
+	n, err := s.Read(resp)
+	if err != nil || string(resp[:n]) != "AFTER RETRY" {
+		t.Errorf("echo = %q, %v", resp[:n], err)
+	}
+}
+
+func TestRetryTokenValidation(t *testing.T) {
+	var m retryMinter
+	addr := &net.UDPAddr{IP: net.IPv4(192, 0, 2, 1), Port: 443}
+	odcid := quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8}
+
+	token := m.mint(addr, odcid)
+	got, ok := m.validate(addr, token)
+	if !ok || !bytes.Equal(got, odcid) {
+		t.Fatalf("validate = %x, %v", got, ok)
+	}
+	// Wrong address: rejected (tokens bind the client address).
+	other := &net.UDPAddr{IP: net.IPv4(192, 0, 2, 2), Port: 443}
+	if _, ok := m.validate(other, token); ok {
+		t.Error("token accepted for the wrong address")
+	}
+	// Tampered token: rejected.
+	bad := append([]byte(nil), token...)
+	bad[10] ^= 1
+	if _, ok := m.validate(addr, bad); ok {
+		t.Error("tampered token accepted")
+	}
+	// Truncated and empty tokens: rejected without panicking.
+	if _, ok := m.validate(addr, token[:5]); ok {
+		t.Error("short token accepted")
+	}
+	if _, ok := m.validate(addr, nil); ok {
+		t.Error("nil token accepted")
+	}
+	// A different minter (different key) must reject it.
+	var m2 retryMinter
+	if _, ok := m2.validate(addr, token); ok {
+		t.Error("token accepted by foreign minter")
+	}
+}
+
+// TestVersionMatrix completes handshakes for every scanner-supported
+// version, confirming per-version initial salts and wire handling
+// (drafts 29/32/34 use two different salt generations; v1 a third).
+func TestVersionMatrix(t *testing.T) {
+	versions := []quicwire.Version{
+		quicwire.VersionDraft29,
+		quicwire.VersionDraft32,
+		quicwire.VersionDraft34,
+		quicwire.Version1,
+	}
+	for _, v := range versions {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			scfg, pool := serverConfig(t, "matrix.test")
+			scfg.Versions = []quicwire.Version{v}
+			_, addr := startServer(t, scfg, ServerPolicy{})
+
+			ccfg := clientConfig(pool, "matrix.test")
+			ccfg.Versions = []quicwire.Version{v}
+			conn, err := Dial(context.Background(), newUDP(t), addr, ccfg)
+			if err != nil {
+				t.Fatalf("Dial with %v: %v", v, err)
+			}
+			defer conn.Close()
+			if conn.Version() != v {
+				t.Errorf("negotiated %v", conn.Version())
+			}
+			s, err := conn.OpenStream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Write([]byte("ping"))
+			s.Close()
+			buf := make([]byte, 8)
+			n, err := s.Read(buf)
+			if err != nil || string(buf[:n]) != "PING" {
+				t.Errorf("echo over %v: %q, %v", v, buf[:n], err)
+			}
+		})
+	}
+}
+
+// TestCrossVersionNegotiation has client and server preferring
+// different but overlapping versions; negotiation must converge.
+func TestCrossVersionNegotiation(t *testing.T) {
+	scfg, pool := serverConfig(t, "cross.test")
+	scfg.Versions = []quicwire.Version{quicwire.VersionDraft34, quicwire.Version1}
+	_, addr := startServer(t, scfg, ServerPolicy{})
+
+	ccfg := clientConfig(pool, "cross.test")
+	ccfg.Versions = []quicwire.Version{quicwire.VersionDraft29, quicwire.Version1}
+	ccfg.HandshakeTimeout = 5 * time.Second
+	conn, err := Dial(context.Background(), newUDP(t), addr, ccfg)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if conn.Version() != quicwire.Version1 {
+		t.Errorf("converged on %v, want ietf-01", conn.Version())
+	}
+	if !conn.Stats().VersionNegotiation {
+		t.Error("no version negotiation recorded")
+	}
+}

@@ -1,0 +1,416 @@
+package quic
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"net"
+	"sync"
+
+	"quicscan/internal/quicwire"
+	"quicscan/internal/transportparams"
+)
+
+// ServerPolicy lets a deployment control its externally observable
+// scanning behaviour. The simulated Internet uses it to reproduce the
+// provider quirks the paper documents: servers that ignore the forced
+// version negotiation, servers whose advertised and accepted version
+// sets disagree (Google's IETF QUIC roll-out), servers that silently
+// drop Initials (Akamai/Fastly without SNI), and servers that reject
+// handshakes with the generic crypto error 0x128 (Cloudflare without
+// SNI).
+type ServerPolicy struct {
+	// AdvertisedVersions is the list sent in Version Negotiation
+	// packets. nil disables VN responses entirely (such deployments
+	// are invisible to the ZMap module but may still be reachable
+	// statefully).
+	AdvertisedVersions []quicwire.Version
+
+	// AcceptVersions is the set the server actually completes
+	// handshakes with. If empty, the listener Config.Versions apply.
+	// A version in AdvertisedVersions but not here produces the
+	// paper's "version mismatch" behaviour.
+	AcceptVersions []quicwire.Version
+
+	// RespondToUnpadded makes the server answer forced version
+	// negotiation even for datagrams below 1200 bytes, violating
+	// RFC 9000. The paper found 11.3% of addresses doing this, 95.4%
+	// in a single AS (Section 3.1).
+	RespondToUnpadded bool
+
+	// DropAllInitials silently discards every Initial packet,
+	// producing the "Timeout" outcome for stateful scans while still
+	// (optionally) answering version negotiation.
+	DropAllInitials bool
+
+	// RequireSNI, when non-nil, is consulted with the ClientHello SNI
+	// value; returning false fails the handshake with CloseCode.
+	RequireSNI func(sni string) bool
+
+	// CloseCode and CloseReason configure the CONNECTION_CLOSE sent
+	// on policy rejections (default: crypto error 0x128 with an
+	// implementation-specific reason phrase, as observed by the
+	// paper).
+	CloseCode   quicwire.TransportError
+	CloseReason string
+
+	// UseRetry performs address validation: token-less Initials are
+	// answered with a Retry packet (RFC 9000, Section 8.1).
+	UseRetry bool
+}
+
+// Listener accepts QUIC connections on a PacketConn, demultiplexing by
+// connection ID.
+type Listener struct {
+	cfg    *Config
+	policy ServerPolicy
+	pconn  net.PacketConn
+
+	mu     sync.Mutex
+	conns  map[string]*Conn // by our SCID and by original DCID
+	closed bool
+	retry  retryMinter
+	reset  resetKeys
+
+	acceptCh chan *Conn
+	done     chan struct{}
+}
+
+// Listen starts a QUIC server on pconn.
+func Listen(pconn net.PacketConn, config *Config, policy ServerPolicy) (*Listener, error) {
+	if config == nil || config.TLS == nil {
+		return nil, errors.New("quic: Listen requires a TLS config with certificates")
+	}
+	cfg := config.clone()
+	if cfg.TransportParams.InitialMaxStreamsBidi == 0 && cfg.TransportParams.InitialMaxData == 0 {
+		cfg.TransportParams = DefaultServerParams()
+	}
+	l := &Listener{
+		cfg:      cfg,
+		policy:   policy,
+		pconn:    pconn,
+		conns:    make(map[string]*Conn),
+		acceptCh: make(chan *Conn, 64),
+		done:     make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// DefaultServerParams mirrors a common web deployment configuration.
+func DefaultServerParams() transportparams.Parameters {
+	p := transportparams.Default()
+	p.MaxIdleTimeout = 30000
+	p.InitialMaxData = 1 << 21
+	p.InitialMaxStreamDataBidiLocal = 1 << 19
+	p.InitialMaxStreamDataBidiRemote = 1 << 19
+	p.InitialMaxStreamDataUni = 1 << 19
+	p.InitialMaxStreamsBidi = 100
+	p.InitialMaxStreamsUni = 3
+	return p
+}
+
+// Accept returns the next handshaking connection. The handshake may
+// still be in progress; use Conn.waitHandshake via AcceptEstablished
+// for completed ones.
+func (l *Listener) Accept(ctx context.Context) (*Conn, error) {
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case <-l.done:
+		return nil, ErrConnectionClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.pconn.LocalAddr() }
+
+// Close stops the listener and closes all connections.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	close(l.done)
+	for _, c := range conns {
+		c.abort(ErrConnectionClosed)
+	}
+	return l.pconn.Close()
+}
+
+func (l *Listener) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := l.pconn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-l.done:
+			default:
+				l.Close()
+			}
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		l.handleDatagram(pkt, from)
+	}
+}
+
+// handleDatagram routes a datagram to an existing connection or
+// treats it as a new connection attempt.
+func (l *Listener) handleDatagram(data []byte, from net.Addr) {
+	if len(data) == 0 {
+		return
+	}
+	var dcid quicwire.ConnID
+	if quicwire.IsLongHeader(data[0]) {
+		hdr, _, err := quicwire.ParseLongHeader(data)
+		if err != nil {
+			return
+		}
+		dcid = hdr.DstID
+		if conn := l.lookup(dcid); conn != nil {
+			conn.handleDatagram(data)
+			return
+		}
+		l.handleNewConn(hdr, data, from)
+		return
+	}
+	// Short header: 8-byte server connection IDs by construction.
+	if len(data) < 1+8 {
+		return
+	}
+	dcid = quicwire.ConnID(data[1:9])
+	if conn := l.lookup(dcid); conn != nil {
+		conn.handleDatagram(data)
+		return
+	}
+	// 1-RTT packet for a connection this endpoint has no state for:
+	// answer with a stateless reset so the peer can stop retrying.
+	l.sendStatelessReset(dcid, from, len(data))
+}
+
+func (l *Listener) lookup(id quicwire.ConnID) *Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conns[string(id)]
+}
+
+// acceptsVersion reports whether the server completes handshakes with v.
+func (l *Listener) acceptsVersion(v quicwire.Version) bool {
+	set := l.policy.AcceptVersions
+	if len(set) == 0 {
+		set = l.cfg.Versions
+	}
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Listener) handleNewConn(hdr *quicwire.Header, data []byte, from net.Addr) {
+	if hdr.Type == quicwire.PacketVersionNegotiation || hdr.Type == quicwire.PacketRetry {
+		return
+	}
+	// Version negotiation: forced (0x?a?a?a?a), genuinely unsupported,
+	// or unknown-version packets all elicit a VN response if policy
+	// provides an advertised set.
+	if hdr.Version.IsForcedNegotiation() || !l.acceptsVersion(hdr.Version) {
+		l.maybeSendVersionNegotiation(hdr, len(data), from)
+		return
+	}
+	if hdr.Type != quicwire.PacketInitial {
+		return
+	}
+	if l.policy.DropAllInitials {
+		return
+	}
+	// RFC 9000, Section 14.1: servers must drop Initials in datagrams
+	// below 1200 bytes.
+	if len(data) < quicwire.MinInitialSize {
+		return
+	}
+	if len(hdr.DstID) < 8 {
+		return // too short to derive distinct Initial keys from
+	}
+	var retryODCID quicwire.ConnID
+	if l.policy.UseRetry {
+		if len(hdr.Token) == 0 {
+			l.sendRetry(hdr, from)
+			return
+		}
+		odcid, ok := l.retry.validate(from, hdr.Token)
+		if !ok {
+			return // invalid or expired token: drop
+		}
+		retryODCID = odcid
+	}
+
+	conn := l.newServerConn(hdr, from, retryODCID)
+	if conn == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.abort(ErrConnectionClosed)
+		return
+	}
+	l.conns[string(conn.scid)] = conn
+	// Never clobber an existing route: a stray Initial (e.g. a late
+	// Initial-space ACK) must not displace a live connection keyed by
+	// the same destination ID.
+	if _, exists := l.conns[string(hdr.DstID)]; !exists {
+		l.conns[string(hdr.DstID)] = conn
+	}
+	l.mu.Unlock()
+
+	select {
+	case l.acceptCh <- conn:
+	default:
+	}
+	conn.handleDatagram(data)
+}
+
+// maybeSendVersionNegotiation emits a VN packet per policy.
+func (l *Listener) maybeSendVersionNegotiation(hdr *quicwire.Header, datagramLen int, from net.Addr) {
+	versions := l.policy.AdvertisedVersions
+	if versions == nil {
+		versions = l.cfg.Versions
+	}
+	if len(versions) == 0 {
+		return // deployment does not implement version negotiation
+	}
+	if datagramLen < quicwire.MinInitialSize && !l.policy.RespondToUnpadded {
+		return
+	}
+	pkt := quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, byte(datagramLen), versions)
+	l.pconn.WriteTo(pkt, from)
+}
+
+// newServerConn creates the per-connection state. retryODCID is the
+// pre-Retry original destination connection ID (nil without Retry).
+func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID quicwire.ConnID) *Conn {
+	c := newConn(l.cfg, false)
+	c.pconn = l.pconn
+	c.remote = from
+	c.version = hdr.Version
+	c.origDcid = append(quicwire.ConnID(nil), hdr.DstID...)
+	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
+	c.scid = quicwire.NewRandomConnID(8)
+	c.sendFunc = func(b []byte) error {
+		_, err := l.pconn.WriteTo(b, from)
+		return err
+	}
+	if err := c.setupInitialKeys(); err != nil {
+		return nil
+	}
+
+	tlsCfg := forTLS13(l.cfg.TLS)
+	if l.policy.RequireSNI != nil {
+		inner := tlsCfg.GetConfigForClient
+		check := l.policy.RequireSNI
+		tlsCfg.GetConfigForClient = func(chi *tls.ClientHelloInfo) (*tls.Config, error) {
+			if !check(chi.ServerName) {
+				// This callback runs on the TLS handshake goroutine
+				// while c.mu may be held by the packet path, so it
+				// must not take c.mu itself.
+				code := l.policy.CloseCode
+				if code == 0 {
+					code = quicwire.CryptoError0x128
+				}
+				reason := l.policy.CloseReason
+				if reason == "" {
+					reason = "handshake failure"
+				}
+				c.setForcedClose(code, reason)
+				return nil, errors.New("quic: policy rejected client hello")
+			}
+			if inner != nil {
+				return inner(chi)
+			}
+			return nil, nil
+		}
+	}
+
+	c.tls = tls.QUICServer(&tls.QUICConfig{TLSConfig: tlsCfg})
+	params := l.cfg.TransportParams
+	resetToken := l.reset.tokenFor(c.scid)
+	params.StatelessResetToken = resetToken[:]
+	params.OriginalDestinationConnectionID = c.origDcid
+	if retryODCID != nil {
+		// After a Retry the client authenticates both the pre-Retry
+		// destination ID and the Retry source ID (RFC 9000, 7.3).
+		params.OriginalDestinationConnectionID = retryODCID
+		params.RetrySourceConnectionID = append(quicwire.ConnID(nil), hdr.DstID...)
+	}
+	params.InitialSourceConnectionID = c.scid
+	params.HasInitialSourceConnectionID = true
+	c.tls.SetTransportParameters(params.Marshal())
+
+	c.onHandshakeDone = func() {
+		// Confirm the handshake to the client and retire the
+		// handshake space (RFC 9001, Section 4.9.2).
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.HandshakeDoneFrame{})
+		c.spaces[spaceHandshake].dropped = true
+		// Issue alternate connection IDs (RFC 9000, Section 5.1.1),
+		// registered with the listener so packets using them route to
+		// this connection; each carries its stateless reset token.
+		for seq := uint64(1); seq <= 2; seq++ {
+			altID := quicwire.NewRandomConnID(8)
+			l.mu.Lock()
+			if !l.closed {
+				l.conns[string(altID)] = c
+			}
+			l.mu.Unlock()
+			f := &quicwire.NewConnectionIDFrame{
+				SequenceNumber:      seq,
+				ConnectionID:        altID,
+				StatelessResetToken: l.reset.tokenFor(altID),
+			}
+			c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames, f)
+		}
+	}
+
+	c.mu.Lock()
+	if err := c.tls.Start(context.Background()); err != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	if err := c.drainTLSEvents(); err != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	return c
+}
+
+// HandshakeComplete waits for the server-side handshake to finish.
+func (c *Conn) HandshakeComplete(ctx context.Context) error {
+	return c.waitHandshake(ctx)
+}
+
+// forget drops the listener's state for a connection without closing
+// it, simulating a restarted or load-balanced-away server. Used by
+// tests to exercise stateless resets.
+func (l *Listener) forget(c *Conn) {
+	l.mu.Lock()
+	for k, v := range l.conns {
+		if v == c {
+			delete(l.conns, k)
+		}
+	}
+	l.mu.Unlock()
+}

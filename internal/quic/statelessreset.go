@@ -1,0 +1,96 @@
+package quic
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"net"
+	"sync"
+
+	"quicscan/internal/quicwire"
+)
+
+// Stateless resets (RFC 9000, Section 10.3) let an endpoint that has
+// lost connection state tell a peer to stop sending: a datagram
+// indistinguishable from a short-header packet whose final 16 bytes
+// are a token the peer learned in the stateless_reset_token transport
+// parameter.
+
+// statelessResetTokenLen is the token size.
+const statelessResetTokenLen = 16
+
+// minResetTriggerSize avoids reset loops: only datagrams at least this
+// large elicit a stateless reset (RFC 9000, Section 10.3.3).
+const minResetTriggerSize = 43
+
+// resetKeys derives per-connection-ID reset tokens from a static key.
+type resetKeys struct {
+	once sync.Once
+	key  [32]byte
+}
+
+func (r *resetKeys) init() {
+	r.once.Do(func() {
+		if _, err := rand.Read(r.key[:]); err != nil {
+			panic("quic: reading randomness: " + err.Error())
+		}
+	})
+}
+
+// tokenFor computes the stateless reset token for a connection ID.
+func (r *resetKeys) tokenFor(cid quicwire.ConnID) [statelessResetTokenLen]byte {
+	r.init()
+	mac := hmac.New(sha256.New, r.key[:])
+	mac.Write(cid)
+	var out [statelessResetTokenLen]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// sendStatelessReset emits a reset for the connection ID an orphan
+// short-header packet was addressed to.
+func (l *Listener) sendStatelessReset(dcid quicwire.ConnID, from net.Addr, triggerLen int) {
+	if triggerLen < minResetTriggerSize {
+		return
+	}
+	token := l.reset.tokenFor(dcid)
+	// The reset must look like a valid short header packet with random
+	// content: 0b01 fixed bits plus randomness, then unpredictable
+	// bytes, ending in the token. Keep it shorter than the trigger.
+	size := triggerLen - 1
+	if size > 41 {
+		size = 41
+	}
+	pkt := make([]byte, size)
+	if _, err := rand.Read(pkt); err != nil {
+		return
+	}
+	pkt[0] = (pkt[0] & 0x3f) | 0x40
+	copy(pkt[len(pkt)-statelessResetTokenLen:], token[:])
+	l.pconn.WriteTo(pkt, from)
+}
+
+// ErrStatelessReset is the error a connection dies with when the peer
+// signals a stateless reset.
+var ErrStatelessReset = errors.New("quic: received stateless reset")
+
+// isStatelessResetLocked checks an undecryptable datagram against
+// every reset token the peer announced: the handshake transport
+// parameter and tokens carried in NEW_CONNECTION_ID frames.
+func (c *Conn) isStatelessResetLocked(data []byte) bool {
+	if len(data) < 21 {
+		return false
+	}
+	tail := data[len(data)-statelessResetTokenLen:]
+	if c.havePeerParams && len(c.peerParams.StatelessResetToken) == statelessResetTokenLen &&
+		hmac.Equal(tail, c.peerParams.StatelessResetToken) {
+		return true
+	}
+	for _, p := range c.peerConnIDs {
+		if hmac.Equal(tail, p.token[:]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package quic
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"quicscan/internal/quicwire"
+)
+
+func TestStatelessResetTokens(t *testing.T) {
+	var r resetKeys
+	cid1 := quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8}
+	cid2 := quicwire.ConnID{8, 7, 6, 5, 4, 3, 2, 1}
+	t1 := r.tokenFor(cid1)
+	if t1 != r.tokenFor(cid1) {
+		t.Error("token not deterministic")
+	}
+	if t1 == r.tokenFor(cid2) {
+		t.Error("distinct connection IDs share a token")
+	}
+	var r2 resetKeys
+	if t1 == r2.tokenFor(cid1) {
+		t.Error("distinct endpoints share tokens")
+	}
+}
+
+// TestStatelessResetEndToEnd: the server loses connection state; the
+// client's next 1-RTT packet elicits a stateless reset, and the client
+// terminates with ErrStatelessReset.
+func TestStatelessResetEndToEnd(t *testing.T) {
+	scfg, pool := serverConfig(t, "reset.test")
+	l, addr := startServer(t, scfg, ServerPolicy{})
+
+	conn, err := Dial(context.Background(), newUDP(t), addr, clientConfig(pool, "reset.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The server announced a reset token.
+	params, ok := conn.PeerTransportParameters()
+	if !ok || len(params.StatelessResetToken) != 16 {
+		t.Fatalf("no stateless reset token in transport parameters: %+v", params.StatelessResetToken)
+	}
+
+	// Let the handshake tail (acks, HANDSHAKE_DONE) drain, then
+	// simulate state loss at the server for every connection.
+	time.Sleep(250 * time.Millisecond)
+	l.mu.Lock()
+	conns := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	if len(conns) == 0 {
+		t.Fatal("no server connection")
+	}
+	for _, c := range conns {
+		l.forget(c)
+	}
+
+	// The client's next (sufficiently large) 1-RTT packet triggers the
+	// reset.
+	s, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write(make([]byte, 256))
+
+	select {
+	case <-conn.Closed():
+	case <-time.After(3 * time.Second):
+		t.Fatal("connection did not observe the stateless reset")
+	}
+	conn.mu.Lock()
+	err = conn.closeErr
+	conn.mu.Unlock()
+	if !errors.Is(err, ErrStatelessReset) {
+		t.Errorf("close error = %v, want stateless reset", err)
+	}
+}
+
+// TestNoResetForTinyDatagrams guards the anti-loop rule: packets below
+// the trigger size must not elicit resets.
+func TestNoResetForTinyDatagrams(t *testing.T) {
+	scfg, _ := serverConfig(t, "tiny.test")
+	_, addr := startServer(t, scfg, ServerPolicy{})
+
+	pc := newUDP(t)
+	defer pc.Close()
+	// A 20-byte short-header-looking datagram with an unknown DCID.
+	probe := make([]byte, 20)
+	probe[0] = 0x41
+	pc.WriteTo(probe, addr)
+	pc.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if n, _, err := pc.ReadFrom(make([]byte, 100)); err == nil {
+		t.Errorf("got a %d-byte response to a tiny orphan datagram", n)
+	}
+
+	// A large orphan datagram does elicit a reset, smaller than itself.
+	big := make([]byte, 120)
+	big[0] = 0x41
+	for i := 1; i < 9; i++ {
+		big[i] = byte(i) // unknown DCID
+	}
+	pc.WriteTo(big, addr)
+	pc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, _, err := pc.ReadFrom(make([]byte, 200))
+	if err != nil {
+		t.Fatalf("no stateless reset: %v", err)
+	}
+	if n >= len(big) {
+		t.Errorf("reset (%d bytes) not smaller than trigger (%d)", n, len(big))
+	}
+	if n < 21 {
+		t.Errorf("reset only %d bytes", n)
+	}
+}
+
+// TestNewConnectionIDsIssued: the server hands out alternate IDs after
+// the handshake, the client records them, and packets addressed to an
+// alternate ID route to the same connection.
+func TestNewConnectionIDsIssued(t *testing.T) {
+	scfg, pool := serverConfig(t, "ncid.test")
+	_, addr := startServer(t, scfg, ServerPolicy{})
+
+	conn, err := Dial(context.Background(), newUDP(t), addr, clientConfig(pool, "ncid.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	var ids []quicwire.ConnID
+	for time.Now().Before(deadline) {
+		ids = conn.PeerConnectionIDs()
+		if len(ids) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(ids) < 2 {
+		t.Fatalf("received %d alternate connection IDs, want 2", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if len(id) != 8 {
+			t.Errorf("alternate ID length %d", len(id))
+		}
+		if seen[string(id)] {
+			t.Error("duplicate alternate ID")
+		}
+		seen[string(id)] = true
+	}
+
+	// Switching the client's destination ID to an alternate must keep
+	// the connection working (the listener routes it to the same conn).
+	conn.mu.Lock()
+	conn.dcid = append(quicwire.ConnID(nil), ids[0]...)
+	conn.mu.Unlock()
+	s, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write([]byte("via alt cid"))
+	s.Close()
+	buf := make([]byte, 32)
+	n, err := s.Read(buf)
+	if err != nil || string(buf[:n]) != "VIA ALT CID" {
+		t.Errorf("echo over alternate CID = %q, %v", buf[:n], err)
+	}
+}

@@ -1,0 +1,122 @@
+package quic
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand/v2"
+	"testing"
+
+	"quicscan/internal/quicwire"
+)
+
+// TestLargeStreamTransfer pushes well over a packet's worth of data in
+// both directions, exercising stream frame splitting in the packer and
+// reassembly on receive.
+func TestLargeStreamTransfer(t *testing.T) {
+	scfg, pool := serverConfig(t, "big.test")
+	_, addr := startServer(t, scfg, ServerPolicy{})
+
+	conn, err := Dial(context.Background(), newUDP(t), addr, clientConfig(pool, "big.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rng := rand.New(rand.NewPCG(5, 5))
+	payload := make([]byte, 64*1024)
+	for i := range payload {
+		payload[i] = byte('a' + rng.IntN(26))
+	}
+
+	s, err := conn.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write in odd-sized chunks to create frames of varied sizes.
+	for off := 0; off < len(payload); {
+		n := 3000 + rng.IntN(5000)
+		if off+n > len(payload) {
+			n = len(payload) - off
+		}
+		if _, err := s.Write(payload[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	echoed, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("reading echo: %v", err)
+	}
+	if len(echoed) != len(payload) {
+		t.Fatalf("echoed %d of %d bytes", len(echoed), len(payload))
+	}
+	if !bytes.Equal(echoed, bytes.ToUpper(payload)) {
+		// Find the first divergence for a useful message.
+		want := bytes.ToUpper(payload)
+		for i := range echoed {
+			if echoed[i] != want[i] {
+				t.Fatalf("echo diverges at byte %d: %q != %q", i, echoed[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSplitFrame covers the packer's frame splitting directly.
+func TestSplitFrame(t *testing.T) {
+	data := make([]byte, 5000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	cf := &quicwire.CryptoFrame{Offset: 100, Data: data}
+	head, rest, ok := splitFrame(cf, 1200)
+	if !ok {
+		t.Fatal("crypto frame not split")
+	}
+	h := head.(*quicwire.CryptoFrame)
+	r := rest.(*quicwire.CryptoFrame)
+	if h.Offset != 100 || r.Offset != 100+uint64(len(h.Data)) {
+		t.Errorf("offsets: %d %d", h.Offset, r.Offset)
+	}
+	if len(h.Data)+len(r.Data) != len(data) {
+		t.Errorf("data split %d+%d != %d", len(h.Data), len(r.Data), len(data))
+	}
+	if len(head.Append(nil)) > 1200 {
+		t.Errorf("head serializes to %d > 1200", len(head.Append(nil)))
+	}
+
+	sf := &quicwire.StreamFrame{StreamID: 4, Offset: 7, Data: data, Fin: true}
+	head, rest, ok = splitFrame(sf, 1000)
+	if !ok {
+		t.Fatal("stream frame not split")
+	}
+	hs := head.(*quicwire.StreamFrame)
+	rs := rest.(*quicwire.StreamFrame)
+	if hs.Fin {
+		t.Error("FIN leaked into the head")
+	}
+	if !rs.Fin {
+		t.Error("FIN lost from the tail")
+	}
+	if hs.Offset != 7 || rs.Offset != 7+uint64(len(hs.Data)) {
+		t.Errorf("offsets: %d %d", hs.Offset, rs.Offset)
+	}
+
+	// A frame that already fits reports no split.
+	small := &quicwire.CryptoFrame{Data: make([]byte, 10)}
+	if _, _, ok := splitFrame(small, 1200); ok {
+		t.Error("small frame split")
+	}
+	// Non-splittable frame kinds report no split.
+	if _, _, ok := splitFrame(&quicwire.PingFrame{}, 1200); ok {
+		t.Error("PING split")
+	}
+	// Tiny budget: no split possible.
+	if _, _, ok := splitFrame(cf, 10); ok {
+		t.Error("split into impossible budget")
+	}
+}

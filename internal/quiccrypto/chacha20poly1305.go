@@ -1,0 +1,91 @@
+package quiccrypto
+
+import (
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+)
+
+// chaCha20Poly1305 implements cipher.AEAD per RFC 8439.
+type chaCha20Poly1305 struct {
+	key [32]byte
+}
+
+// NewChaCha20Poly1305 returns the ChaCha20-Poly1305 AEAD for a 32-byte
+// key.
+func NewChaCha20Poly1305(key []byte) (cipher.AEAD, error) {
+	if len(key) != 32 {
+		return nil, errors.New("quiccrypto: chacha20poly1305 key must be 32 bytes")
+	}
+	a := &chaCha20Poly1305{}
+	copy(a.key[:], key)
+	return a, nil
+}
+
+func (a *chaCha20Poly1305) NonceSize() int { return 12 }
+func (a *chaCha20Poly1305) Overhead() int  { return 16 }
+
+// polyKey derives the one-time Poly1305 key (block counter 0).
+func (a *chaCha20Poly1305) polyKey(nonce *[12]byte) [32]byte {
+	var block [64]byte
+	chaCha20Block(&a.key, 0, nonce, &block)
+	var pk [32]byte
+	copy(pk[:], block[:32])
+	return pk
+}
+
+// macData builds the Poly1305 input: aad || pad || ct || pad || lens.
+func macData(aad, ct []byte) []byte {
+	pad := func(n int) int { return (16 - n%16) % 16 }
+	out := make([]byte, 0, len(aad)+pad(len(aad))+len(ct)+pad(len(ct))+16)
+	out = append(out, aad...)
+	out = append(out, make([]byte, pad(len(aad)))...)
+	out = append(out, ct...)
+	out = append(out, make([]byte, pad(len(ct)))...)
+	var lens [16]byte
+	binary.LittleEndian.PutUint64(lens[0:8], uint64(len(aad)))
+	binary.LittleEndian.PutUint64(lens[8:16], uint64(len(ct)))
+	return append(out, lens[:]...)
+}
+
+func (a *chaCha20Poly1305) Seal(dst, nonce, plaintext, aad []byte) []byte {
+	if len(nonce) != 12 {
+		panic("quiccrypto: bad nonce length")
+	}
+	var n [12]byte
+	copy(n[:], nonce)
+	pk := a.polyKey(&n)
+
+	off := len(dst)
+	dst = append(dst, plaintext...)
+	ct := dst[off:]
+	chaCha20XOR(ct, ct, &a.key, 1, &n)
+	tag := poly1305Sum(&pk, macData(aad, ct))
+	return append(dst, tag[:]...)
+}
+
+var errAuthFailed = errors.New("quiccrypto: message authentication failed")
+
+func (a *chaCha20Poly1305) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	if len(nonce) != 12 {
+		return nil, errors.New("quiccrypto: bad nonce length")
+	}
+	if len(ciphertext) < 16 {
+		return nil, errAuthFailed
+	}
+	var n [12]byte
+	copy(n[:], nonce)
+	pk := a.polyKey(&n)
+
+	ct, tag := ciphertext[:len(ciphertext)-16], ciphertext[len(ciphertext)-16:]
+	want := poly1305Sum(&pk, macData(aad, ct))
+	if subtle.ConstantTimeCompare(tag, want[:]) != 1 {
+		return nil, errAuthFailed
+	}
+	off := len(dst)
+	dst = append(dst, ct...)
+	pt := dst[off:]
+	chaCha20XOR(pt, pt, &a.key, 1, &n)
+	return dst, nil
+}

@@ -1,0 +1,48 @@
+// Package quiccrypto implements QUIC packet protection as specified in
+// RFC 9001 ("Using TLS to Secure QUIC") for QUIC version 1 and the late
+// IETF drafts: Initial secret derivation with per-version salts,
+// HKDF-Expand-Label, AEAD payload protection, header protection (AES
+// and ChaCha20 based), and Retry packet integrity.
+//
+// The package deliberately contains a self-contained ChaCha20-Poly1305
+// implementation (RFC 8439): the standard library uses the cipher
+// internally in crypto/tls but does not export the raw stream cipher,
+// which QUIC header protection requires.
+package quiccrypto
+
+import (
+	"crypto/hkdf"
+	"crypto/sha256"
+	"crypto/sha512"
+	"hash"
+)
+
+// ExpandLabel implements HKDF-Expand-Label from TLS 1.3 (RFC 8446,
+// Section 7.1) as used by QUIC: the label is prefixed with "tls13 "
+// and the context is empty for all QUIC usages.
+func ExpandLabel[H hash.Hash](h func() H, secret []byte, label string, length int) []byte {
+	info := make([]byte, 0, 2+1+6+len(label)+1)
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(6+len(label)))
+	info = append(info, "tls13 "...)
+	info = append(info, label...)
+	info = append(info, 0) // empty context
+	out, err := hkdf.Expand(h, secret, string(info), length)
+	if err != nil {
+		panic("quiccrypto: hkdf expand: " + err.Error())
+	}
+	return out
+}
+
+// expandLabelSHA256 is the common case used by Initial keys.
+func expandLabelSHA256(secret []byte, label string, length int) []byte {
+	return ExpandLabel(sha256.New, secret, label, length)
+}
+
+// hashForSuite returns the hash constructor for a TLS 1.3 cipher suite.
+func hashForSuite(suite uint16) func() hash.Hash {
+	if suite == TLSAes256GcmSha384 {
+		return sha512.New384
+	}
+	return sha256.New
+}

@@ -1,0 +1,209 @@
+package quiccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+
+	"quicscan/internal/quicwire"
+)
+
+// TLS 1.3 cipher suite identifiers (duplicated here to avoid importing
+// crypto/tls from a low-level package).
+const (
+	TLSAes128GcmSha256        uint16 = 0x1301
+	TLSAes256GcmSha384        uint16 = 0x1302
+	TLSChaCha20Poly1305Sha256 uint16 = 0x1303
+)
+
+// SealOverhead is the AEAD expansion of a protected packet (all QUIC
+// AEADs have 16-byte tags).
+const SealOverhead = 16
+
+// headerProtector computes 5-byte header protection masks from
+// 16-byte ciphertext samples (RFC 9001, Section 5.4).
+type headerProtector interface {
+	mask(sample []byte) [5]byte
+}
+
+type aesHeaderProtector struct{ block cipher.Block }
+
+func (p aesHeaderProtector) mask(sample []byte) [5]byte {
+	var out [16]byte
+	p.block.Encrypt(out[:], sample)
+	return [5]byte{out[0], out[1], out[2], out[3], out[4]}
+}
+
+type chachaHeaderProtector struct{ key []byte }
+
+func (p chachaHeaderProtector) mask(sample []byte) [5]byte {
+	return ChaCha20HeaderMask(p.key, sample)
+}
+
+// Keys holds the sealing or opening state for one direction at one
+// encryption level.
+type Keys struct {
+	aead cipher.AEAD
+	iv   [12]byte
+	hp   headerProtector
+
+	// suite and secret are retained so the next key generation can be
+	// derived for key updates (RFC 9001, Section 6).
+	suite  uint16
+	secret []byte
+}
+
+// NewKeys derives packet protection keys from a TLS traffic secret for
+// the given cipher suite (RFC 9001, Section 5.1).
+func NewKeys(suite uint16, secret []byte) (*Keys, error) {
+	h := hashForSuite(suite)
+	var keyLen int
+	switch suite {
+	case TLSAes128GcmSha256:
+		keyLen = 16
+	case TLSAes256GcmSha384:
+		keyLen = 32
+	case TLSChaCha20Poly1305Sha256:
+		keyLen = 32
+	default:
+		return nil, fmt.Errorf("quiccrypto: unsupported cipher suite %#04x", suite)
+	}
+
+	key := ExpandLabel(h, secret, "quic key", keyLen)
+	iv := ExpandLabel(h, secret, "quic iv", 12)
+	hpKey := ExpandLabel(h, secret, "quic hp", keyLen)
+
+	k := &Keys{suite: suite, secret: append([]byte(nil), secret...)}
+	copy(k.iv[:], iv)
+	switch suite {
+	case TLSAes128GcmSha256, TLSAes256GcmSha384:
+		block, err := aes.NewCipher(key)
+		if err != nil {
+			return nil, err
+		}
+		aead, err := cipher.NewGCM(block)
+		if err != nil {
+			return nil, err
+		}
+		k.aead = aead
+		hpBlock, err := aes.NewCipher(hpKey)
+		if err != nil {
+			return nil, err
+		}
+		k.hp = aesHeaderProtector{block: hpBlock}
+	case TLSChaCha20Poly1305Sha256:
+		aead, err := NewChaCha20Poly1305(key)
+		if err != nil {
+			return nil, err
+		}
+		k.aead = aead
+		k.hp = chachaHeaderProtector{key: hpKey}
+	}
+	return k, nil
+}
+
+// Next derives the following key generation for a key update
+// (RFC 9001, Section 6.1): secret_{n+1} = HKDF-Expand-Label(secret_n,
+// "quic ku", "", hash_len). Header protection keys are NOT updated.
+func (k *Keys) Next() (*Keys, error) {
+	if k.secret == nil {
+		return nil, errors.New("quiccrypto: keys not derived from a secret")
+	}
+	h := hashForSuite(k.suite)
+	nextSecret := ExpandLabel(h, k.secret, "quic ku", len(k.secret))
+	nk, err := NewKeys(k.suite, nextSecret)
+	if err != nil {
+		return nil, err
+	}
+	// The header protection key stays fixed across updates.
+	nk.hp = k.hp
+	return nk, nil
+}
+
+// nonce computes the per-packet AEAD nonce: IV xor packet number.
+func (k *Keys) nonce(pn uint64) [12]byte {
+	n := k.iv
+	for i := 0; i < 8; i++ {
+		n[11-i] ^= byte(pn >> (8 * i))
+	}
+	return n
+}
+
+// SealPacket protects a packet in place. pkt contains the plaintext
+// header followed by the plaintext payload; pnOffset and pnLen locate
+// the packet number within the header; pn is the full packet number.
+// The payload is encrypted (growing the slice by SealOverhead) and
+// header protection is applied. The protected packet is returned.
+//
+// For long header packets the Length field must already account for
+// the AEAD overhead.
+func (k *Keys) SealPacket(pkt []byte, pnOffset, pnLen int, pn uint64) []byte {
+	hdrLen := pnOffset + pnLen
+	header := pkt[:hdrLen]
+	payload := pkt[hdrLen:]
+	nonce := k.nonce(pn)
+	// Seal may reallocate if pkt lacks capacity for the tag; append the
+	// result back so the returned slice is always self-contained.
+	sealed := k.aead.Seal(payload[:0], nonce[:], payload, header)
+	pkt = append(pkt[:hdrLen], sealed...)
+
+	// Header protection (RFC 9001, Section 5.4.1): sample starts 4
+	// bytes after the start of the packet number field.
+	sample := pkt[pnOffset+4 : pnOffset+4+16]
+	mask := k.hp.mask(sample)
+	if quicwire.IsLongHeader(pkt[0]) {
+		pkt[0] ^= mask[0] & 0x0f
+	} else {
+		pkt[0] ^= mask[0] & 0x1f
+	}
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+	}
+	return pkt
+}
+
+// ErrDecryptFailed is returned when a packet fails authentication.
+var ErrDecryptFailed = errors.New("quiccrypto: packet decryption failed")
+
+// OpenPacket removes header protection and decrypts a packet.
+//
+// pkt is the full packet (header byte through the end of the AEAD
+// tag); pnOffset is where the protected packet number begins (i.e. the
+// value returned by the header parsers); largestPN is the largest
+// packet number received so far in this packet number space (-1 if
+// none). It returns the decrypted payload, the full packet number and
+// the packet number length. pkt is modified in place (header bytes are
+// unprotected; the payload is decrypted into the same backing array).
+func (k *Keys) OpenPacket(pkt []byte, pnOffset int, largestPN int64) (payload []byte, pn uint64, pnLen int, err error) {
+	if len(pkt) < pnOffset+4+16 {
+		return nil, 0, 0, ErrDecryptFailed
+	}
+	sample := pkt[pnOffset+4 : pnOffset+4+16]
+	mask := k.hp.mask(sample)
+	first := pkt[0]
+	if quicwire.IsLongHeader(first) {
+		first ^= mask[0] & 0x0f
+	} else {
+		first ^= mask[0] & 0x1f
+	}
+	pnLen = int(first&0x03) + 1
+	if len(pkt) < pnOffset+pnLen {
+		return nil, 0, 0, ErrDecryptFailed
+	}
+	pkt[0] = first
+	var truncated uint64
+	for i := 0; i < pnLen; i++ {
+		pkt[pnOffset+i] ^= mask[1+i]
+		truncated = truncated<<8 | uint64(pkt[pnOffset+i])
+	}
+	pn = quicwire.DecodePacketNumber(largestPN, truncated, pnLen)
+
+	hdrLen := pnOffset + pnLen
+	nonce := k.nonce(pn)
+	payload, aeadErr := k.aead.Open(pkt[hdrLen:hdrLen], nonce[:], pkt[hdrLen:], pkt[:hdrLen])
+	if aeadErr != nil {
+		return nil, 0, 0, ErrDecryptFailed
+	}
+	return payload, pn, pnLen, nil
+}

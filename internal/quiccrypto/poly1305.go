@@ -1,0 +1,112 @@
+package quiccrypto
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// poly1305Sum computes the Poly1305 MAC (RFC 8439, Section 2.5) of msg
+// under the 32-byte one-time key. The implementation uses 64-bit limbs
+// with 128-bit intermediate products via math/bits.
+func poly1305Sum(key *[32]byte, msg []byte) [16]byte {
+	// r is clamped per the RFC.
+	r0 := binary.LittleEndian.Uint64(key[0:8]) & 0x0ffffffc0fffffff
+	r1 := binary.LittleEndian.Uint64(key[8:16]) & 0x0ffffffc0ffffffc
+	s0 := binary.LittleEndian.Uint64(key[16:24])
+	s1 := binary.LittleEndian.Uint64(key[24:32])
+
+	var h0, h1, h2 uint64
+
+	var block [16]byte
+	for len(msg) > 0 {
+		var m0, m1 uint64
+		var hibit uint64 = 1
+		if len(msg) >= 16 {
+			m0 = binary.LittleEndian.Uint64(msg[0:8])
+			m1 = binary.LittleEndian.Uint64(msg[8:16])
+			msg = msg[16:]
+		} else {
+			block = [16]byte{}
+			copy(block[:], msg)
+			block[len(msg)] = 1
+			hibit = 0
+			m0 = binary.LittleEndian.Uint64(block[0:8])
+			m1 = binary.LittleEndian.Uint64(block[8:16])
+			msg = nil
+		}
+
+		// h += m
+		var c uint64
+		h0, c = bits.Add64(h0, m0, 0)
+		h1, c = bits.Add64(h1, m1, c)
+		h2 += c + hibit
+
+		// h *= r (mod 2^130 - 5)
+		// Schoolbook multiply of (h2,h1,h0) * (r1,r0).
+		hi00, lo00 := bits.Mul64(h0, r0)
+		hi01, lo01 := bits.Mul64(h0, r1)
+		hi10, lo10 := bits.Mul64(h1, r0)
+		hi11, lo11 := bits.Mul64(h1, r1)
+
+		// h2 is at most a few bits; products with r fit in 64 bits
+		// because r < 2^60.
+		m2r0 := h2 * r0
+		m2r1 := h2 * r1
+
+		// Accumulate into a 256-bit value t3..t0.
+		t0 := lo00
+		t1, c1 := bits.Add64(hi00, lo01, 0)
+		t2, c2 := bits.Add64(hi01, hi10, c1)
+		t3 := hi11 + c2
+		t1, c1 = bits.Add64(t1, lo10, 0)
+		t2, c2 = bits.Add64(t2, lo11, c1)
+		t3 += c2
+		t2, c2 = bits.Add64(t2, m2r0, 0)
+		t3 += c2
+		t3, _ = bits.Add64(t3, m2r1, 0)
+
+		// Reduce modulo 2^130 - 5: the value is t = low130 + 2^130*high.
+		// low130 = (t2 & 3) << 128 | t1 << 64 | t0; high = t >> 130.
+		h0, h1, h2 = t0, t1, t2&3
+		// high part: bits 130 and up.
+		hh0 := t2>>2 | t3<<62
+		hh1 := t3 >> 2
+		// t mod p = low + 5*high (with one extra folding round below).
+		var cc uint64
+		h0, cc = bits.Add64(h0, hh0, 0)
+		h1, cc = bits.Add64(h1, hh1, cc)
+		h2 += cc
+		// + 4*high
+		hh0x4lo := hh0 << 2
+		hh0x4hi := hh0>>62 | hh1<<2
+		hh1x4hi := hh1 >> 62
+		h0, cc = bits.Add64(h0, hh0x4lo, 0)
+		h1, cc = bits.Add64(h1, hh0x4hi, cc)
+		h2 += cc + hh1x4hi
+		// Light reduction of h2 (keep h2 small).
+		for h2 >= 4 {
+			carry := h2 >> 2
+			h2 &= 3
+			h0, cc = bits.Add64(h0, carry*5, 0)
+			h1, cc = bits.Add64(h1, 0, cc)
+			h2 += cc
+		}
+	}
+
+	// Final reduction: h mod p, then h += s.
+	// Compute h - p = h - (2^130 - 5) = h + 5 - 2^130.
+	t0, c := bits.Add64(h0, 5, 0)
+	t1, c := bits.Add64(h1, 0, c)
+	t2 := h2 + c
+	if t2>>2 != 0 { // h + 5 >= 2^130, so h >= p: use the subtracted value
+		h0, h1 = t0, t1
+	}
+
+	h0, c = bits.Add64(h0, s0, 0)
+	h1, _ = bits.Add64(h1, s1, c)
+
+	var tag [16]byte
+	binary.LittleEndian.PutUint64(tag[0:8], h0)
+	binary.LittleEndian.PutUint64(tag[8:16], h1)
+	return tag
+}

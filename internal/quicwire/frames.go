@@ -1,0 +1,519 @@
+package quicwire
+
+import (
+	"fmt"
+)
+
+// Frame type identifiers (RFC 9000, Section 19).
+const (
+	FrameTypePadding                  uint64 = 0x00
+	FrameTypePing                     uint64 = 0x01
+	FrameTypeAck                      uint64 = 0x02
+	FrameTypeAckECN                   uint64 = 0x03
+	FrameTypeResetStream              uint64 = 0x04
+	FrameTypeStopSending              uint64 = 0x05
+	FrameTypeCrypto                   uint64 = 0x06
+	FrameTypeNewToken                 uint64 = 0x07
+	FrameTypeStreamBase               uint64 = 0x08 // 0x08-0x0f with OFF/LEN/FIN bits
+	FrameTypeMaxData                  uint64 = 0x10
+	FrameTypeMaxStreamData            uint64 = 0x11
+	FrameTypeMaxStreamsBidi           uint64 = 0x12
+	FrameTypeMaxStreamsUni            uint64 = 0x13
+	FrameTypeDataBlocked              uint64 = 0x14
+	FrameTypeStreamDataBlocked        uint64 = 0x15
+	FrameTypeStreamsBlockedBidi       uint64 = 0x16
+	FrameTypeStreamsBlockedUni        uint64 = 0x17
+	FrameTypeNewConnectionID          uint64 = 0x18
+	FrameTypeRetireConnectionID       uint64 = 0x19
+	FrameTypePathChallenge            uint64 = 0x1a
+	FrameTypePathResponse             uint64 = 0x1b
+	FrameTypeConnectionCloseTransport uint64 = 0x1c
+	FrameTypeConnectionCloseApp       uint64 = 0x1d
+	FrameTypeHandshakeDone            uint64 = 0x1e
+)
+
+// Frame is implemented by every QUIC frame type. Append serializes the
+// frame, including its type byte(s), onto b.
+type Frame interface {
+	Append(b []byte) []byte
+	frameType() uint64
+}
+
+// AckEliciting reports whether a frame requires acknowledgement
+// (everything except ACK, PADDING and CONNECTION_CLOSE).
+func AckEliciting(f Frame) bool {
+	switch f.(type) {
+	case *AckFrame, *PaddingFrame, *ConnectionCloseFrame:
+		return false
+	}
+	return true
+}
+
+// PaddingFrame represents Count consecutive PADDING bytes.
+type PaddingFrame struct{ Count int }
+
+func (f *PaddingFrame) frameType() uint64 { return FrameTypePadding }
+
+func (f *PaddingFrame) Append(b []byte) []byte {
+	for i := 0; i < f.Count; i++ {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// PingFrame elicits an acknowledgement.
+type PingFrame struct{}
+
+func (f *PingFrame) frameType() uint64      { return FrameTypePing }
+func (f *PingFrame) Append(b []byte) []byte { return append(b, byte(FrameTypePing)) }
+
+// AckRange is one contiguous range of acknowledged packet numbers,
+// inclusive on both ends.
+type AckRange struct {
+	Smallest uint64
+	Largest  uint64
+}
+
+// AckFrame acknowledges received packets. Ranges must be ordered from
+// largest to smallest and non-overlapping, matching the wire layout.
+type AckFrame struct {
+	Ranges   []AckRange // Ranges[0].Largest is the Largest Acknowledged
+	DelayRaw uint64     // ACK Delay field, already scaled by the exponent
+}
+
+func (f *AckFrame) frameType() uint64 { return FrameTypeAck }
+
+func (f *AckFrame) Append(b []byte) []byte {
+	if len(f.Ranges) == 0 {
+		panic("quicwire: ACK frame without ranges")
+	}
+	b = AppendVarint(b, FrameTypeAck)
+	b = AppendVarint(b, f.Ranges[0].Largest)
+	b = AppendVarint(b, f.DelayRaw)
+	b = AppendVarint(b, uint64(len(f.Ranges)-1))
+	b = AppendVarint(b, f.Ranges[0].Largest-f.Ranges[0].Smallest)
+	prevSmallest := f.Ranges[0].Smallest
+	for _, r := range f.Ranges[1:] {
+		gap := prevSmallest - r.Largest - 2
+		b = AppendVarint(b, gap)
+		b = AppendVarint(b, r.Largest-r.Smallest)
+		prevSmallest = r.Smallest
+	}
+	return b
+}
+
+// Acks reports whether the frame acknowledges packet number pn.
+func (f *AckFrame) Acks(pn uint64) bool {
+	for _, r := range f.Ranges {
+		if pn >= r.Smallest && pn <= r.Largest {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStreamFrame abruptly terminates the sending part of a stream.
+type ResetStreamFrame struct {
+	StreamID  uint64
+	ErrorCode uint64
+	FinalSize uint64
+}
+
+func (f *ResetStreamFrame) frameType() uint64 { return FrameTypeResetStream }
+
+func (f *ResetStreamFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeResetStream)
+	b = AppendVarint(b, f.StreamID)
+	b = AppendVarint(b, f.ErrorCode)
+	return AppendVarint(b, f.FinalSize)
+}
+
+// StopSendingFrame requests that a peer cease transmission on a stream.
+type StopSendingFrame struct {
+	StreamID  uint64
+	ErrorCode uint64
+}
+
+func (f *StopSendingFrame) frameType() uint64 { return FrameTypeStopSending }
+
+func (f *StopSendingFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeStopSending)
+	b = AppendVarint(b, f.StreamID)
+	return AppendVarint(b, f.ErrorCode)
+}
+
+// CryptoFrame carries TLS handshake data.
+type CryptoFrame struct {
+	Offset uint64
+	Data   []byte
+}
+
+func (f *CryptoFrame) frameType() uint64 { return FrameTypeCrypto }
+
+func (f *CryptoFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeCrypto)
+	b = AppendVarint(b, f.Offset)
+	b = AppendVarint(b, uint64(len(f.Data)))
+	return append(b, f.Data...)
+}
+
+// NewTokenFrame provides a token for use in a future Initial packet.
+type NewTokenFrame struct{ Token []byte }
+
+func (f *NewTokenFrame) frameType() uint64 { return FrameTypeNewToken }
+
+func (f *NewTokenFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeNewToken)
+	b = AppendVarint(b, uint64(len(f.Token)))
+	return append(b, f.Token...)
+}
+
+// StreamFrame carries application data on a stream. The LEN bit is
+// always set when serializing unless Implicit is true (frame extends to
+// the end of the packet).
+type StreamFrame struct {
+	StreamID uint64
+	Offset   uint64
+	Data     []byte
+	Fin      bool
+	Implicit bool // omit the Length field
+}
+
+func (f *StreamFrame) frameType() uint64 { return FrameTypeStreamBase }
+
+func (f *StreamFrame) Append(b []byte) []byte {
+	t := FrameTypeStreamBase
+	if f.Offset > 0 {
+		t |= 0x04
+	}
+	if !f.Implicit {
+		t |= 0x02
+	}
+	if f.Fin {
+		t |= 0x01
+	}
+	b = AppendVarint(b, t)
+	b = AppendVarint(b, f.StreamID)
+	if f.Offset > 0 {
+		b = AppendVarint(b, f.Offset)
+	}
+	if !f.Implicit {
+		b = AppendVarint(b, uint64(len(f.Data)))
+	}
+	return append(b, f.Data...)
+}
+
+// MaxDataFrame updates the connection-level flow control limit.
+type MaxDataFrame struct{ MaximumData uint64 }
+
+func (f *MaxDataFrame) frameType() uint64 { return FrameTypeMaxData }
+
+func (f *MaxDataFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeMaxData)
+	return AppendVarint(b, f.MaximumData)
+}
+
+// MaxStreamDataFrame updates a stream-level flow control limit.
+type MaxStreamDataFrame struct {
+	StreamID    uint64
+	MaximumData uint64
+}
+
+func (f *MaxStreamDataFrame) frameType() uint64 { return FrameTypeMaxStreamData }
+
+func (f *MaxStreamDataFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeMaxStreamData)
+	b = AppendVarint(b, f.StreamID)
+	return AppendVarint(b, f.MaximumData)
+}
+
+// MaxStreamsFrame raises the limit on streams the peer may open.
+type MaxStreamsFrame struct {
+	Bidi           bool
+	MaximumStreams uint64
+}
+
+func (f *MaxStreamsFrame) frameType() uint64 {
+	if f.Bidi {
+		return FrameTypeMaxStreamsBidi
+	}
+	return FrameTypeMaxStreamsUni
+}
+
+func (f *MaxStreamsFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, f.frameType())
+	return AppendVarint(b, f.MaximumStreams)
+}
+
+// DataBlockedFrame indicates connection-level flow control blocking.
+type DataBlockedFrame struct{ Limit uint64 }
+
+func (f *DataBlockedFrame) frameType() uint64 { return FrameTypeDataBlocked }
+
+func (f *DataBlockedFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeDataBlocked)
+	return AppendVarint(b, f.Limit)
+}
+
+// StreamDataBlockedFrame indicates stream-level flow control blocking.
+type StreamDataBlockedFrame struct {
+	StreamID uint64
+	Limit    uint64
+}
+
+func (f *StreamDataBlockedFrame) frameType() uint64 { return FrameTypeStreamDataBlocked }
+
+func (f *StreamDataBlockedFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeStreamDataBlocked)
+	b = AppendVarint(b, f.StreamID)
+	return AppendVarint(b, f.Limit)
+}
+
+// StreamsBlockedFrame indicates blocking on the stream count limit.
+type StreamsBlockedFrame struct {
+	Bidi  bool
+	Limit uint64
+}
+
+func (f *StreamsBlockedFrame) frameType() uint64 {
+	if f.Bidi {
+		return FrameTypeStreamsBlockedBidi
+	}
+	return FrameTypeStreamsBlockedUni
+}
+
+func (f *StreamsBlockedFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, f.frameType())
+	return AppendVarint(b, f.Limit)
+}
+
+// NewConnectionIDFrame provides an alternative connection ID.
+type NewConnectionIDFrame struct {
+	SequenceNumber      uint64
+	RetirePriorTo       uint64
+	ConnectionID        ConnID
+	StatelessResetToken [16]byte
+}
+
+func (f *NewConnectionIDFrame) frameType() uint64 { return FrameTypeNewConnectionID }
+
+func (f *NewConnectionIDFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeNewConnectionID)
+	b = AppendVarint(b, f.SequenceNumber)
+	b = AppendVarint(b, f.RetirePriorTo)
+	b = append(b, byte(len(f.ConnectionID)))
+	b = append(b, f.ConnectionID...)
+	return append(b, f.StatelessResetToken[:]...)
+}
+
+// RetireConnectionIDFrame retires a connection ID by sequence number.
+type RetireConnectionIDFrame struct{ SequenceNumber uint64 }
+
+func (f *RetireConnectionIDFrame) frameType() uint64 { return FrameTypeRetireConnectionID }
+
+func (f *RetireConnectionIDFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypeRetireConnectionID)
+	return AppendVarint(b, f.SequenceNumber)
+}
+
+// PathChallengeFrame probes path reachability.
+type PathChallengeFrame struct{ Data [8]byte }
+
+func (f *PathChallengeFrame) frameType() uint64 { return FrameTypePathChallenge }
+
+func (f *PathChallengeFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypePathChallenge)
+	return append(b, f.Data[:]...)
+}
+
+// PathResponseFrame answers a PATH_CHALLENGE.
+type PathResponseFrame struct{ Data [8]byte }
+
+func (f *PathResponseFrame) frameType() uint64 { return FrameTypePathResponse }
+
+func (f *PathResponseFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, FrameTypePathResponse)
+	return append(b, f.Data[:]...)
+}
+
+// ConnectionCloseFrame signals connection termination. IsApp selects
+// the 0x1d application variant (no frame type field).
+type ConnectionCloseFrame struct {
+	IsApp        bool
+	ErrorCode    uint64
+	FrameType    uint64 // transport variant only
+	ReasonPhrase string
+}
+
+func (f *ConnectionCloseFrame) frameType() uint64 {
+	if f.IsApp {
+		return FrameTypeConnectionCloseApp
+	}
+	return FrameTypeConnectionCloseTransport
+}
+
+func (f *ConnectionCloseFrame) Append(b []byte) []byte {
+	b = AppendVarint(b, f.frameType())
+	b = AppendVarint(b, f.ErrorCode)
+	if !f.IsApp {
+		b = AppendVarint(b, f.FrameType)
+	}
+	b = AppendVarint(b, uint64(len(f.ReasonPhrase)))
+	return append(b, f.ReasonPhrase...)
+}
+
+// HandshakeDoneFrame confirms the handshake to the client.
+type HandshakeDoneFrame struct{}
+
+func (f *HandshakeDoneFrame) frameType() uint64 { return FrameTypeHandshakeDone }
+
+func (f *HandshakeDoneFrame) Append(b []byte) []byte {
+	return AppendVarint(b, FrameTypeHandshakeDone)
+}
+
+// ParseFrame decodes a single frame from the front of b, returning the
+// frame and the number of bytes consumed. Consecutive PADDING bytes are
+// coalesced into one PaddingFrame.
+func ParseFrame(b []byte) (Frame, int, error) {
+	r := &reader{b: b}
+	t := r.varint()
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	var f Frame
+	switch {
+	case t == FrameTypePadding:
+		n := 1
+		for r.remaining() > 0 && r.b[r.off] == 0 {
+			r.off++
+			n++
+		}
+		f = &PaddingFrame{Count: n}
+	case t == FrameTypePing:
+		f = &PingFrame{}
+	case t == FrameTypeAck || t == FrameTypeAckECN:
+		ack := &AckFrame{}
+		largest := r.varint()
+		ack.DelayRaw = r.varint()
+		rangeCount := r.varint()
+		firstRange := r.varint()
+		if r.err != nil || firstRange > largest {
+			return nil, 0, errMalformed("ACK")
+		}
+		smallest := largest - firstRange
+		ack.Ranges = append(ack.Ranges, AckRange{Smallest: smallest, Largest: largest})
+		for i := uint64(0); i < rangeCount; i++ {
+			gap := r.varint()
+			length := r.varint()
+			if r.err != nil || gap+2 > smallest {
+				return nil, 0, errMalformed("ACK range")
+			}
+			largest = smallest - gap - 2
+			if length > largest {
+				return nil, 0, errMalformed("ACK range length")
+			}
+			smallest = largest - length
+			ack.Ranges = append(ack.Ranges, AckRange{Smallest: smallest, Largest: largest})
+		}
+		if t == FrameTypeAckECN {
+			r.varint() // ECT0
+			r.varint() // ECT1
+			r.varint() // ECN-CE
+		}
+		f = ack
+	case t == FrameTypeResetStream:
+		f = &ResetStreamFrame{StreamID: r.varint(), ErrorCode: r.varint(), FinalSize: r.varint()}
+	case t == FrameTypeStopSending:
+		f = &StopSendingFrame{StreamID: r.varint(), ErrorCode: r.varint()}
+	case t == FrameTypeCrypto:
+		f = &CryptoFrame{Offset: r.varint(), Data: r.varbytes()}
+	case t == FrameTypeNewToken:
+		f = &NewTokenFrame{Token: r.varbytes()}
+	case t >= FrameTypeStreamBase && t <= FrameTypeStreamBase|0x07:
+		sf := &StreamFrame{}
+		sf.StreamID = r.varint()
+		if t&0x04 != 0 {
+			sf.Offset = r.varint()
+		}
+		if t&0x02 != 0 {
+			sf.Data = r.varbytes()
+		} else {
+			sf.Implicit = true
+			sf.Data = r.bytes(r.remaining())
+		}
+		sf.Fin = t&0x01 != 0
+		f = sf
+	case t == FrameTypeMaxData:
+		f = &MaxDataFrame{MaximumData: r.varint()}
+	case t == FrameTypeMaxStreamData:
+		f = &MaxStreamDataFrame{StreamID: r.varint(), MaximumData: r.varint()}
+	case t == FrameTypeMaxStreamsBidi:
+		f = &MaxStreamsFrame{Bidi: true, MaximumStreams: r.varint()}
+	case t == FrameTypeMaxStreamsUni:
+		f = &MaxStreamsFrame{Bidi: false, MaximumStreams: r.varint()}
+	case t == FrameTypeDataBlocked:
+		f = &DataBlockedFrame{Limit: r.varint()}
+	case t == FrameTypeStreamDataBlocked:
+		f = &StreamDataBlockedFrame{StreamID: r.varint(), Limit: r.varint()}
+	case t == FrameTypeStreamsBlockedBidi:
+		f = &StreamsBlockedFrame{Bidi: true, Limit: r.varint()}
+	case t == FrameTypeStreamsBlockedUni:
+		f = &StreamsBlockedFrame{Bidi: false, Limit: r.varint()}
+	case t == FrameTypeNewConnectionID:
+		nc := &NewConnectionIDFrame{SequenceNumber: r.varint(), RetirePriorTo: r.varint()}
+		idLen := int(r.byte())
+		if idLen < 1 || idLen > MaxConnIDLen {
+			return nil, 0, errMalformed("NEW_CONNECTION_ID length")
+		}
+		nc.ConnectionID = ConnID(r.bytes(idLen))
+		copy(nc.StatelessResetToken[:], r.bytes(16))
+		f = nc
+	case t == FrameTypeRetireConnectionID:
+		f = &RetireConnectionIDFrame{SequenceNumber: r.varint()}
+	case t == FrameTypePathChallenge:
+		pc := &PathChallengeFrame{}
+		copy(pc.Data[:], r.bytes(8))
+		f = pc
+	case t == FrameTypePathResponse:
+		pr := &PathResponseFrame{}
+		copy(pr.Data[:], r.bytes(8))
+		f = pr
+	case t == FrameTypeConnectionCloseTransport:
+		cc := &ConnectionCloseFrame{IsApp: false}
+		cc.ErrorCode = r.varint()
+		cc.FrameType = r.varint()
+		cc.ReasonPhrase = string(r.varbytes())
+		f = cc
+	case t == FrameTypeConnectionCloseApp:
+		cc := &ConnectionCloseFrame{IsApp: true}
+		cc.ErrorCode = r.varint()
+		cc.ReasonPhrase = string(r.varbytes())
+		f = cc
+	case t == FrameTypeHandshakeDone:
+		f = &HandshakeDoneFrame{}
+	default:
+		return nil, 0, fmt.Errorf("quicwire: unknown frame type 0x%x", t)
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	return f, r.off, nil
+}
+
+// ParseFrames decodes all frames in a packet payload.
+func ParseFrames(b []byte) ([]Frame, error) {
+	var frames []Frame
+	for len(b) > 0 {
+		f, n, err := ParseFrame(b)
+		if err != nil {
+			return frames, err
+		}
+		frames = append(frames, f)
+		b = b[n:]
+	}
+	return frames, nil
+}
+
+func errMalformed(what string) error {
+	return fmt.Errorf("quicwire: malformed %s frame", what)
+}

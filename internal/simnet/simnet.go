@@ -1,0 +1,389 @@
+// Package simnet is the virtual Internet substrate: an in-memory UDP
+// plane and a TCP-like stream plane with real addressing, latency and
+// loss, over which the scanners run unchanged (they accept
+// net.PacketConn / net.Conn). The paper scanned the real IPv4 space
+// and an IPv6 hitlist; here the same probes hit simulated deployments.
+//
+// Two kinds of endpoint exist:
+//
+//   - socket endpoints: full servers (QUIC listeners, DNS and TCP/TLS
+//     servers) bound with ListenUDP / ListenStream, and
+//   - synthetic endpoints: a network-level responder callback that can
+//     answer datagrams for addresses without sockets. The deployment
+//     model uses it to answer stateless version negotiation probes for
+//     the entire modelled address population without instantiating
+//     millions of servers.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"os"
+	"sync"
+	"time"
+)
+
+// datagram is one in-flight UDP payload.
+type datagram struct {
+	payload []byte
+	from    netip.AddrPort
+}
+
+// SyntheticResponder may answer a datagram addressed to an endpoint
+// with no bound socket. It returns zero or more reply payloads, which
+// the network delivers with the probed address as source. It must be
+// safe for concurrent use.
+type SyntheticResponder func(dst netip.AddrPort, payload []byte) [][]byte
+
+// Network is one simulated Internet.
+type Network struct {
+	mu        sync.RWMutex
+	udp       map[netip.AddrPort]*PacketConn
+	listeners map[netip.AddrPort]*streamListener
+	synth     SyntheticResponder
+
+	latency time.Duration
+	loss    float64
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	ephemeral uint32
+	closed    bool
+
+	// Stats counts traffic crossing the network.
+	stats struct {
+		sync.Mutex
+		udpDatagrams int
+		udpBytes     int64
+		synthAnswers int
+	}
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency is the one-way delivery delay (default 0: immediate).
+	Latency time.Duration
+	// Loss is the probability in [0,1) that a datagram is dropped.
+	Loss float64
+	// Seed makes loss decisions reproducible.
+	Seed uint64
+}
+
+// New creates a network.
+func New(cfg Config) *Network {
+	return &Network{
+		udp:       make(map[netip.AddrPort]*PacketConn),
+		listeners: make(map[netip.AddrPort]*streamListener),
+		latency:   cfg.Latency,
+		loss:      cfg.Loss,
+		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// SetSyntheticResponder installs the fallback responder.
+func (n *Network) SetSyntheticResponder(r SyntheticResponder) {
+	n.mu.Lock()
+	n.synth = r
+	n.mu.Unlock()
+}
+
+// UDPTraffic reports the datagram and byte counts seen so far.
+func (n *Network) UDPTraffic() (datagrams int, bytes int64) {
+	n.stats.Lock()
+	defer n.stats.Unlock()
+	return n.stats.udpDatagrams, n.stats.udpBytes
+}
+
+// scannerBase is the address range client sockets allocate from,
+// mirroring the paper's dedicated research prefix.
+var scannerBase = netip.MustParseAddr("198.18.0.1")
+
+// nextEphemeral allocates a unique client address:port.
+func (n *Network) nextEphemeral() netip.AddrPort {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ephemeral++
+	// Spread clients over the 198.18.0.0/15 benchmarking range with
+	// ports above 32768.
+	idx := n.ephemeral
+	addr := scannerBase
+	a4 := addr.As4()
+	a4[2] += byte(idx >> 14 & 0x7f)
+	a4[3] += byte(idx >> 7 & 0x7f)
+	port := uint16(32768 + idx%32000)
+	return netip.AddrPortFrom(netip.AddrFrom4(a4), port)
+}
+
+func (n *Network) dropped() bool {
+	if n.loss <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < n.loss
+}
+
+var errNetClosed = errors.New("simnet: network closed")
+
+// ListenUDP binds a socket at a fixed address. Binding an in-use
+// address fails.
+func (n *Network) ListenUDP(at netip.AddrPort) (*PacketConn, error) {
+	pc := newPacketConn(n, at)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errNetClosed
+	}
+	if _, exists := n.udp[at]; exists {
+		return nil, fmt.Errorf("simnet: address %v in use", at)
+	}
+	n.udp[at] = pc
+	return pc, nil
+}
+
+// DialUDP creates an ephemeral client socket.
+func (n *Network) DialUDP() (*PacketConn, error) {
+	for i := 0; i < 64; i++ {
+		pc, err := n.ListenUDP(n.nextEphemeral())
+		if err == nil {
+			return pc, nil
+		}
+	}
+	return nil, errors.New("simnet: ephemeral address space exhausted")
+}
+
+func (n *Network) unbindUDP(at netip.AddrPort, pc *PacketConn) {
+	n.mu.Lock()
+	if n.udp[at] == pc {
+		delete(n.udp, at)
+	}
+	n.mu.Unlock()
+}
+
+// deliver routes one datagram. Called from PacketConn.WriteTo.
+func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
+	n.stats.Lock()
+	n.stats.udpDatagrams++
+	n.stats.udpBytes += int64(len(payload))
+	n.stats.Unlock()
+
+	if n.dropped() {
+		return
+	}
+
+	n.mu.RLock()
+	dst := n.udp[to]
+	synth := n.synth
+	n.mu.RUnlock()
+
+	if dst != nil {
+		buf := make([]byte, len(payload))
+		copy(buf, payload)
+		if n.latency > 0 {
+			time.AfterFunc(n.latency, func() { dst.enqueue(datagram{payload: buf, from: from}) })
+		} else {
+			dst.enqueue(datagram{payload: buf, from: from})
+		}
+		return
+	}
+
+	if synth != nil {
+		replies := synth(to, payload)
+		if len(replies) == 0 {
+			return
+		}
+		n.stats.Lock()
+		n.stats.synthAnswers += len(replies)
+		n.stats.Unlock()
+		n.mu.RLock()
+		src := n.udp[from]
+		n.mu.RUnlock()
+		if src == nil {
+			return
+		}
+		send := func() {
+			for _, r := range replies {
+				if !n.dropped() {
+					src.enqueue(datagram{payload: r, from: to})
+				}
+			}
+		}
+		if n.latency > 0 {
+			time.AfterFunc(n.latency, send)
+		} else {
+			send()
+		}
+	}
+}
+
+// Close tears down the network and all sockets.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	conns := make([]*PacketConn, 0, len(n.udp))
+	for _, pc := range n.udp {
+		conns = append(conns, pc)
+	}
+	listeners := make([]*streamListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		listeners = append(listeners, l)
+	}
+	n.mu.Unlock()
+	for _, pc := range conns {
+		pc.Close()
+	}
+	for _, l := range listeners {
+		l.Close()
+	}
+}
+
+// PacketConn is a simulated UDP socket implementing net.PacketConn.
+type PacketConn struct {
+	net  *Network
+	addr netip.AddrPort
+
+	mu       sync.Mutex
+	queue    chan datagram
+	closed   bool
+	deadline time.Time
+	dlCh     chan struct{} // closed+replaced whenever the deadline changes
+}
+
+func newPacketConn(n *Network, at netip.AddrPort) *PacketConn {
+	return &PacketConn{
+		net:   n,
+		addr:  at,
+		queue: make(chan datagram, 4096),
+		dlCh:  make(chan struct{}),
+	}
+}
+
+func (pc *PacketConn) enqueue(d datagram) {
+	pc.mu.Lock()
+	closed := pc.closed
+	pc.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case pc.queue <- d:
+	default: // receive buffer overflow: drop, like a real socket
+	}
+}
+
+// ReadFrom implements net.PacketConn.
+func (pc *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		pc.mu.Lock()
+		if pc.closed {
+			pc.mu.Unlock()
+			return 0, nil, net.ErrClosed
+		}
+		deadline := pc.deadline
+		dlCh := pc.dlCh
+		pc.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, nil, &timeoutError{}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+
+		select {
+		case d, ok := <-pc.queue:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return 0, nil, net.ErrClosed
+			}
+			nn := copy(p, d.payload)
+			return nn, net.UDPAddrFromAddrPort(d.from), nil
+		case <-timeout:
+			return 0, nil, &timeoutError{}
+		case <-dlCh:
+			// Deadline changed; re-evaluate.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// WriteTo implements net.PacketConn.
+func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	pc.mu.Unlock()
+	to, err := toAddrPort(addr)
+	if err != nil {
+		return 0, err
+	}
+	pc.net.deliver(pc.addr, to, p)
+	return len(p), nil
+}
+
+// Close implements net.PacketConn.
+func (pc *PacketConn) Close() error {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return nil
+	}
+	pc.closed = true
+	close(pc.queue)
+	pc.mu.Unlock()
+	pc.net.unbindUDP(pc.addr, pc)
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (pc *PacketConn) LocalAddr() net.Addr { return net.UDPAddrFromAddrPort(pc.addr) }
+
+// SetDeadline implements net.PacketConn (write deadlines are no-ops:
+// writes never block).
+func (pc *PacketConn) SetDeadline(t time.Time) error { return pc.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (pc *PacketConn) SetReadDeadline(t time.Time) error {
+	pc.mu.Lock()
+	pc.deadline = t
+	close(pc.dlCh)
+	pc.dlCh = make(chan struct{})
+	pc.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn.
+func (pc *PacketConn) SetWriteDeadline(time.Time) error { return nil }
+
+// timeoutError matches net.Error semantics for deadline expiry.
+type timeoutError struct{}
+
+func (e *timeoutError) Error() string   { return "simnet: i/o timeout" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+var _ net.Error = (*timeoutError)(nil)
+var _ error = os.ErrDeadlineExceeded // keep the analogy visible
+
+func toAddrPort(addr net.Addr) (netip.AddrPort, error) {
+	switch a := addr.(type) {
+	case *net.UDPAddr:
+		return a.AddrPort(), nil
+	case *net.TCPAddr:
+		return a.AddrPort(), nil
+	}
+	return netip.AddrPort{}, fmt.Errorf("simnet: unsupported address type %T", addr)
+}

@@ -1,0 +1,336 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func ap(s string) netip.AddrPort { return netip.MustParseAddrPort(s) }
+
+func TestUDPDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cli.WriteTo([]byte("ping"), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	nn, from, err := srv.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nn]) != "ping" {
+		t.Errorf("payload = %q", buf[:nn])
+	}
+	// Reply using the sender address.
+	if _, err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetReadDeadline(time.Now().Add(time.Second))
+	nn, from2, err := cli.ReadFrom(buf)
+	if err != nil || string(buf[:nn]) != "pong" {
+		t.Fatalf("reply: %q %v", buf[:nn], err)
+	}
+	if from2.String() != srv.LocalAddr().String() {
+		t.Errorf("reply source = %v", from2)
+	}
+
+	dg, by := n.UDPTraffic()
+	if dg != 2 || by != 8 {
+		t.Errorf("traffic = %d datagrams, %d bytes", dg, by)
+	}
+}
+
+func TestAddressInUse(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	if _, err := n.ListenUDP(ap("192.0.2.1:443")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ListenUDP(ap("192.0.2.1:443")); err == nil {
+		t.Error("double bind succeeded")
+	}
+	// Rebinding after close works.
+	pc, _ := n.ListenUDP(ap("192.0.2.2:443"))
+	pc.Close()
+	if _, err := n.ListenUDP(ap("192.0.2.2:443")); err != nil {
+		t.Errorf("rebind after close: %v", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	pc, _ := n.DialUDP()
+	pc.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, _, err := pc.ReadFrom(make([]byte, 10))
+	nerr, ok := err.(net.Error)
+	if !ok || !nerr.Timeout() {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("deadline ignored")
+	}
+	// Moving the deadline forward while blocked must take effect.
+	pc.SetReadDeadline(time.Now().Add(time.Hour))
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pc.ReadFrom(make([]byte, 10))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	pc.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	select {
+	case err := <-done:
+		if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shortened deadline not honoured")
+	}
+}
+
+func TestSyntheticResponder(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+		if dst.Port() != 443 {
+			return nil
+		}
+		return [][]byte{append([]byte("echo:"), payload...)}
+	})
+
+	cli, _ := n.DialUDP()
+	cli.WriteTo([]byte("probe"), net.UDPAddrFromAddrPort(ap("203.0.113.9:443")))
+	buf := make([]byte, 100)
+	cli.SetReadDeadline(time.Now().Add(time.Second))
+	nn, from, err := cli.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:nn]) != "echo:probe" {
+		t.Errorf("payload = %q", buf[:nn])
+	}
+	if from.String() != "203.0.113.9:443" {
+		t.Errorf("source = %v", from)
+	}
+	// Port without responder behaviour: silence.
+	cli.WriteTo([]byte("probe"), net.UDPAddrFromAddrPort(ap("203.0.113.9:80")))
+	cli.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := cli.ReadFrom(buf); err == nil {
+		t.Error("unexpected response")
+	}
+}
+
+func TestSocketTakesPrecedenceOverSynth(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	n.SetSyntheticResponder(func(netip.AddrPort, []byte) [][]byte {
+		return [][]byte{[]byte("synthetic")}
+	})
+	srv, _ := n.ListenUDP(ap("192.0.2.5:443"))
+	cli, _ := n.DialUDP()
+	cli.WriteTo([]byte("x"), srv.LocalAddr())
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 10)
+	if _, _, err := srv.ReadFrom(buf); err != nil {
+		t.Fatalf("socket did not receive: %v", err)
+	}
+}
+
+func TestLossDropsDatagrams(t *testing.T) {
+	n := New(Config{Loss: 1.0, Seed: 1})
+	defer n.Close()
+	srv, _ := n.ListenUDP(ap("192.0.2.1:443"))
+	cli, _ := n.DialUDP()
+	cli.WriteTo([]byte("x"), srv.LocalAddr())
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := srv.ReadFrom(make([]byte, 10)); err == nil {
+		t.Error("datagram survived 100% loss")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(Config{Latency: 30 * time.Millisecond})
+	defer n.Close()
+	srv, _ := n.ListenUDP(ap("192.0.2.1:443"))
+	cli, _ := n.DialUDP()
+	start := time.Now()
+	cli.WriteTo([]byte("x"), srv.LocalAddr())
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	if _, _, err := srv.ReadFrom(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delivered after %v, latency not applied", d)
+	}
+}
+
+func TestStreamPlane(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	l, err := n.ListenStream(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) // echo
+	}()
+
+	c, err := n.DialStream(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RemoteAddr().String() != "192.0.2.1:443" {
+		t.Errorf("remote = %v", c.RemoteAddr())
+	}
+	msg := []byte("hello stream")
+	go c.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil || !bytes.Equal(buf, msg) {
+		t.Errorf("echo = %q, %v", buf, err)
+	}
+	c.Close()
+	wg.Wait()
+
+	// Refused connection.
+	if _, err := n.DialStream(ap("192.0.2.99:443")); err != ErrConnectionRefused {
+		t.Errorf("dial unbound = %v", err)
+	}
+	l.Close()
+	if _, err := n.DialStream(ap("192.0.2.1:443")); err != ErrConnectionRefused {
+		t.Errorf("dial closed = %v", err)
+	}
+}
+
+func TestEphemeralAddressesUnique(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		pc, err := n.DialUDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := pc.LocalAddr().String()
+		if seen[a] {
+			t.Fatalf("duplicate ephemeral address %s", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestNetworkCloseUnblocksReaders(t *testing.T) {
+	n := New(Config{})
+	pc, _ := n.DialUDP()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pc.ReadFrom(make([]byte, 10))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	n.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read succeeded after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not unblocked by close")
+	}
+}
+
+// TestConcurrentStress exercises the UDP plane with many endpoints
+// sending concurrently, as the experiment campaigns do.
+func TestConcurrentStress(t *testing.T) {
+	n := New(Config{Seed: 5})
+	defer n.Close()
+
+	const servers = 32
+	const clients = 16
+	const perClient = 50
+
+	var received atomic.Int64
+	for i := 0; i < servers; i++ {
+		pc, err := n.ListenUDP(netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}), 443))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(pc *PacketConn) {
+			buf := make([]byte, 2048)
+			for {
+				nn, from, err := pc.ReadFrom(buf)
+				if err != nil {
+					return
+				}
+				received.Add(1)
+				pc.WriteTo(buf[:nn], from) // echo
+			}
+		}(pc)
+	}
+
+	var wg sync.WaitGroup
+	var echoed atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			pc, err := n.DialUDP()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer pc.Close()
+			go func() {
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := pc.ReadFrom(buf); err != nil {
+						return
+					}
+					echoed.Add(1)
+				}
+			}()
+			for i := 0; i < perClient; i++ {
+				dst := netip.AddrPortFrom(netip.AddrFrom4([4]byte{192, 0, 2, byte(i%servers + 1)}), 443)
+				if _, err := pc.WriteTo([]byte("stress"), net.UDPAddrFromAddrPort(dst)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}(c)
+	}
+	wg.Wait()
+	want := int64(clients * perClient)
+	if received.Load() != want {
+		t.Errorf("servers received %d of %d", received.Load(), want)
+	}
+	if echoed.Load() != want {
+		t.Errorf("clients got %d of %d echoes", echoed.Load(), want)
+	}
+}

@@ -1,0 +1,235 @@
+// Package tlsscan is the TLS-over-TCP scanner of the tool set (the
+// Goscanner's role in the paper, Section 3.3): it completes TLS
+// handshakes — with and without SNI — issues an HTTP/1.1 HEAD request
+// and collects the Alt-Svc header, the second discovery channel for
+// QUIC deployments. Its TLS observations feed the QUIC-vs-TCP
+// comparison of Table 5.
+package tlsscan
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"quicscan/internal/altsvc"
+	"quicscan/internal/certgen"
+	"quicscan/internal/core"
+)
+
+// Target is one TLS-over-TCP scan destination.
+type Target struct {
+	Addr netip.Addr `json:"addr"`
+	Port uint16     `json:"port"`
+	SNI  string     `json:"sni,omitempty"`
+}
+
+func (t Target) port() uint16 {
+	if t.Port == 0 {
+		return 443
+	}
+	return t.Port
+}
+
+// Result records one TLS-over-TCP scan.
+type Result struct {
+	Target Target `json:"target"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+
+	TLS  *core.TLSInfo `json:"tls,omitempty"`
+	HTTP *HTTPInfo     `json:"http,omitempty"`
+
+	// AltSvc holds the parsed alternative services, and QUICALPNs the
+	// HTTP/3-indicating ALPN set extracted from them.
+	AltSvc    []altsvc.Service `json:"alt_svc,omitempty"`
+	QUICALPNs []string         `json:"quic_alpns,omitempty"`
+}
+
+// HTTPInfo is the HTTP/1.1 exchange outcome.
+type HTTPInfo struct {
+	RequestOK bool   `json:"request_ok"`
+	Status    string `json:"status,omitempty"`
+	Server    string `json:"server,omitempty"`
+	AltSvcRaw string `json:"alt_svc_raw,omitempty"`
+}
+
+// Scanner performs stateful TLS-over-TCP scans.
+type Scanner struct {
+	// Dial opens the TCP connection; defaults to net.Dialer. The
+	// simulated Internet substitutes its stream dialer.
+	Dial func(ctx context.Context, addr netip.AddrPort) (net.Conn, error)
+	// RootCAs for certificate validation (failures recorded, not
+	// fatal).
+	RootCAs *x509.CertPool
+	// ALPN offered (default h2, http/1.1).
+	ALPN []string
+	// Timeout per target (default 3s).
+	Timeout time.Duration
+	// Workers for Scan (default 64).
+	Workers int
+	// SkipHTTP disables the HEAD request.
+	SkipHTTP bool
+}
+
+func (s *Scanner) dial(ctx context.Context, addr netip.AddrPort) (net.Conn, error) {
+	if s.Dial != nil {
+		return s.Dial(ctx, addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr.String())
+}
+
+func (s *Scanner) timeout() time.Duration {
+	if s.Timeout == 0 {
+		return 3 * time.Second
+	}
+	return s.Timeout
+}
+
+func (s *Scanner) alpn() []string {
+	if len(s.ALPN) != 0 {
+		return s.ALPN
+	}
+	return []string{"http/1.1"}
+}
+
+// ScanTarget performs one TLS handshake plus HTTP HEAD.
+func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
+	res := Result{Target: t}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout())
+	defer cancel()
+
+	raw, err := s.dial(ctx, netip.AddrPortFrom(t.Addr, t.port()))
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	defer raw.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		raw.SetDeadline(deadline)
+	}
+
+	tcfg := &tls.Config{
+		ServerName:         t.SNI,
+		NextProtos:         s.alpn(),
+		InsecureSkipVerify: true,
+		CurvePreferences:   []tls.CurveID{tls.X25519},
+		MinVersion:         tls.VersionTLS12,
+	}
+	conn := tls.Client(raw, tcfg)
+	if err := conn.HandshakeContext(ctx); err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.OK = true
+	cs := conn.ConnectionState()
+	res.TLS = s.tlsInfo(&cs, t.SNI)
+
+	if !s.SkipHTTP {
+		res.HTTP = s.doHTTP(conn, t)
+		if res.HTTP != nil && res.HTTP.AltSvcRaw != "" {
+			services, clear := altsvc.Parse(res.HTTP.AltSvcRaw)
+			if !clear {
+				res.AltSvc = services
+				res.QUICALPNs = altsvc.H3ALPNs(services)
+			}
+		}
+	}
+	return res
+}
+
+func (s *Scanner) tlsInfo(cs *tls.ConnectionState, sni string) *core.TLSInfo {
+	info := &core.TLSInfo{
+		Version:          cs.Version,
+		CipherSuite:      cs.CipherSuite,
+		ALPN:             cs.NegotiatedProtocol,
+		KeyExchangeGroup: "X25519",
+		Extensions:       core.ExtensionSet(cs.NegotiatedProtocol != "", sni != ""),
+	}
+	if cs.Version < tls.VersionTLS13 {
+		// Pre-1.3 key exchange is not pinned by CurvePreferences the
+		// same way; record the version-specific unknown.
+		info.KeyExchangeGroup = "pre-TLS1.3"
+	}
+	if len(cs.PeerCertificates) > 0 {
+		leaf := cs.PeerCertificates[0]
+		info.CertFingerprint = certgen.FingerprintOf(leaf)
+		info.CertCommonName = leaf.Subject.CommonName
+		info.CertDNSNames = leaf.DNSNames
+		info.SelfSigned = leaf.Issuer.CommonName == leaf.Subject.CommonName
+		if s.RootCAs != nil {
+			opts := x509.VerifyOptions{Roots: s.RootCAs, DNSName: sni}
+			for _, ic := range cs.PeerCertificates[1:] {
+				if opts.Intermediates == nil {
+					opts.Intermediates = x509.NewCertPool()
+				}
+				opts.Intermediates.AddCert(ic)
+			}
+			_, err := leaf.Verify(opts)
+			info.CertValid = err == nil
+		}
+	}
+	return info
+}
+
+func (s *Scanner) doHTTP(conn *tls.Conn, t Target) *HTTPInfo {
+	info := &HTTPInfo{}
+	host := t.SNI
+	if host == "" {
+		host = t.Addr.String()
+	}
+	fmt.Fprintf(conn, "HEAD / HTTP/1.1\r\nHost: %s\r\nUser-Agent: quicscan-tls/1.0\r\nConnection: close\r\n\r\n", host)
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return info
+	}
+	defer resp.Body.Close()
+	info.RequestOK = true
+	info.Status = fmt.Sprintf("%d", resp.StatusCode)
+	info.Server = resp.Header.Get("Server")
+	info.AltSvcRaw = strings.Join(resp.Header.Values("Alt-Svc"), ", ")
+	return info
+}
+
+// Scan processes targets with a worker pool.
+func (s *Scanner) Scan(ctx context.Context, targets []Target) []Result {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	results := make([]Result, len(targets))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.ScanTarget(ctx, targets[i])
+			}
+		}()
+	}
+	for i := range targets {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			for j := i; j < len(targets); j++ {
+				results[j] = Result{Target: targets[j], Error: ctx.Err().Error()}
+			}
+			close(work)
+			wg.Wait()
+			return results
+		}
+	}
+	close(work)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,299 @@
+// Package transportparams encodes and decodes the QUIC transport
+// parameters TLS extension (RFC 9000, Section 18) and provides the
+// configuration fingerprinting the paper uses to identify deployments
+// ("45 different configurations", Section 5.2).
+//
+// QUIC v1 carries the parameters in TLS extension 0x39
+// (quic_transport_parameters); the drafts used the provisional
+// codepoint 0xffa5. This package produces and consumes only the
+// extension *body*; the codepoint is selected by package quic.
+package transportparams
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"quicscan/internal/quicwire"
+)
+
+// Transport parameter IDs (RFC 9000, Section 18.2). Seventeen
+// parameters were defined at the time of the paper.
+const (
+	IDOriginalDestinationConnectionID uint64 = 0x00
+	IDMaxIdleTimeout                  uint64 = 0x01
+	IDStatelessResetToken             uint64 = 0x02
+	IDMaxUDPPayloadSize               uint64 = 0x03
+	IDInitialMaxData                  uint64 = 0x04
+	IDInitialMaxStreamDataBidiLocal   uint64 = 0x05
+	IDInitialMaxStreamDataBidiRemote  uint64 = 0x06
+	IDInitialMaxStreamDataUni         uint64 = 0x07
+	IDInitialMaxStreamsBidi           uint64 = 0x08
+	IDInitialMaxStreamsUni            uint64 = 0x09
+	IDAckDelayExponent                uint64 = 0x0a
+	IDMaxAckDelay                     uint64 = 0x0b
+	IDDisableActiveMigration          uint64 = 0x0c
+	IDPreferredAddress                uint64 = 0x0d
+	IDActiveConnectionIDLimit         uint64 = 0x0e
+	IDInitialSourceConnectionID       uint64 = 0x0f
+	IDRetrySourceConnectionID         uint64 = 0x10
+)
+
+// Defaults per RFC 9000, Section 18.2.
+const (
+	DefaultMaxUDPPayloadSize = 65527
+	DefaultAckDelayExponent  = 3
+	DefaultMaxAckDelay       = 25
+	DefaultActiveConnIDLimit = 2
+	MaxAckDelayExponent      = 20
+	MaxMaxAckDelay           = 1<<14 - 1
+	MinMaxUDPPayloadSize     = 1200
+)
+
+// Parameters is a decoded transport parameter set. Integer fields use
+// the RFC defaults when absent from the wire; presence of the
+// server-only byte-string parameters is indicated by nil-ness.
+type Parameters struct {
+	OriginalDestinationConnectionID quicwire.ConnID // server only
+	MaxIdleTimeout                  uint64          // milliseconds
+	StatelessResetToken             []byte          // server only, 16 bytes
+	MaxUDPPayloadSize               uint64
+	InitialMaxData                  uint64
+	InitialMaxStreamDataBidiLocal   uint64
+	InitialMaxStreamDataBidiRemote  uint64
+	InitialMaxStreamDataUni         uint64
+	InitialMaxStreamsBidi           uint64
+	InitialMaxStreamsUni            uint64
+	AckDelayExponent                uint64
+	MaxAckDelay                     uint64
+	DisableActiveMigration          bool
+	PreferredAddress                []byte // opaque; server only
+	ActiveConnectionIDLimit         uint64
+	InitialSourceConnectionID       quicwire.ConnID
+	RetrySourceConnectionID         quicwire.ConnID // server only
+
+	// HasInitialSourceConnectionID distinguishes an absent
+	// initial_source_connection_id from a present zero-length one (both
+	// are representable on the wire).
+	HasInitialSourceConnectionID bool
+
+	// Unknown holds parameters with IDs this package does not know,
+	// preserved in wire order for fingerprinting and debugging.
+	Unknown []RawParameter
+}
+
+// RawParameter is an unrecognized transport parameter.
+type RawParameter struct {
+	ID    uint64
+	Value []byte
+}
+
+// Default returns a parameter set with all RFC defaults.
+func Default() Parameters {
+	return Parameters{
+		MaxUDPPayloadSize:       DefaultMaxUDPPayloadSize,
+		AckDelayExponent:        DefaultAckDelayExponent,
+		MaxAckDelay:             DefaultMaxAckDelay,
+		ActiveConnectionIDLimit: DefaultActiveConnIDLimit,
+	}
+}
+
+func appendParam(b []byte, id uint64, value []byte) []byte {
+	b = quicwire.AppendVarint(b, id)
+	b = quicwire.AppendVarint(b, uint64(len(value)))
+	return append(b, value...)
+}
+
+func appendIntParam(b []byte, id, v uint64) []byte {
+	return appendParam(b, id, quicwire.AppendVarint(nil, v))
+}
+
+// Marshal encodes p as the transport parameters extension body.
+// Parameters whose value equals the RFC default are omitted, matching
+// common implementations.
+func (p *Parameters) Marshal() []byte {
+	var b []byte
+	if p.OriginalDestinationConnectionID != nil {
+		b = appendParam(b, IDOriginalDestinationConnectionID, p.OriginalDestinationConnectionID)
+	}
+	if p.MaxIdleTimeout != 0 {
+		b = appendIntParam(b, IDMaxIdleTimeout, p.MaxIdleTimeout)
+	}
+	if p.StatelessResetToken != nil {
+		b = appendParam(b, IDStatelessResetToken, p.StatelessResetToken)
+	}
+	if p.MaxUDPPayloadSize != DefaultMaxUDPPayloadSize {
+		b = appendIntParam(b, IDMaxUDPPayloadSize, p.MaxUDPPayloadSize)
+	}
+	if p.InitialMaxData != 0 {
+		b = appendIntParam(b, IDInitialMaxData, p.InitialMaxData)
+	}
+	if p.InitialMaxStreamDataBidiLocal != 0 {
+		b = appendIntParam(b, IDInitialMaxStreamDataBidiLocal, p.InitialMaxStreamDataBidiLocal)
+	}
+	if p.InitialMaxStreamDataBidiRemote != 0 {
+		b = appendIntParam(b, IDInitialMaxStreamDataBidiRemote, p.InitialMaxStreamDataBidiRemote)
+	}
+	if p.InitialMaxStreamDataUni != 0 {
+		b = appendIntParam(b, IDInitialMaxStreamDataUni, p.InitialMaxStreamDataUni)
+	}
+	if p.InitialMaxStreamsBidi != 0 {
+		b = appendIntParam(b, IDInitialMaxStreamsBidi, p.InitialMaxStreamsBidi)
+	}
+	if p.InitialMaxStreamsUni != 0 {
+		b = appendIntParam(b, IDInitialMaxStreamsUni, p.InitialMaxStreamsUni)
+	}
+	if p.AckDelayExponent != DefaultAckDelayExponent {
+		b = appendIntParam(b, IDAckDelayExponent, p.AckDelayExponent)
+	}
+	if p.MaxAckDelay != DefaultMaxAckDelay {
+		b = appendIntParam(b, IDMaxAckDelay, p.MaxAckDelay)
+	}
+	if p.DisableActiveMigration {
+		b = appendParam(b, IDDisableActiveMigration, nil)
+	}
+	if p.PreferredAddress != nil {
+		b = appendParam(b, IDPreferredAddress, p.PreferredAddress)
+	}
+	if p.ActiveConnectionIDLimit != DefaultActiveConnIDLimit {
+		b = appendIntParam(b, IDActiveConnectionIDLimit, p.ActiveConnectionIDLimit)
+	}
+	if p.HasInitialSourceConnectionID {
+		b = appendParam(b, IDInitialSourceConnectionID, p.InitialSourceConnectionID)
+	}
+	if p.RetrySourceConnectionID != nil {
+		b = appendParam(b, IDRetrySourceConnectionID, p.RetrySourceConnectionID)
+	}
+	for _, u := range p.Unknown {
+		b = appendParam(b, u.ID, u.Value)
+	}
+	return b
+}
+
+// Unmarshal decodes an extension body. Unknown parameters are
+// preserved; duplicate parameters are a protocol error per RFC 9000.
+func Unmarshal(b []byte) (Parameters, error) {
+	p := Default()
+	seen := make(map[uint64]bool)
+	for len(b) > 0 {
+		id, n, err := quicwire.ParseVarint(b)
+		if err != nil {
+			return p, err
+		}
+		b = b[n:]
+		length, n, err := quicwire.ParseVarint(b)
+		if err != nil {
+			return p, err
+		}
+		b = b[n:]
+		if length > uint64(len(b)) {
+			return p, quicwire.ErrTruncated
+		}
+		value := b[:length]
+		b = b[length:]
+
+		if seen[id] {
+			return p, fmt.Errorf("transportparams: duplicate parameter 0x%x", id)
+		}
+		seen[id] = true
+
+		intVal := func() (uint64, error) {
+			v, n, err := quicwire.ParseVarint(value)
+			if err != nil || n != len(value) {
+				return 0, fmt.Errorf("transportparams: parameter 0x%x is not a varint", id)
+			}
+			return v, nil
+		}
+
+		var err2 error
+		switch id {
+		case IDOriginalDestinationConnectionID:
+			p.OriginalDestinationConnectionID = append(quicwire.ConnID(nil), value...)
+		case IDMaxIdleTimeout:
+			p.MaxIdleTimeout, err2 = intVal()
+		case IDStatelessResetToken:
+			if len(value) != 16 {
+				return p, fmt.Errorf("transportparams: stateless reset token of %d bytes", len(value))
+			}
+			p.StatelessResetToken = append([]byte(nil), value...)
+		case IDMaxUDPPayloadSize:
+			p.MaxUDPPayloadSize, err2 = intVal()
+			if err2 == nil && p.MaxUDPPayloadSize < MinMaxUDPPayloadSize {
+				return p, fmt.Errorf("transportparams: max_udp_payload_size %d below 1200", p.MaxUDPPayloadSize)
+			}
+		case IDInitialMaxData:
+			p.InitialMaxData, err2 = intVal()
+		case IDInitialMaxStreamDataBidiLocal:
+			p.InitialMaxStreamDataBidiLocal, err2 = intVal()
+		case IDInitialMaxStreamDataBidiRemote:
+			p.InitialMaxStreamDataBidiRemote, err2 = intVal()
+		case IDInitialMaxStreamDataUni:
+			p.InitialMaxStreamDataUni, err2 = intVal()
+		case IDInitialMaxStreamsBidi:
+			p.InitialMaxStreamsBidi, err2 = intVal()
+		case IDInitialMaxStreamsUni:
+			p.InitialMaxStreamsUni, err2 = intVal()
+		case IDAckDelayExponent:
+			p.AckDelayExponent, err2 = intVal()
+			if err2 == nil && p.AckDelayExponent > MaxAckDelayExponent {
+				return p, fmt.Errorf("transportparams: ack_delay_exponent %d > 20", p.AckDelayExponent)
+			}
+		case IDMaxAckDelay:
+			p.MaxAckDelay, err2 = intVal()
+			if err2 == nil && p.MaxAckDelay > MaxMaxAckDelay {
+				return p, fmt.Errorf("transportparams: max_ack_delay %d out of range", p.MaxAckDelay)
+			}
+		case IDDisableActiveMigration:
+			if len(value) != 0 {
+				return p, fmt.Errorf("transportparams: disable_active_migration with a value")
+			}
+			p.DisableActiveMigration = true
+		case IDPreferredAddress:
+			p.PreferredAddress = append([]byte(nil), value...)
+		case IDActiveConnectionIDLimit:
+			p.ActiveConnectionIDLimit, err2 = intVal()
+			if err2 == nil && p.ActiveConnectionIDLimit < 2 {
+				return p, fmt.Errorf("transportparams: active_connection_id_limit %d < 2", p.ActiveConnectionIDLimit)
+			}
+		case IDInitialSourceConnectionID:
+			p.InitialSourceConnectionID = append(quicwire.ConnID(nil), value...)
+			p.HasInitialSourceConnectionID = true
+		case IDRetrySourceConnectionID:
+			p.RetrySourceConnectionID = append(quicwire.ConnID(nil), value...)
+		default:
+			p.Unknown = append(p.Unknown, RawParameter{ID: id, Value: append([]byte(nil), value...)})
+		}
+		if err2 != nil {
+			return p, err2
+		}
+	}
+	return p, nil
+}
+
+// Fingerprint returns the canonical configuration string used to count
+// distinct deployments. Session-specific parameters (connection IDs,
+// stateless reset tokens, preferred addresses) are excluded, exactly as
+// in the paper's Section 5.2 analysis; everything else is rendered as
+// sorted key=value pairs so equal configurations compare equal as
+// strings.
+func (p *Parameters) Fingerprint() string {
+	kv := []string{
+		fmt.Sprintf("ack_delay_exponent=%d", p.AckDelayExponent),
+		fmt.Sprintf("active_connection_id_limit=%d", p.ActiveConnectionIDLimit),
+		fmt.Sprintf("disable_active_migration=%t", p.DisableActiveMigration),
+		fmt.Sprintf("initial_max_data=%d", p.InitialMaxData),
+		fmt.Sprintf("initial_max_stream_data_bidi_local=%d", p.InitialMaxStreamDataBidiLocal),
+		fmt.Sprintf("initial_max_stream_data_bidi_remote=%d", p.InitialMaxStreamDataBidiRemote),
+		fmt.Sprintf("initial_max_stream_data_uni=%d", p.InitialMaxStreamDataUni),
+		fmt.Sprintf("initial_max_streams_bidi=%d", p.InitialMaxStreamsBidi),
+		fmt.Sprintf("initial_max_streams_uni=%d", p.InitialMaxStreamsUni),
+		fmt.Sprintf("max_ack_delay=%d", p.MaxAckDelay),
+		fmt.Sprintf("max_idle_timeout=%d", p.MaxIdleTimeout),
+		fmt.Sprintf("max_udp_payload_size=%d", p.MaxUDPPayloadSize),
+	}
+	for _, u := range p.Unknown {
+		kv = append(kv, fmt.Sprintf("unknown_0x%x=%x", u.ID, u.Value))
+	}
+	sort.Strings(kv)
+	return strings.Join(kv, ",")
+}

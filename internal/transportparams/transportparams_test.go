@@ -1,0 +1,185 @@
+package transportparams
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"quicscan/internal/quicwire"
+)
+
+func samples() []Parameters {
+	cloudflare := Default()
+	cloudflare.MaxIdleTimeout = 30000
+	cloudflare.InitialMaxData = 10485760
+	cloudflare.InitialMaxStreamDataBidiLocal = 1048576
+	cloudflare.InitialMaxStreamDataBidiRemote = 1048576
+	cloudflare.InitialMaxStreamDataUni = 1048576
+	cloudflare.InitialMaxStreamsBidi = 100
+	cloudflare.InitialMaxStreamsUni = 3
+	cloudflare.MaxUDPPayloadSize = 1452
+	cloudflare.DisableActiveMigration = true
+
+	facebook := Default()
+	facebook.MaxIdleTimeout = 60000
+	facebook.InitialMaxData = 15728640
+	facebook.InitialMaxStreamDataBidiLocal = 10485760
+	facebook.InitialMaxStreamDataBidiRemote = 10485760
+	facebook.InitialMaxStreamDataUni = 10485760
+	facebook.InitialMaxStreamsBidi = 128
+	facebook.InitialMaxStreamsUni = 128
+	facebook.MaxUDPPayloadSize = 1500
+	facebook.ActiveConnectionIDLimit = 4
+
+	return []Parameters{Default(), cloudflare, facebook}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	for i, p := range samples() {
+		p.HasInitialSourceConnectionID = true
+		p.InitialSourceConnectionID = quicwire.ConnID{1, 2, 3, 4}
+		p.StatelessResetToken = bytes.Repeat([]byte{7}, 16)
+		b := p.Marshal()
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(p, got) {
+			t.Errorf("sample %d round trip mismatch:\n got %+v\nwant %+v", i, got, p)
+		}
+	}
+}
+
+func TestDefaultsOmittedFromWire(t *testing.T) {
+	p := Default()
+	if b := p.Marshal(); len(b) != 0 {
+		t.Errorf("all-defaults marshal produced %d bytes: %x", len(b), b)
+	}
+	got, err := Unmarshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxUDPPayloadSize != DefaultMaxUDPPayloadSize ||
+		got.AckDelayExponent != DefaultAckDelayExponent ||
+		got.MaxAckDelay != DefaultMaxAckDelay ||
+		got.ActiveConnectionIDLimit != DefaultActiveConnIDLimit {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+}
+
+func TestUnknownParametersPreserved(t *testing.T) {
+	p := Default()
+	p.Unknown = []RawParameter{
+		{ID: 0x3127, Value: []byte{1, 2, 3}},    // GREASE-style
+		{ID: 0x0020, Value: []byte{0x44, 0x01}}, // datagram draft
+	}
+	b := p.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Unknown, p.Unknown) {
+		t.Errorf("unknown params: %+v", got.Unknown)
+	}
+	if !strings.Contains(got.Fingerprint(), "unknown_0x3127") {
+		t.Error("fingerprint ignores unknown parameters")
+	}
+}
+
+func TestDuplicateParameterRejected(t *testing.T) {
+	var b []byte
+	b = appendIntParam(b, IDInitialMaxData, 100)
+	b = appendIntParam(b, IDInitialMaxData, 200)
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("duplicate parameter accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"udp payload below 1200", appendIntParam(nil, IDMaxUDPPayloadSize, 1199)},
+		{"ack delay exponent over 20", appendIntParam(nil, IDAckDelayExponent, 21)},
+		{"max ack delay over 2^14", appendIntParam(nil, IDMaxAckDelay, 1<<14)},
+		{"active cid limit below 2", appendIntParam(nil, IDActiveConnectionIDLimit, 1)},
+		{"reset token wrong size", appendParam(nil, IDStatelessResetToken, make([]byte, 5))},
+		{"disable migration with value", appendParam(nil, IDDisableActiveMigration, []byte{1})},
+		{"non-varint int param", appendParam(nil, IDInitialMaxData, []byte{0x40})},
+		{"trailing garbage length", []byte{0x04, 0x0a, 0x01}},
+		{"truncated id", []byte{0x40}},
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal(c.b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	s := samples()
+	fps := make(map[string]int)
+	for i, p := range s {
+		fps[p.Fingerprint()] = i
+	}
+	if len(fps) != len(s) {
+		t.Fatalf("fingerprints collide: %v", fps)
+	}
+	// Session-specific parameters must not affect the fingerprint.
+	p := s[1]
+	fp1 := p.Fingerprint()
+	p.StatelessResetToken = bytes.Repeat([]byte{9}, 16)
+	p.OriginalDestinationConnectionID = quicwire.ConnID{1}
+	p.InitialSourceConnectionID = quicwire.ConnID{2}
+	p.HasInitialSourceConnectionID = true
+	p.RetrySourceConnectionID = quicwire.ConnID{3}
+	p.PreferredAddress = []byte{4, 5, 6}
+	if p.Fingerprint() != fp1 {
+		t.Error("session-specific parameters leaked into fingerprint")
+	}
+	// But configuration-relevant parameters must.
+	p.MaxUDPPayloadSize = 1404
+	if p.Fingerprint() == fp1 {
+		t.Error("max_udp_payload_size change did not alter fingerprint")
+	}
+}
+
+func TestMarshalUnmarshalProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: nil}
+	f := func(idle, maxData, sdBidiL, sdBidiR, sdUni, sBidi, sUni uint32, udp uint16, exp, delay uint8, migrate bool) bool {
+		p := Default()
+		p.MaxIdleTimeout = uint64(idle)
+		p.InitialMaxData = uint64(maxData)
+		p.InitialMaxStreamDataBidiLocal = uint64(sdBidiL)
+		p.InitialMaxStreamDataBidiRemote = uint64(sdBidiR)
+		p.InitialMaxStreamDataUni = uint64(sdUni)
+		p.InitialMaxStreamsBidi = uint64(sBidi)
+		p.InitialMaxStreamsUni = uint64(sUni)
+		p.MaxUDPPayloadSize = 1200 + uint64(udp)
+		p.AckDelayExponent = uint64(exp % 21)
+		p.MaxAckDelay = uint64(delay)
+		p.DisableActiveMigration = migrate
+		got, err := Unmarshal(p.Marshal())
+		return err == nil && reflect.DeepEqual(p, got) && got.Fingerprint() == p.Fingerprint()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	base := samples()[1].Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte(nil), base...)
+		for j := 0; j < 1+rng.IntN(4); j++ {
+			b[rng.IntN(len(b))] = byte(rng.Uint32())
+		}
+		b = b[:rng.IntN(len(b)+1)]
+		Unmarshal(b) // must not panic
+	}
+}

@@ -1,0 +1,78 @@
+package zmapquic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strings"
+)
+
+// Blocklist excludes address ranges from scans. The paper's ethics
+// regime (Appendix A) maintains a collective blocklist of networks
+// that requested exclusion; every probe is checked against it before
+// transmission.
+type Blocklist struct {
+	prefixes []netip.Prefix
+}
+
+// NewBlocklist builds a blocklist from prefixes.
+func NewBlocklist(prefixes ...netip.Prefix) *Blocklist {
+	b := &Blocklist{}
+	for _, p := range prefixes {
+		b.prefixes = append(b.prefixes, p.Masked())
+	}
+	return b
+}
+
+// ParseBlocklist reads one prefix or address per line; '#' starts a
+// comment. Bare addresses become host prefixes.
+func ParseBlocklist(r io.Reader) (*Blocklist, error) {
+	b := &Blocklist{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if p, err := netip.ParsePrefix(line); err == nil {
+			b.prefixes = append(b.prefixes, p.Masked())
+			continue
+		}
+		if a, err := netip.ParseAddr(line); err == nil {
+			b.prefixes = append(b.prefixes, netip.PrefixFrom(a, a.BitLen()))
+			continue
+		}
+		return nil, fmt.Errorf("zmapquic: blocklist line %d: cannot parse %q", lineNo, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Blocked reports whether addr falls in an excluded range.
+func (b *Blocklist) Blocked(addr netip.Addr) bool {
+	if b == nil {
+		return false
+	}
+	for _, p := range b.prefixes {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of excluded prefixes.
+func (b *Blocklist) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.prefixes)
+}

@@ -1,0 +1,107 @@
+package zmapquic
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"net/netip"
+)
+
+// Sweep enumerates the addresses of a set of IPv4 prefixes in a
+// pseudorandom order, the way ZMap permutes the address space so that
+// probes to any one network are spread over the whole scan (a core
+// ethical measure in the paper's Appendix A). The permutation is a
+// four-round Feistel network over the index space, keyed by seed —
+// a bijection, so every address is visited exactly once.
+type Sweep struct {
+	prefixes []netip.Prefix
+	starts   []uint64 // cumulative address counts
+	total    uint64
+	size     uint64 // permutation domain: smallest power of 4 >= total
+	halfBits uint
+	keys     [4]uint32
+}
+
+// NewSweep builds a randomized sweep over the given IPv4 prefixes.
+func NewSweep(seed uint64, prefixes []netip.Prefix) *Sweep {
+	s := &Sweep{prefixes: prefixes}
+	for _, p := range prefixes {
+		s.starts = append(s.starts, s.total)
+		s.total += uint64(1) << (32 - p.Bits())
+	}
+	// Domain must be a power of two with an even bit count for the
+	// balanced Feistel halves.
+	bits := uint(2)
+	for uint64(1)<<bits < s.total {
+		bits += 2
+	}
+	s.size = uint64(1) << bits
+	s.halfBits = bits / 2
+	sum := sha256.Sum256(binary.BigEndian.AppendUint64(nil, seed))
+	for i := range s.keys {
+		s.keys[i] = binary.BigEndian.Uint32(sum[4*i:])
+	}
+	return s
+}
+
+// Total returns the number of addresses in the sweep.
+func (s *Sweep) Total() uint64 { return s.total }
+
+// permute applies the Feistel network to an index in [0, size).
+func (s *Sweep) permute(x uint64) uint64 {
+	mask := uint64(1)<<s.halfBits - 1
+	l, r := x>>s.halfBits, x&mask
+	for _, k := range s.keys {
+		f := uint64(round(uint32(r), k)) & mask
+		l, r = r, l^f
+	}
+	return l<<s.halfBits | r
+}
+
+func round(r, k uint32) uint32 {
+	x := r*0x9e3779b9 + k
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	return x
+}
+
+// addrAt maps a linear index to an address.
+func (s *Sweep) addrAt(idx uint64) netip.Addr {
+	// Binary search over cumulative starts.
+	lo, hi := 0, len(s.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.starts[mid] <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	p := s.prefixes[lo]
+	base := binary.BigEndian.Uint32(p.Masked().Addr().AsSlice())
+	off := uint32(idx - s.starts[lo])
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], base+off)
+	return netip.AddrFrom4(b)
+}
+
+// Addresses streams the permuted address sequence into a channel,
+// stopping when done is closed.
+func (s *Sweep) Addresses(done <-chan struct{}) <-chan netip.Addr {
+	ch := make(chan netip.Addr, 256)
+	go func() {
+		defer close(ch)
+		for x := uint64(0); x < s.size; x++ {
+			idx := s.permute(x)
+			if idx >= s.total {
+				continue // cycle-walk skip outside the domain
+			}
+			select {
+			case ch <- s.addrAt(idx):
+			case <-done:
+				return
+			}
+		}
+	}()
+	return ch
+}

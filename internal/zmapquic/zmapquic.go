@@ -1,0 +1,338 @@
+// Package zmapquic is the stateless QUIC discovery scanner — the Go
+// equivalent of the paper's ZMap module (Section 3.1). It sends
+// draft-conform Initial packets carrying a reserved 0x?a?a?a?a version
+// to force a Version Negotiation response, requiring no cryptography
+// at the scanner: the server must process the unsupported version
+// before anything else and reply with its supported version list.
+//
+// Like ZMap, the scanner is stateless: probe validation uses
+// connection IDs deterministically derived from the target address,
+// so responses can be verified without per-target state.
+package zmapquic
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"quicscan/internal/pcap"
+	"quicscan/internal/quicwire"
+)
+
+// ProbeSize is the padded probe size: the 1200-byte minimum Initial
+// datagram (RFC 9000, Section 14.1).
+const ProbeSize = quicwire.MinInitialSize
+
+// Scanner performs stateless version negotiation scans.
+type Scanner struct {
+	// Conn is the shared scanning socket.
+	Conn net.PacketConn
+	// Port is the target UDP port (default 443).
+	Port uint16
+	// Rate limits probes per second (0 = unlimited).
+	Rate int
+	// Cooldown is how long to keep collecting responses after the last
+	// probe (default 1s; ZMap's --cooldown-secs).
+	Cooldown time.Duration
+	// NoPadding sends 64-byte probes instead of 1200-byte ones: the
+	// paper's Section 3.1 ablation, which only 11.3% of addresses
+	// answer.
+	NoPadding bool
+	// Blocklist excludes address ranges from probing (the ethics
+	// measure of the paper's Appendix A). Nil blocks nothing.
+	Blocklist *Blocklist
+	// Capture, when non-nil, records every probe and every (valid or
+	// invalid) response as synthesized IP/UDP packets — the raw-data
+	// artifact the paper archives.
+	Capture *pcap.Writer
+
+	// secret keys probe validation.
+	secret     [32]byte
+	secretOnce sync.Once
+}
+
+// Result is one responding address.
+type Result struct {
+	Addr     netip.Addr
+	Versions []quicwire.Version
+}
+
+// Stats summarizes a scan.
+type Stats struct {
+	ProbesSent       int
+	BytesSent        int64
+	Responses        int
+	InvalidResponses int
+	// Blocked counts targets skipped due to the blocklist.
+	Blocked int
+}
+
+func (s *Scanner) port() uint16 {
+	if s.Port == 0 {
+		return 443
+	}
+	return s.Port
+}
+
+func (s *Scanner) cooldown() time.Duration {
+	if s.Cooldown == 0 {
+		return time.Second
+	}
+	return s.Cooldown
+}
+
+func (s *Scanner) initSecret() {
+	s.secretOnce.Do(func() {
+		if _, err := rand.Read(s.secret[:]); err != nil {
+			panic("zmapquic: reading randomness: " + err.Error())
+		}
+	})
+}
+
+// probeIDs derives the (dcid, scid) pair for a target, allowing
+// stateless validation of the echoed IDs in responses.
+func (s *Scanner) probeIDs(addr netip.Addr) (dcid, scid quicwire.ConnID) {
+	s.initSecret()
+	mac := hmac.New(sha256.New, s.secret[:])
+	b := addr.As16()
+	mac.Write(b[:])
+	sum := mac.Sum(nil)
+	return quicwire.ConnID(sum[0:8]), quicwire.ConnID(sum[8:16])
+}
+
+// BuildProbe constructs the forced-VN Initial for a target. The
+// packet has a valid long header but deliberately unencrypted,
+// padding-only content: the server must respond to the unknown
+// version before parsing further (saving the scanner all Initial
+// cryptography, as in the paper's module).
+func (s *Scanner) BuildProbe(addr netip.Addr) []byte {
+	dcid, scid := s.probeIDs(addr)
+	size := ProbeSize
+	if s.NoPadding {
+		size = 64
+	}
+	b := make([]byte, 0, size)
+	b = append(b, 0xc0|0x40) // long header, fixed bit, type Initial
+	v := quicwire.ForcedNegotiationVersion
+	b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	b = append(b, byte(len(dcid)))
+	b = append(b, dcid...)
+	b = append(b, byte(len(scid)))
+	b = append(b, scid...)
+	b = append(b, 0) // empty token
+	// Length field covering the rest of the datagram.
+	rest := size - len(b) - 2
+	b = quicwire.AppendVarintWithLen(b, uint64(rest), 2)
+	for len(b) < size {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// ValidateResponse checks a datagram received from addr and returns
+// the advertised versions if it is a well-formed Version Negotiation
+// answering our probe.
+func (s *Scanner) ValidateResponse(addr netip.Addr, pkt []byte) ([]quicwire.Version, bool) {
+	hdr, _, err := quicwire.ParseLongHeader(pkt)
+	if err != nil || hdr.Type != quicwire.PacketVersionNegotiation {
+		return nil, false
+	}
+	dcid, scid := s.probeIDs(addr)
+	// Invariants: the response's destination is our source ID and its
+	// source is our destination ID.
+	if string(hdr.DstID) != string(scid) || string(hdr.SrcID) != string(dcid) {
+		return nil, false
+	}
+	return hdr.SupportedVersions, true
+}
+
+// Scan probes every target and collects version negotiation
+// responses. It returns when all probes are sent and the cooldown has
+// passed, or when ctx is cancelled.
+func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result, Stats, error) {
+	var (
+		mu      sync.Mutex
+		results []Result
+		seen    = make(map[netip.Addr]bool)
+		stats   Stats
+	)
+
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		buf := make([]byte, 65536)
+		for {
+			n, from, err := s.Conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			ap, err2 := toAddrPort(from)
+			if err2 != nil {
+				continue
+			}
+			addr := ap.Addr().Unmap()
+			if s.Capture != nil {
+				s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, ap.Port()), s.localAddrPort(), buf[:n])
+			}
+			versions, ok := s.ValidateResponse(addr, buf[:n])
+			mu.Lock()
+			if !ok {
+				stats.InvalidResponses++
+				mu.Unlock()
+				continue
+			}
+			stats.Responses++
+			if !seen[addr] {
+				seen[addr] = true
+				results = append(results, Result{Addr: addr, Versions: versions})
+			}
+			mu.Unlock()
+		}
+	}()
+
+	limiter := newRateLimiter(s.Rate)
+	defer limiter.stop()
+
+sendLoop:
+	for {
+		select {
+		case <-ctx.Done():
+			break sendLoop
+		case addr, ok := <-targets:
+			if !ok {
+				break sendLoop
+			}
+			if s.Blocklist.Blocked(addr) {
+				mu.Lock()
+				stats.Blocked++
+				mu.Unlock()
+				continue
+			}
+			if err := limiter.wait(ctx); err != nil {
+				break sendLoop
+			}
+			probe := s.BuildProbe(addr)
+			dstAP := netip.AddrPortFrom(addr, s.port())
+			dst := net.UDPAddrFromAddrPort(dstAP)
+			if _, err := s.Conn.WriteTo(probe, dst); err != nil {
+				continue
+			}
+			if s.Capture != nil {
+				s.Capture.WriteUDP(time.Now(), s.localAddrPort(), dstAP, probe)
+			}
+			mu.Lock()
+			stats.ProbesSent++
+			stats.BytesSent += int64(len(probe))
+			mu.Unlock()
+		}
+	}
+
+	// Cooldown, then stop the receiver by deadline.
+	select {
+	case <-ctx.Done():
+	case <-time.After(s.cooldown()):
+	}
+	s.Conn.SetReadDeadline(time.Now())
+	<-recvDone
+	s.Conn.SetReadDeadline(time.Time{})
+
+	mu.Lock()
+	defer mu.Unlock()
+	return results, stats, ctx.Err()
+}
+
+// ScanAddrs is a convenience wrapper over Scan for a slice of targets.
+func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) ([]Result, Stats, error) {
+	ch := make(chan netip.Addr)
+	go func() {
+		defer close(ch)
+		for _, a := range addrs {
+			select {
+			case ch <- a:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return s.Scan(ctx, ch)
+}
+
+// localAddrPort resolves the scanning socket's own address.
+func (s *Scanner) localAddrPort() netip.AddrPort {
+	if ap, err := toAddrPort(s.Conn.LocalAddr()); err == nil {
+		return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	}
+	return netip.AddrPortFrom(netip.IPv4Unspecified(), 0)
+}
+
+func toAddrPort(addr net.Addr) (netip.AddrPort, error) {
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		return ua.AddrPort(), nil
+	}
+	return netip.AddrPort{}, net.InvalidAddrError("not a UDP address")
+}
+
+// rateLimiter is a token bucket paced at rate/sec with small bursts.
+type rateLimiter struct {
+	ticker *time.Ticker
+	tokens chan struct{}
+	done   chan struct{}
+}
+
+func newRateLimiter(rate int) *rateLimiter {
+	if rate <= 0 {
+		return &rateLimiter{}
+	}
+	// Refill in 1ms quanta to keep pacing smooth at high rates.
+	perTick := rate / 1000
+	interval := time.Millisecond
+	if perTick == 0 {
+		perTick = 1
+		interval = time.Second / time.Duration(rate)
+	}
+	rl := &rateLimiter{
+		ticker: time.NewTicker(interval),
+		tokens: make(chan struct{}, rate/10+1),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		for {
+			select {
+			case <-rl.done:
+				return
+			case <-rl.ticker.C:
+				for i := 0; i < perTick; i++ {
+					select {
+					case rl.tokens <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}
+	}()
+	return rl
+}
+
+func (rl *rateLimiter) wait(ctx context.Context) error {
+	if rl.tokens == nil {
+		return nil
+	}
+	select {
+	case <-rl.tokens:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (rl *rateLimiter) stop() {
+	if rl.ticker != nil {
+		rl.ticker.Stop()
+		close(rl.done)
+	}
+}
