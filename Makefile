@@ -1,0 +1,16 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: vet + full suite under the race detector.
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -14,9 +14,11 @@ import (
 	"context"
 	"crypto/tls"
 	"crypto/x509"
+	"errors"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -363,6 +365,7 @@ func BenchmarkQScannerTarget(b *testing.B) {
 		RootCAs:    r.Universe.RootCAs(),
 		Timeout:    2 * time.Second,
 	}
+	defer sc.Close()
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -371,6 +374,95 @@ func BenchmarkQScannerTarget(b *testing.B) {
 			b.Fatalf("scan failed: %s (%s)", res.Outcome, res.Error)
 		}
 	}
+}
+
+// BenchmarkScanSocketChurn quantifies the shared-transport win on the
+// socket-heavy path: every probed address answers instantly with a
+// Version Negotiation packet, so the benchmark isolates socket and
+// routing overhead from crypto. The shared-transport arm multiplexes
+// all 64 targets per iteration over a fixed pool; the dial-per-target
+// arm reproduces the seed's behaviour of one socket (and one transport
+// teardown) per target.
+func BenchmarkScanSocketChurn(b *testing.B) {
+	const targetCount = 64
+	newVNWorld := func() *simnet.Network {
+		n := simnet.New(simnet.Config{})
+		n.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+			hdr, _, err := quicwire.ParseLongHeader(payload)
+			if err != nil {
+				return nil
+			}
+			return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, 0,
+				[]quicwire.Version{quicwire.VersionGoogleQ050})}
+		})
+		return n
+	}
+	targets := make([]core.Target, targetCount)
+	for i := range targets {
+		targets[i] = core.Target{Addr: netip.AddrFrom4([4]byte{100, 64, 0, byte(i)})}
+	}
+
+	b.Run("shared-transport", func(b *testing.B) {
+		n := newVNWorld()
+		defer n.Close()
+		sc := &core.Scanner{
+			DialPacket: func() (net.PacketConn, error) { return n.DialUDP() },
+			Timeout:    2 * time.Second,
+			Workers:    32,
+			PoolSize:   4,
+			SkipHTTP:   true,
+		}
+		defer sc.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := sc.Scan(ctx, targets)
+			if core.Summarize(results).VersionMismatch != targetCount {
+				b.Fatalf("unexpected outcomes: %s", core.Summarize(results))
+			}
+		}
+		b.StopTimer()
+		if st, ok := sc.TransportStats(); ok {
+			b.ReportMetric(float64(st.Sockets), "sockets")
+		}
+	})
+
+	b.Run("dial-per-target", func(b *testing.B) {
+		n := newVNWorld()
+		defer n.Close()
+		ctx := context.Background()
+		var sockets atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, 32)
+			for _, t := range targets {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(t core.Target) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					pc, err := n.DialUDP()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					sockets.Add(1)
+					remote := net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, 443))
+					_, err = quic.Dial(ctx, pc, remote, &quic.Config{HandshakeTimeout: 2 * time.Second})
+					var vne *quic.VersionNegotiationError
+					if !errors.As(err, &vne) {
+						b.Errorf("target %v: %v", t.Addr, err)
+					}
+				}(t)
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sockets.Load()/int64(b.N)), "sockets")
+	})
 }
 
 // BenchmarkSweepPermutation measures the ZMap-style address

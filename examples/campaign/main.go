@@ -134,6 +134,7 @@ func main() {
 		Timeout:    time.Second,
 		Workers:    64,
 	}
+	defer qs.Close()
 	resNoSNI := qs.Scan(ctx, noSNI)
 	resSNI := qs.Scan(ctx, withSNI)
 

@@ -46,6 +46,7 @@ func main() {
 		Timeout:    time.Second,
 		Workers:    64,
 	}
+	defer qs.Close()
 	results := qs.Scan(context.Background(), targets)
 	fmt.Printf("scanned %d active deployments\n\n", len(results))
 

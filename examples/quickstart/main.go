@@ -45,6 +45,7 @@ func main() {
 		RootCAs:    u.RootCAs(),
 		Timeout:    2 * time.Second,
 	}
+	defer scanner.Close()
 
 	// 1. Without SNI: the handshake fails with the generic crypto
 	//    error 0x128, the most common error of the paper's Table 3.

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"crypto/tls"
 	"crypto/x509"
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -128,8 +130,79 @@ type Scanner struct {
 	Timeout time.Duration
 	// Workers is the parallelism of Scan (default 64).
 	Workers int
+	// PoolSize is how many UDP sockets the shared transport opens
+	// (default GOMAXPROCS). All concurrent handshakes are multiplexed
+	// over this fixed pool by connection ID, so socket consumption is
+	// independent of target count and worker count.
+	PoolSize int
 	// SkipHTTP disables the HTTP/3 HEAD request.
 	SkipHTTP bool
+
+	mu sync.Mutex
+	tr *quic.Transport
+}
+
+func (s *Scanner) poolSize() int {
+	if s.PoolSize > 0 {
+		return s.PoolSize
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sharedTransport lazily opens the scanner's socket pool. The
+// Transport owns the sockets; Close releases them.
+func (s *Scanner) sharedTransport() (*quic.Transport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tr != nil {
+		return s.tr, nil
+	}
+	n := s.poolSize()
+	pconns := make([]net.PacketConn, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := s.dial()
+		if err != nil {
+			for _, opened := range pconns {
+				opened.Close()
+			}
+			return nil, err
+		}
+		pconns = append(pconns, pc)
+	}
+	tr, err := quic.NewTransport(pconns...)
+	if err != nil {
+		for _, opened := range pconns {
+			opened.Close()
+		}
+		return nil, err
+	}
+	s.tr = tr
+	return tr, nil
+}
+
+// Close releases the scanner's socket pool. The scanner is reusable:
+// the next ScanTarget opens a fresh pool.
+func (s *Scanner) Close() error {
+	s.mu.Lock()
+	tr := s.tr
+	s.tr = nil
+	s.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	return tr.Close()
+}
+
+// TransportStats reports the shared transport's routing counters, and
+// whether a transport has been opened at all.
+func (s *Scanner) TransportStats() (quic.TransportStats, bool) {
+	s.mu.Lock()
+	tr := s.tr
+	s.mu.Unlock()
+	if tr == nil {
+		return quic.TransportStats{}, false
+	}
+	return tr.Stats(), true
 }
 
 func (s *Scanner) alpn() []string {
@@ -158,7 +231,7 @@ func (s *Scanner) dial() (net.PacketConn, error) {
 func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 	res := Result{Target: t}
 
-	pconn, err := s.dial()
+	tr, err := s.sharedTransport()
 	if err != nil {
 		res.Outcome = OutcomeOther
 		res.Error = err.Error()
@@ -186,9 +259,8 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 
 	ctx, cancel := context.WithTimeout(ctx, s.timeout())
 	defer cancel()
-	conn, err := quic.Dial(ctx, pconn, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
+	conn, err := tr.Dial(ctx, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
 	if err != nil {
-		pconn.Close()
 		res.Outcome, res.Error = classify(err)
 		var vne *quic.VersionNegotiationError
 		if errors.As(err, &vne) {
@@ -199,7 +271,6 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 		}
 		return res
 	}
-	defer pconn.Close()
 	defer conn.Close()
 
 	res.Outcome = OutcomeSuccess
@@ -265,12 +336,9 @@ func (s *Scanner) tlsInfo(cs *tls.ConnectionState, sni string) *TLSInfo {
 		info.CertFingerprint = certgen.FingerprintOf(leaf)
 		info.CertCommonName = leaf.Subject.CommonName
 		info.CertDNSNames = leaf.DNSNames
-		info.SelfSigned = leaf.Issuer.CommonName == leaf.Subject.CommonName
+		info.SelfSigned = isSelfSigned(leaf)
 		if s.RootCAs != nil {
 			opts := x509.VerifyOptions{Roots: s.RootCAs, DNSName: sni}
-			if sni == "" {
-				opts.DNSName = ""
-			}
 			for _, ic := range cs.PeerCertificates[1:] {
 				if opts.Intermediates == nil {
 					opts.Intermediates = x509.NewCertPool()
@@ -282,6 +350,21 @@ func (s *Scanner) tlsInfo(cs *tls.ConnectionState, sni string) *TLSInfo {
 		}
 	}
 	return info
+}
+
+// isSelfSigned reports whether leaf is genuinely self-signed: the
+// issuer and subject distinguished names must match byte-for-byte AND
+// the certificate's signature must verify under its own public key.
+// Comparing CommonName strings is wrong on both axes: two unrelated
+// certificates with empty CNs compare equal, and a CA sharing its
+// subject CN with the leaf compares equal too. CheckSignature is used
+// rather than CheckSignatureFrom because the latter also enforces CA
+// basic constraints, which self-signed leaf certificates rarely carry.
+func isSelfSigned(leaf *x509.Certificate) bool {
+	if !bytes.Equal(leaf.RawIssuer, leaf.RawSubject) {
+		return false
+	}
+	return leaf.CheckSignature(leaf.SignatureAlgorithm, leaf.RawTBSCertificate, leaf.Signature) == nil
 }
 
 // ExtensionSet is the canonical observed TLS extension list used for

@@ -3,10 +3,16 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
 	"crypto/tls"
 	"crypto/x509"
+	"crypto/x509/pkix"
+	"math/big"
 	"net"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -84,20 +90,22 @@ func (w *testWorld) addServer(t *testing.T, addr string, params transportparams.
 	return ap.Addr()
 }
 
-func newScanner(w *testWorld) *Scanner {
-	return &Scanner{
+func newScanner(t *testing.T, w *testWorld) *Scanner {
+	s := &Scanner{
 		DialPacket: func() (net.PacketConn, error) { return w.net.DialUDP() },
 		RootCAs:    w.pool,
 		Timeout:    2 * time.Second,
 		Workers:    8,
 	}
+	t.Cleanup(func() { s.Close() })
+	return s
 }
 
 func TestScanSuccessWithSNI(t *testing.T) {
 	w := newWorld(t)
 	params := serverParams()
 	addr := w.addServer(t, "192.0.2.10:443", params, quic.ServerPolicy{}, "nginx/1.20.0", "www.example.org")
-	s := newScanner(w)
+	s := newScanner(t, w)
 
 	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "www.example.org", Source: "zmap"})
 	if res.Outcome != OutcomeSuccess {
@@ -138,7 +146,7 @@ func TestScanNoSNIRejected(t *testing.T) {
 		RequireSNI:  func(sni string) bool { return sni != "" },
 		CloseReason: "handshake failure: missing server name",
 	}, "cloudflare", "sni.example.org")
-	s := newScanner(w)
+	s := newScanner(t, w)
 
 	res := s.ScanTarget(context.Background(), Target{Addr: addr})
 	if res.Outcome != OutcomeCryptoError {
@@ -154,7 +162,7 @@ func TestScanNoSNIRejected(t *testing.T) {
 func TestScanTimeout(t *testing.T) {
 	w := newWorld(t)
 	addr := w.addServer(t, "192.0.2.12:443", serverParams(), quic.ServerPolicy{DropAllInitials: true}, "akamai", "drop.example.org")
-	s := newScanner(w)
+	s := newScanner(t, w)
 	s.Timeout = 400 * time.Millisecond
 
 	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "drop.example.org"})
@@ -169,7 +177,7 @@ func TestScanVersionMismatch(t *testing.T) {
 		AdvertisedVersions: []quicwire.Version{quicwire.VersionGoogleQ050, quicwire.VersionGoogleT051},
 		AcceptVersions:     []quicwire.Version{quicwire.VersionGoogleQ050},
 	}, "gvs 1.0", "google.example")
-	s := newScanner(w)
+	s := newScanner(t, w)
 
 	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "google.example"})
 	if res.Outcome != OutcomeVersionMismatch {
@@ -182,7 +190,7 @@ func TestScanVersionMismatch(t *testing.T) {
 
 func TestScanUnreachable(t *testing.T) {
 	w := newWorld(t)
-	s := newScanner(w)
+	s := newScanner(t, w)
 	s.Timeout = 300 * time.Millisecond
 	res := s.ScanTarget(context.Background(), Target{Addr: netip.MustParseAddr("192.0.2.99")})
 	if res.Outcome != OutcomeTimeout {
@@ -197,7 +205,7 @@ func TestScanBatchAndSummary(t *testing.T) {
 	rej := w.addServer(t, "192.0.2.22:443", serverParams(), quic.ServerPolicy{
 		RequireSNI: func(sni string) bool { return sni != "" },
 	}, "cloudflare", "c.example")
-	s := newScanner(w)
+	s := newScanner(t, w)
 	s.Timeout = 500 * time.Millisecond
 
 	targets := []Target{
@@ -226,7 +234,7 @@ func TestScanBatchAndSummary(t *testing.T) {
 func TestJSONLRoundTrip(t *testing.T) {
 	w := newWorld(t)
 	addr := w.addServer(t, "192.0.2.30:443", serverParams(), quic.ServerPolicy{}, "Caddy", "j.example")
-	s := newScanner(w)
+	s := newScanner(t, w)
 	results := s.Scan(context.Background(), []Target{{Addr: addr, SNI: "j.example", Source: "https-rr"}})
 
 	var buf bytes.Buffer
@@ -296,7 +304,7 @@ func TestSelfSignedDetection(t *testing.T) {
 		}
 	}()
 
-	s := newScanner(w)
+	s := newScanner(t, w)
 	s.SkipHTTP = true
 	res := s.ScanTarget(context.Background(), Target{Addr: netip.MustParseAddr("192.0.2.40")})
 	if res.Outcome != OutcomeSuccess {
@@ -307,5 +315,156 @@ func TestSelfSignedDetection(t *testing.T) {
 	}
 	if res.TLS.CertValid {
 		t.Error("self-signed certificate validated")
+	}
+}
+
+// TestScanSharedSocketPool: a 10k-target scan must open exactly
+// PoolSize sockets, not one per target — the transport demultiplexes
+// every handshake over the shared pool by connection ID.
+func TestScanSharedSocketPool(t *testing.T) {
+	const (
+		targetCount = 10000
+		poolSize    = 8
+	)
+	w := newWorld(t)
+	// Every probed address answers instantly with a Version Negotiation
+	// offering only Q050, so each target resolves as version_mismatch
+	// after a single round trip.
+	w.net.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+		hdr, _, err := quicwire.ParseLongHeader(payload)
+		if err != nil {
+			return nil
+		}
+		return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, 0,
+			[]quicwire.Version{quicwire.VersionGoogleQ050})}
+	})
+
+	var dialCount atomic.Int32
+	s := &Scanner{
+		DialPacket: func() (net.PacketConn, error) {
+			dialCount.Add(1)
+			return w.net.DialUDP()
+		},
+		Timeout:  2 * time.Second,
+		Workers:  256,
+		PoolSize: poolSize,
+		SkipHTTP: true,
+	}
+	t.Cleanup(func() { s.Close() })
+
+	targets := make([]Target, targetCount)
+	for i := range targets {
+		targets[i] = Target{Addr: netip.AddrFrom4([4]byte{100, 64, byte(i >> 8), byte(i)})}
+	}
+	results := s.Scan(context.Background(), targets)
+
+	sum := Summarize(results)
+	if sum.VersionMismatch != targetCount {
+		t.Fatalf("version_mismatch = %d of %d (summary %s)", sum.VersionMismatch, targetCount, sum)
+	}
+	if got := dialCount.Load(); got != poolSize {
+		t.Errorf("opened %d sockets for %d targets, want %d", got, targetCount, poolSize)
+	}
+	if got := w.net.UDPSocketCount(); got != poolSize {
+		t.Errorf("%d sockets bound after scan, want %d", got, poolSize)
+	}
+
+	st, ok := s.TransportStats()
+	if !ok {
+		t.Fatal("no transport stats after scan")
+	}
+	if st.Sockets != poolSize {
+		t.Errorf("Sockets = %d, want %d", st.Sockets, poolSize)
+	}
+	if st.ActiveConns != 0 {
+		t.Errorf("ActiveConns = %d after scan, want 0", st.ActiveConns)
+	}
+	if st.Dials != targetCount {
+		t.Errorf("Dials = %d, want %d", st.Dials, targetCount)
+	}
+	if st.DatagramsOut < targetCount {
+		t.Errorf("DatagramsOut = %d, want >= %d", st.DatagramsOut, targetCount)
+	}
+	if st.RoutingMisses != 0 || st.Dropped != 0 {
+		t.Errorf("misses=%d dropped=%d, want 0/0", st.RoutingMisses, st.Dropped)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, ok := s.TransportStats(); ok {
+		t.Error("stats still present after Close")
+	}
+	if got := w.net.UDPSocketCount(); got != 0 {
+		t.Errorf("%d sockets bound after Close, want 0", got)
+	}
+}
+
+// makeTestCert builds a certificate with the given subject, signed by
+// parent/parentKey (self-signed when parent is nil).
+func makeTestCert(t *testing.T, subject pkix.Name, parent *x509.Certificate, parentKey *ecdsa.PrivateKey) (*x509.Certificate, *ecdsa.PrivateKey) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(time.Now().UnixNano()),
+		Subject:      subject,
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(time.Hour),
+	}
+	signer, signerKey := tmpl, key
+	if parent != nil {
+		signer, signerKey = parent, parentKey
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, signer, &key.PublicKey, signerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert, key
+}
+
+// TestTLSInfoSelfSignedEmptyCN: certificates with empty CommonNames
+// must not be classified by CN string equality. A CA-issued cert whose
+// subject and issuer CNs are both empty is NOT self-signed; a cert
+// whose DNs merely coincide but whose signature is from another key is
+// NOT self-signed; a genuinely self-signed cert with an empty CN IS.
+func TestTLSInfoSelfSignedEmptyCN(t *testing.T) {
+	caCert, caKey := makeTestCert(t, pkix.Name{Organization: []string{"Test CA"}}, nil, nil)
+
+	// CA-issued, distinct DNs, both CNs empty.
+	leafDistinct, _ := makeTestCert(t, pkix.Name{Organization: []string{"Leaf Org"}}, caCert, caKey)
+	// CA-issued with subject DN identical to the CA's: issuer and
+	// subject bytes match, but the signature is the CA key's, not its
+	// own — the cryptographic check must reject it.
+	leafSameDN, _ := makeTestCert(t, pkix.Name{Organization: []string{"Test CA"}}, caCert, caKey)
+	// Genuinely self-signed, empty CN.
+	selfSigned, _ := makeTestCert(t, pkix.Name{Organization: []string{"Solo"}}, nil, nil)
+
+	cases := []struct {
+		name string
+		cert *x509.Certificate
+		want bool
+	}{
+		{"ca-signed distinct DN", leafDistinct, false},
+		{"ca-signed coinciding DN", leafSameDN, false},
+		{"self-signed empty CN", selfSigned, true},
+	}
+
+	s := &Scanner{}
+	for _, tc := range cases {
+		cs := &tls.ConnectionState{
+			Version:          tls.VersionTLS13,
+			PeerCertificates: []*x509.Certificate{tc.cert},
+		}
+		info := s.tlsInfo(cs, "")
+		if info.SelfSigned != tc.want {
+			t.Errorf("%s: SelfSigned = %v, want %v", tc.name, info.SelfSigned, tc.want)
+		}
 	}
 }

@@ -372,6 +372,7 @@ func (r *Report) runStateful(u *internet.Universe, wd *WeekData, opts Options) e
 		Timeout:    2 * time.Second,
 		Workers:    opts.Workers,
 	}
+	defer qs.Close()
 
 	noSNI4, sni4 := statefulTargets(wd, "IPv4", opts.MaxSNITargetsPerAddr)
 	noSNI6, sni6 := statefulTargets(wd, "IPv6", opts.MaxSNITargetsPerAddr)

@@ -3,41 +3,37 @@ package quic
 import (
 	"context"
 	"crypto/tls"
-	"errors"
 	"net"
-	"time"
 
 	"quicscan/internal/quicwire"
 )
 
 // Dial establishes a QUIC connection over pconn to remote, completing
-// the TLS handshake before returning. The PacketConn is owned by the
-// returned connection and closed with it.
+// the TLS handshake before returning. It is a compatibility wrapper
+// around Transport.Dial using a single-socket pool.
 //
-// If the server answers with a Version Negotiation packet, Dial
-// retries once with the best mutually supported version; if there is
-// none it returns a *VersionNegotiationError — the paper's "Version
-// Mismatch" outcome.
+// Ownership rule: the QUIC layer takes ownership of pconn
+// unconditionally. On success the socket is closed when the returned
+// connection closes; on failure it is closed before Dial returns. The
+// caller must not close it, nor set deadlines on it, in either case.
+// Callers muxing many connections should use NewTransport and
+// Transport.Dial directly instead of paying one socket per connection.
 func Dial(ctx context.Context, pconn net.PacketConn, remote net.Addr, config *Config) (*Conn, error) {
-	cfg := config.clone()
-	ctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout)
-	defer cancel()
-
-	version := cfg.Versions[0]
-	for attempt := 0; ; attempt++ {
-		conn, err := dialVersion(ctx, pconn, remote, cfg, version)
-		if err == nil {
-			return conn, nil
-		}
-		var vne *VersionNegotiationError
-		if attempt == 0 && errors.As(err, &vne) {
-			if v, ok := chooseVersion(cfg.Versions, vne.Server); ok {
-				version = v
-				continue
-			}
-		}
+	t, err := NewTransport(pconn)
+	if err != nil {
+		pconn.Close()
 		return nil, err
 	}
+	conn, err := t.Dial(ctx, remote, config)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	go func() {
+		<-conn.Closed()
+		t.Close()
+	}()
+	return conn, nil
 }
 
 // chooseVersion picks the client's most preferred version the server
@@ -53,20 +49,52 @@ func chooseVersion(offered, server []quicwire.Version) (quicwire.Version, bool) 
 	return 0, false
 }
 
-func dialVersion(ctx context.Context, pconn net.PacketConn, remote net.Addr, cfg *Config, version quicwire.Version) (*Conn, error) {
+// dialVersion runs one handshake attempt at a fixed version. The
+// connection registers its source ID with the transport before the
+// first packet leaves, and unregisters itself (via the onClose hook)
+// on every close path. priorVN, when non-nil, is the server version
+// list from a Version Negotiation answer to an earlier attempt; it is
+// recorded up front so the surviving connection's Stats report the
+// negotiation (a VN packet is only ever addressed to the attempt that
+// triggered it, so the retry would otherwise never see one).
+func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Config, version quicwire.Version, priorVN []quicwire.Version) (*Conn, error) {
 	c := newConn(cfg, true)
-	c.pconn = pconn
 	c.remote = remote
 	c.version = version
-	c.dcid = quicwire.NewRandomConnID(8)
+	if priorVN != nil {
+		c.stats.VersionNegotiation = true
+		c.stats.ServerVersions = priorVN
+	}
+	c.dcid = quicwire.NewRandomConnID(clientCIDLen)
 	c.origDcid = c.dcid
-	c.scid = quicwire.NewRandomConnID(8)
+	sock := t.sockFor()
 	c.sendFunc = func(b []byte) error {
-		_, err := pconn.WriteTo(b, remote)
+		n, err := sock.WriteTo(b, remote)
+		t.cDatagramsOut.Add(1)
+		t.cBytesOut.Add(uint64(n))
 		return err
 	}
-	if err := c.setupInitialKeys(); err != nil {
+	c.onClose = func() { t.retire(c) }
+
+	t.cDials.Add(1)
+	for attempt := 0; ; attempt++ {
+		c.scid = quicwire.NewRandomConnID(clientCIDLen)
+		err := t.register(c)
+		if err == nil {
+			break
+		}
+		if err != errDuplicateCID || attempt == 3 {
+			return nil, err
+		}
+	}
+
+	fail := func(err error) (*Conn, error) {
+		c.abort(err) // retires the registered IDs via onClose
 		return nil, err
+	}
+
+	if err := c.setupInitialKeys(); err != nil {
+		return fail(err)
 	}
 
 	tlsCfg := cfg.TLS
@@ -79,24 +107,17 @@ func dialVersion(ctx context.Context, pconn net.PacketConn, remote net.Addr, cfg
 	c.mu.Lock()
 	if err := c.tls.Start(ctx); err != nil {
 		c.mu.Unlock()
-		return nil, err
+		return fail(err)
 	}
 	if err := c.drainTLSEvents(); err != nil {
 		c.mu.Unlock()
-		return nil, err
+		return fail(err)
 	}
 	c.sendPendingLocked()
 	c.mu.Unlock()
 
-	c.readDone = make(chan struct{})
-	go c.readLoop()
-
 	if err := c.waitHandshake(ctx); err != nil {
 		c.abort(err)
-		// Wait for the read loop to release the socket, then reset the
-		// deadline so Dial can retry on it after version negotiation.
-		<-c.readDone
-		pconn.SetReadDeadline(time.Time{})
 		return nil, err
 	}
 	return c, nil
@@ -117,35 +138,4 @@ func localParams(cfg *Config, scid quicwire.ConnID) []byte {
 	p.InitialSourceConnectionID = scid
 	p.HasInitialSourceConnectionID = true
 	return p.Marshal()
-}
-
-// readLoop receives datagrams for a client connection.
-func (c *Conn) readLoop() {
-	defer close(c.readDone)
-	buf := make([]byte, 65536)
-	for {
-		select {
-		case <-c.closed:
-			return
-		default:
-		}
-		n, _, err := c.pconn.ReadFrom(buf)
-		if err != nil {
-			select {
-			case <-c.closed:
-				return // deadline poke from closeLocked
-			default:
-			}
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				c.abort(ErrHandshakeTimeout)
-			} else {
-				c.abort(err)
-			}
-			return
-		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		c.handleDatagram(pkt)
-	}
 }

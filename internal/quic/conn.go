@@ -82,10 +82,10 @@ type Conn struct {
 	cfg      *Config
 	isClient bool
 
-	pconn  net.PacketConn
 	remote net.Addr
-	// sendFunc abstracts the transmit path so server connections can
-	// share the listener's socket.
+	// sendFunc abstracts the transmit path: client connections send
+	// through their Transport's socket pool, server connections through
+	// the listener's socket.
 	sendFunc func(b []byte) error
 
 	mu     sync.Mutex
@@ -118,7 +118,9 @@ type Conn struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	closeErr  error
-	readDone  chan struct{} // closed when the client read loop exits
+	// onClose runs exactly once during teardown; the Transport uses it
+	// to retire this connection's routing entries.
+	onClose func()
 
 	ptoTimer  *time.Timer
 	ptoCount  int
@@ -844,10 +846,8 @@ func (c *Conn) closeLocked(err error) {
 		if c.tls != nil {
 			c.tls.Close()
 		}
-		// Unblock a client read loop parked in ReadFrom so the socket
-		// can be reused (version negotiation retry) or closed.
-		if c.isClient && c.pconn != nil {
-			c.pconn.SetReadDeadline(time.Now())
+		if c.onClose != nil {
+			c.onClose()
 		}
 	})
 }

@@ -303,7 +303,6 @@ func (l *Listener) maybeSendVersionNegotiation(hdr *quicwire.Header, datagramLen
 // pre-Retry original destination connection ID (nil without Retry).
 func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID quicwire.ConnID) *Conn {
 	c := newConn(l.cfg, false)
-	c.pconn = l.pconn
 	c.remote = from
 	c.version = hdr.Version
 	c.origDcid = append(quicwire.ConnID(nil), hdr.DstID...)

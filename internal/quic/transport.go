@@ -1,0 +1,316 @@
+package quic
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quicscan/internal/quicwire"
+)
+
+// clientCIDLen is the length of every connection ID this endpoint
+// issues for itself. Keeping it fixed lets the transport extract the
+// destination ID from short-header packets, whose CID length is not
+// carried on the wire (RFC 9000, Section 17.3).
+const clientCIDLen = 8
+
+// drainingPeriod is how long a retired connection ID keeps absorbing
+// late packets before they count as routing drops, mirroring the
+// draining state of RFC 9000, Section 10.2.
+const drainingPeriod = 3 * time.Second
+
+// ErrTransportClosed is returned for operations on a closed Transport.
+var ErrTransportClosed = errors.New("quic: transport closed")
+
+// Transport multiplexes many client connections over a small, fixed
+// pool of UDP sockets — the architecture high-rate scanners need:
+// socket count stays constant no matter how many concurrent handshakes
+// are in flight, instead of one kernel socket per target.
+//
+// One read loop runs per socket. Inbound datagrams are routed to the
+// owning *Conn by destination connection ID: every connection
+// registers its source connection ID at handshake start, and the
+// server addresses all of its packets — Initial, Handshake, 1-RTT,
+// and also Version Negotiation and Retry, which echo the client's
+// SCID — to that ID. Packets whose destination ID matches no live
+// connection (notably stateless resets, which carry random bytes where
+// the CID would be) fall back to routing by remote address.
+//
+// Ownership rule: the Transport owns its sockets. They are closed by
+// Transport.Close and by nothing else; connections dialed through a
+// Transport never close, nor set deadlines on, the underlying sockets.
+type Transport struct {
+	pool []net.PacketConn
+
+	mu       sync.Mutex
+	conns    map[string]*Conn // local CID -> connection
+	byAddr   map[string]*Conn // remote address -> connection (fallback)
+	draining map[string]time.Time
+	active   int
+	closed   bool
+
+	next   atomic.Uint32 // round-robin socket assignment
+	readWG sync.WaitGroup
+
+	// Counters, all atomic; snapshot via Stats.
+	cDials         atomic.Uint64
+	cDatagramsIn   atomic.Uint64
+	cDatagramsOut  atomic.Uint64
+	cBytesIn       atomic.Uint64
+	cBytesOut      atomic.Uint64
+	cRoutingMisses atomic.Uint64
+	cLatePackets   atomic.Uint64
+	cDropped       atomic.Uint64
+}
+
+// TransportStats is a snapshot of a Transport's routing counters.
+type TransportStats struct {
+	// Sockets is the fixed pool size.
+	Sockets int
+	// ActiveConns is the number of currently registered connections.
+	ActiveConns int
+	// Dials counts connection attempts (version-negotiation retries
+	// count separately).
+	Dials uint64
+	// DatagramsIn/Out and BytesIn/Out count UDP payloads crossing the
+	// pool.
+	DatagramsIn, DatagramsOut uint64
+	BytesIn, BytesOut         uint64
+	// RoutingMisses counts datagrams whose destination connection ID
+	// matched no live connection but that were still delivered via the
+	// remote-address fallback (stateless resets take this path).
+	RoutingMisses uint64
+	// LatePackets counts datagrams for a connection ID retired within
+	// the draining period — expected tail traffic, not a loss.
+	LatePackets uint64
+	// Dropped counts datagrams with no route at all.
+	Dropped uint64
+}
+
+// NewTransport creates a transport over the given sockets and takes
+// ownership of them: they are closed by Transport.Close (including
+// when NewTransport itself fails).
+func NewTransport(pconns ...net.PacketConn) (*Transport, error) {
+	if len(pconns) == 0 {
+		return nil, errors.New("quic: NewTransport requires at least one socket")
+	}
+	t := &Transport{
+		pool:     pconns,
+		conns:    make(map[string]*Conn),
+		byAddr:   make(map[string]*Conn),
+		draining: make(map[string]time.Time),
+	}
+	for _, pc := range pconns {
+		t.readWG.Add(1)
+		go t.readLoop(pc)
+	}
+	return t, nil
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	active := t.active
+	t.mu.Unlock()
+	return TransportStats{
+		Sockets:       len(t.pool),
+		ActiveConns:   active,
+		Dials:         t.cDials.Load(),
+		DatagramsIn:   t.cDatagramsIn.Load(),
+		DatagramsOut:  t.cDatagramsOut.Load(),
+		BytesIn:       t.cBytesIn.Load(),
+		BytesOut:      t.cBytesOut.Load(),
+		RoutingMisses: t.cRoutingMisses.Load(),
+		LatePackets:   t.cLatePackets.Load(),
+		Dropped:       t.cDropped.Load(),
+	}
+}
+
+// Close tears down the transport: all pooled sockets are closed, the
+// read loops drained, and every live connection aborted.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*Conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	var err error
+	for _, pc := range t.pool {
+		if cerr := pc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	for _, c := range conns {
+		c.abort(ErrTransportClosed)
+	}
+	t.readWG.Wait()
+	return err
+}
+
+// Dial establishes a QUIC connection to remote over the socket pool,
+// completing the TLS handshake before returning.
+//
+// If the server answers with a Version Negotiation packet, Dial
+// retries once with the best mutually supported version; if there is
+// none it returns a *VersionNegotiationError — the paper's "Version
+// Mismatch" outcome.
+func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (*Conn, error) {
+	cfg := config.clone()
+	ctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout)
+	defer cancel()
+
+	version := cfg.Versions[0]
+	var priorVN []quicwire.Version
+	for attempt := 0; ; attempt++ {
+		conn, err := t.dialVersion(ctx, remote, cfg, version, priorVN)
+		if err == nil {
+			return conn, nil
+		}
+		var vne *VersionNegotiationError
+		if attempt == 0 && errors.As(err, &vne) {
+			if v, ok := chooseVersion(cfg.Versions, vne.Server); ok {
+				version = v
+				// The retry connection carries the negotiation evidence
+				// so Stats on the surviving connection reflect it.
+				priorVN = vne.Server
+				continue
+			}
+		}
+		return nil, err
+	}
+}
+
+// sockFor picks the socket for a new connection, round-robin over the
+// pool.
+func (t *Transport) sockFor() net.PacketConn {
+	return t.pool[int(t.next.Add(1)-1)%len(t.pool)]
+}
+
+// register installs the connection's routes. Retried with a fresh
+// source ID on the (cosmically unlikely) random collision.
+var errDuplicateCID = errors.New("quic: connection ID already registered")
+
+func (t *Transport) register(c *Conn) error {
+	key := string(c.scid)
+	addr := c.remote.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrTransportClosed
+	}
+	if _, dup := t.conns[key]; dup {
+		return errDuplicateCID
+	}
+	t.conns[key] = c
+	if _, ok := t.byAddr[addr]; !ok {
+		t.byAddr[addr] = c
+	}
+	t.active++
+	return nil
+}
+
+// retire removes a closing connection's routes, parking its IDs in the
+// draining set so late server packets are not misread as drops.
+func (t *Transport) retire(c *Conn) {
+	key := string(c.scid)
+	addr := c.remote.String()
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[key] != c {
+		return
+	}
+	delete(t.conns, key)
+	if t.byAddr[addr] == c {
+		delete(t.byAddr, addr)
+	}
+	t.active--
+	t.draining[key] = now
+	if len(t.draining) > 8192 {
+		for k, at := range t.draining {
+			if now.Sub(at) > drainingPeriod {
+				delete(t.draining, k)
+			}
+		}
+	}
+}
+
+// readLoop receives datagrams on one pooled socket and routes them.
+func (t *Transport) readLoop(pc net.PacketConn) {
+	defer t.readWG.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // stray deadline; the transport sets none itself
+			}
+			return
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		t.route(pkt, from)
+	}
+}
+
+// route delivers one datagram to its connection: by destination
+// connection ID first, then by remote address.
+func (t *Transport) route(data []byte, from net.Addr) {
+	t.cDatagramsIn.Add(1)
+	t.cBytesIn.Add(uint64(len(data)))
+	if len(data) == 0 {
+		t.cDropped.Add(1)
+		return
+	}
+	var key string
+	if quicwire.IsLongHeader(data[0]) {
+		hdr, _, err := quicwire.ParseLongHeader(data)
+		if err != nil {
+			t.cDropped.Add(1)
+			return
+		}
+		key = string(hdr.DstID)
+	} else {
+		if len(data) < 1+clientCIDLen {
+			t.cDropped.Add(1)
+			return
+		}
+		key = string(data[1 : 1+clientCIDLen])
+	}
+
+	t.mu.Lock()
+	c := t.conns[key]
+	if c == nil {
+		drainedAt, late := t.draining[key]
+		if late && time.Since(drainedAt) <= drainingPeriod {
+			t.mu.Unlock()
+			t.cLatePackets.Add(1)
+			return
+		}
+		// Unknown destination ID: stateless resets (and corrupted
+		// headers) land here. Fall back to the per-address route so the
+		// owning connection can run its reset-token check.
+		c = t.byAddr[from.String()]
+		t.mu.Unlock()
+		if c == nil {
+			t.cDropped.Add(1)
+			return
+		}
+		t.cRoutingMisses.Add(1)
+		c.handleDatagram(data)
+		return
+	}
+	t.mu.Unlock()
+	c.handleDatagram(data)
+}

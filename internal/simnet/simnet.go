@@ -97,6 +97,15 @@ func (n *Network) UDPTraffic() (datagrams int, bytes int64) {
 	return n.stats.udpDatagrams, n.stats.udpBytes
 }
 
+// UDPSocketCount reports how many UDP sockets are currently bound,
+// letting tests assert socket economy (pool-size sockets per scan, not
+// one per target).
+func (n *Network) UDPSocketCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.udp)
+}
+
 // scannerBase is the address range client sockets allocate from,
 // mirroring the paper's dedicated research prefix.
 var scannerBase = netip.MustParseAddr("198.18.0.1")

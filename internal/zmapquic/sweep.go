@@ -3,7 +3,9 @@ package zmapquic
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"math"
 	"net/netip"
+	"sort"
 )
 
 // Sweep enumerates the addresses of a set of IPv4 prefixes in a
@@ -22,9 +24,13 @@ type Sweep struct {
 }
 
 // NewSweep builds a randomized sweep over the given IPv4 prefixes.
+// Overlapping or duplicate prefixes are coalesced so every address is
+// visited exactly once — without this, an input like 10.0.0.0/24 plus
+// 10.0.0.128/25 would probe the overlapped quarter twice, violating
+// the one-probe-per-address property the permutation exists for.
 func NewSweep(seed uint64, prefixes []netip.Prefix) *Sweep {
-	s := &Sweep{prefixes: prefixes}
-	for _, p := range prefixes {
+	s := &Sweep{prefixes: normalizePrefixes(prefixes)}
+	for _, p := range s.prefixes {
 		s.starts = append(s.starts, s.total)
 		s.total += uint64(1) << (32 - p.Bits())
 	}
@@ -65,8 +71,49 @@ func round(r, k uint32) uint32 {
 	return x
 }
 
-// addrAt maps a linear index to an address.
-func (s *Sweep) addrAt(idx uint64) netip.Addr {
+// normalizePrefixes masks, sorts, and de-overlaps IPv4 prefixes.
+// Two valid prefixes either nest or are disjoint, so after sorting by
+// base address (ties broken shortest-mask first) a contained prefix
+// always follows its container; tracking the running covered end is
+// enough to drop it.
+func normalizePrefixes(prefixes []netip.Prefix) []netip.Prefix {
+	masked := make([]netip.Prefix, 0, len(prefixes))
+	for _, p := range prefixes {
+		if !p.IsValid() || !p.Addr().Is4() {
+			continue
+		}
+		masked = append(masked, p.Masked())
+	}
+	sort.Slice(masked, func(i, j int) bool {
+		bi := binary.BigEndian.Uint32(masked[i].Addr().AsSlice())
+		bj := binary.BigEndian.Uint32(masked[j].Addr().AsSlice())
+		if bi != bj {
+			return bi < bj
+		}
+		return masked[i].Bits() < masked[j].Bits()
+	})
+	out := masked[:0]
+	coveredEnd := int64(-1) // last address already covered, inclusive
+	for _, p := range masked {
+		base := int64(binary.BigEndian.Uint32(p.Addr().AsSlice()))
+		end := base + int64(1)<<(32-p.Bits()) - 1
+		if end <= coveredEnd {
+			continue // contained in (or equal to) an earlier prefix
+		}
+		out = append(out, p)
+		coveredEnd = end
+	}
+	return out
+}
+
+// addrAt maps a linear index to an address. ok is false for an index
+// outside the sweep or an offset that would escape its prefix — the
+// uint32 address arithmetic must never be allowed to wrap past
+// 255.255.255.255 into an address the operator did not authorize.
+func (s *Sweep) addrAt(idx uint64) (netip.Addr, bool) {
+	if idx >= s.total || len(s.prefixes) == 0 {
+		return netip.Addr{}, false
+	}
 	// Binary search over cumulative starts.
 	lo, hi := 0, len(s.starts)-1
 	for lo < hi {
@@ -78,11 +125,18 @@ func (s *Sweep) addrAt(idx uint64) netip.Addr {
 		}
 	}
 	p := s.prefixes[lo]
-	base := binary.BigEndian.Uint32(p.Masked().Addr().AsSlice())
-	off := uint32(idx - s.starts[lo])
+	off := idx - s.starts[lo]
+	if off >= uint64(1)<<(32-p.Bits()) {
+		return netip.Addr{}, false
+	}
+	base := uint64(binary.BigEndian.Uint32(p.Masked().Addr().AsSlice()))
+	sum := base + off
+	if sum > math.MaxUint32 {
+		return netip.Addr{}, false
+	}
 	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], base+off)
-	return netip.AddrFrom4(b)
+	binary.BigEndian.PutUint32(b[:], uint32(sum))
+	return netip.AddrFrom4(b), true
 }
 
 // Addresses streams the permuted address sequence into a channel,
@@ -96,8 +150,12 @@ func (s *Sweep) Addresses(done <-chan struct{}) <-chan netip.Addr {
 			if idx >= s.total {
 				continue // cycle-walk skip outside the domain
 			}
+			addr, ok := s.addrAt(idx)
+			if !ok {
+				continue
+			}
 			select {
-			case ch <- s.addrAt(idx):
+			case ch <- addr:
 			case <-done:
 				return
 			}

@@ -409,3 +409,78 @@ func TestScanWithCapture(t *testing.T) {
 		t.Error("capture file empty")
 	}
 }
+
+// TestSweepOverlappingPrefixes: overlapping inputs must be coalesced
+// so the overlapped range is visited once, not twice.
+func TestSweepOverlappingPrefixes(t *testing.T) {
+	sw := NewSweep(11, []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/24"),
+		netip.MustParsePrefix("10.0.0.128/25"), // contained in the /24
+	})
+	if sw.Total() != 256 {
+		t.Fatalf("total = %d, want 256 (overlap double-counted)", sw.Total())
+	}
+	done := make(chan struct{})
+	defer close(done)
+	seen := make(map[netip.Addr]int)
+	for a := range sw.Addresses(done) {
+		seen[a]++
+	}
+	if len(seen) != 256 {
+		t.Fatalf("visited %d distinct addresses, want 256", len(seen))
+	}
+	for a, count := range seen {
+		if count != 1 {
+			t.Errorf("%v visited %d times", a, count)
+		}
+	}
+}
+
+// TestSweepDuplicatePrefixes: identical prefixes collapse to one.
+func TestSweepDuplicatePrefixes(t *testing.T) {
+	sw := NewSweep(3, []netip.Prefix{
+		netip.MustParsePrefix("192.0.2.0/28"),
+		netip.MustParsePrefix("192.0.2.0/28"),
+	})
+	if sw.Total() != 16 {
+		t.Fatalf("total = %d, want 16", sw.Total())
+	}
+}
+
+// TestSweepTopOfAddressSpace: a prefix abutting 255.255.255.255 must
+// enumerate exactly its own addresses — the base+offset arithmetic
+// must not wrap around to 0.0.0.0.
+func TestSweepTopOfAddressSpace(t *testing.T) {
+	p := netip.MustParsePrefix("255.255.255.0/24")
+	sw := NewSweep(5, []netip.Prefix{p})
+	if sw.Total() != 256 {
+		t.Fatalf("total = %d", sw.Total())
+	}
+	done := make(chan struct{})
+	defer close(done)
+	seen := make(map[netip.Addr]bool)
+	for a := range sw.Addresses(done) {
+		if !p.Contains(a) {
+			t.Fatalf("%v escaped %v (wrapped address arithmetic)", a, p)
+		}
+		seen[a] = true
+	}
+	if len(seen) != 256 {
+		t.Errorf("visited %d addresses, want 256", len(seen))
+	}
+	if !seen[netip.MustParseAddr("255.255.255.255")] {
+		t.Error("broadcast-most address missed")
+	}
+}
+
+// TestSweepAddrAtGuards: out-of-domain indexes report !ok instead of
+// fabricating an address.
+func TestSweepAddrAtGuards(t *testing.T) {
+	sw := NewSweep(1, []netip.Prefix{netip.MustParsePrefix("10.0.0.0/30")})
+	if _, ok := sw.addrAt(sw.Total()); ok {
+		t.Error("index past total mapped to an address")
+	}
+	if a, ok := sw.addrAt(3); !ok || a != netip.MustParseAddr("10.0.0.3") {
+		t.Errorf("addrAt(3) = %v, %v", a, ok)
+	}
+}

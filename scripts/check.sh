@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 verification gate: static checks plus the full test suite
+# under the race detector (the transport read loops and the scanner's
+# shared socket pool are concurrency-heavy; -race is non-negotiable).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
