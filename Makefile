@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench fuzz soak
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: vet + full suite under the race detector.
+# Tier-1 gate: vet + full suite under the race detector + fuzz smoke.
 check:
 	./scripts/check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Short native-fuzzing smoke over every parser-facing target.
+fuzz:
+	./scripts/fuzz-smoke.sh
+
+# Chaos/soak tier: the extended impairment sweep behind EXPERIMENTS.md
+# (minutes of runtime, race detector on).
+soak:
+	SOAK=1 $(GO) test -race -v -run 'Chaos' ./internal/chaos/

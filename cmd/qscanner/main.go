@@ -40,6 +40,8 @@ func main() {
 		output      = flag.String("output", "", "output file (default stdout)")
 		versions    = flag.String("versions", "", "comma-separated QUIC versions to offer (e.g. draft-29,ietf-01)")
 		skipHTTP    = flag.Bool("no-http", false, "skip the HTTP/3 HEAD request")
+		retries     = flag.Int("retries", 0, "re-probe silent targets up to this many times")
+		retryWait   = flag.Duration("retry-backoff", 200*time.Millisecond, "initial pause before a re-probe (doubles per attempt)")
 	)
 	flag.Parse()
 
@@ -62,10 +64,12 @@ func main() {
 	}
 
 	scanner := &core.Scanner{
-		Timeout:  *timeout,
-		Workers:  *workers,
-		PoolSize: *pool,
-		SkipHTTP: *skipHTTP,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		RetryBackoff: *retryWait,
+		Workers:      *workers,
+		PoolSize:     *pool,
+		SkipHTTP:     *skipHTTP,
 	}
 	defer scanner.Close()
 	if *versions != "" {

@@ -35,6 +35,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "sweep permutation seed")
 		blockfile = flag.String("blocklist", "", "file with excluded prefixes, one per line")
 		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
+		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 		Cooldown:  *cooldown,
 		NoPadding: *noPadding,
 		Blocklist: blocklist,
+		Retries:   *retries,
 	}
 	if *pcapFile != "" {
 		f, err := os.Create(*pcapFile)
@@ -117,8 +119,8 @@ func main() {
 		}
 		fmt.Printf("%s\t%s\n", r.Addr, strings.Join(names, ","))
 	}
-	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
-		stats.ProbesSent, stats.BytesSent, stats.Responses, stats.InvalidResponses, stats.Blocked, len(results))
+	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d reprobes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
+		stats.ProbesSent, stats.Reprobes, stats.BytesSent, stats.Responses, stats.InvalidResponses, stats.Blocked, len(results))
 }
 
 func readAddrs(path string) ([]netip.Addr, error) {

@@ -83,9 +83,13 @@ func parseEntry(s string) (Service, bool) {
 		return svc, false
 	}
 	svc.ALPN = percentDecode(strings.TrimSpace(alpn))
+	if svc.ALPN == "" {
+		// RFC 7838 requires a protocol-id token; `=":443"` is soup.
+		return svc, false
+	}
 	authority = strings.Trim(strings.TrimSpace(authority), `"`)
 	host, portStr, ok := cutAuthority(authority)
-	if !ok {
+	if !ok || !validHost(host) {
 		return svc, false
 	}
 	port, err := strconv.Atoi(portStr)
@@ -100,10 +104,12 @@ func parseEntry(s string) (Service, bool) {
 		if !ok {
 			continue
 		}
-		val = strings.Trim(val, `"`)
+		val = strings.TrimSpace(strings.Trim(strings.TrimSpace(val), `"`))
 		switch strings.ToLower(strings.TrimSpace(k)) {
 		case "ma":
-			if ma, err := strconv.Atoi(val); err == nil {
+			// Out-of-range (huge or negative) freshness lifetimes keep
+			// the RFC 7838 default rather than poisoning the entry.
+			if ma, err := strconv.Atoi(val); err == nil && ma >= 0 {
 				svc.MaxAge = ma
 			}
 		case "persist":
@@ -111,6 +117,23 @@ func parseEntry(s string) (Service, bool) {
 		}
 	}
 	return svc, true
+}
+
+// validHost rejects authority hosts containing characters that are
+// illegal in a URI host (RFC 3986): quotes, separators, spaces and
+// control bytes. Real-world header soup puts entry delimiters inside
+// quoted authorities; accepting them would make entries that cannot be
+// re-serialized.
+func validHost(host string) bool {
+	for i := 0; i < len(host); i++ {
+		switch c := host[i]; {
+		case c <= ' ' || c >= 0x7f:
+			return false
+		case c == '"' || c == ',' || c == ';' || c == '=' || c == '\\':
+			return false
+		}
+	}
+	return true
 }
 
 // splitParams splits an entry on semicolons not inside quotes.

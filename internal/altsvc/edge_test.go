@@ -1,0 +1,132 @@
+package altsvc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseEdgeCases covers the header-soup corners real scans hit:
+// delimiters inside quoted strings, the clear token in odd casing,
+// missing or garbage ports, out-of-range freshness lifetimes, and
+// trailing junk after well-formed entries.
+func TestParseEdgeCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		in    string
+		want  []Service
+		clear bool
+	}{
+		{
+			name: "comma inside quoted authority",
+			in:   `h3="a,b.example:443"`,
+			// Quotes protect the comma from entry splitting, but a
+			// comma is not a legal host character.
+			want: nil,
+		},
+		{
+			name: "semicolon inside quoted authority",
+			in:   `h3="exa;mple.org:443"; ma=60`,
+			want: nil,
+		},
+		{
+			name: "quoted comma does not split entries",
+			in:   `h3=":443"; foo="a,b", h3-29=":8443"`,
+			want: []Service{
+				{ALPN: "h3", Port: 443, MaxAge: 86400},
+				{ALPN: "h3-29", Port: 8443, MaxAge: 86400},
+			},
+		},
+		{
+			name:  "clear is case-insensitive",
+			in:    ` CLeaR `,
+			clear: true,
+		},
+		{
+			name: "clear with company is not clear",
+			in:   `clear, h3=":443"`,
+			// "clear" must be the entire value; here it is a malformed
+			// entry and only the real one survives.
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "missing port",
+			in:   `h3="example.org"`,
+			want: nil,
+		},
+		{
+			name: "empty port",
+			in:   `h3="example.org:"`,
+			want: nil,
+		},
+		{
+			name: "port zero",
+			in:   `h3=":0"`,
+			want: nil,
+		},
+		{
+			name: "port above 65535",
+			in:   `h3=":70000"`,
+			want: nil,
+		},
+		{
+			name: "huge ma keeps the default",
+			in:   `h3=":443"; ma=` + strings.Repeat("9", 30),
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "negative ma keeps the default",
+			in:   `h3=":443"; ma=-1`,
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "empty alpn is rejected",
+			in:   `=":443"`,
+			want: nil,
+		},
+		{
+			name: "trailing garbage after valid entry",
+			in:   `h3=":443", ;;=,`,
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "unknown parameters are ignored",
+			in:   `h3=":443"; v="46"; spdy=1`,
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "persist values other than 1 are false",
+			in:   `h3=":443"; persist=true`,
+			want: []Service{{ALPN: "h3", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "ipv6 authority",
+			in:   `h3="[2001:db8::1]:443"`,
+			want: []Service{{ALPN: "h3", Host: "[2001:db8::1]", Port: 443, MaxAge: 86400}},
+		},
+		{
+			name: "whitespace soup",
+			in:   "  h3 = \":443\" ;  ma = 60 ,\th3-32=\":444\"",
+			want: []Service{
+				{ALPN: "h3", Port: 443, MaxAge: 60},
+				{ALPN: "h3-32", Port: 444, MaxAge: 86400},
+			},
+		},
+		{
+			name: "empty value",
+			in:   "   ",
+			want: nil,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, clear := Parse(tc.in)
+			if clear != tc.clear {
+				t.Errorf("Parse(%q) clear = %v, want %v", tc.in, clear, tc.clear)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Parse(%q) =\n  %+v\nwant\n  %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package altsvc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: header soup must never panic the parser, parsed entries
+// must respect basic invariants, and Format output must re-parse to
+// the same service list.
+func FuzzParse(f *testing.F) {
+	f.Add(`h3=":443"; ma=3600`)
+	f.Add(`h3-29="alt.example.org:8443"; persist=1, h2=":443"`)
+	f.Add(`clear`)
+	f.Add(`h3="quoted,comma:443", h3-32="semi;colon:1"`)
+	f.Add(`w%3Dx=":80"`)
+	f.Add(`h3=":443"; ma=99999999999999999999`)
+	f.Add(`h3=":"`)
+	f.Add(`=":443", h3`)
+	f.Fuzz(func(t *testing.T, s string) {
+		services, clear := Parse(s)
+		if clear && len(services) != 0 {
+			t.Fatalf("Parse(%q) returned services alongside clear", s)
+		}
+		for _, svc := range services {
+			if svc.ALPN == "" {
+				t.Fatalf("Parse(%q) produced an entry with empty ALPN: %+v", s, svc)
+			}
+			if svc.Port < 0 || svc.Port > 65535 {
+				t.Fatalf("Parse(%q) produced out-of-range port %d", s, svc.Port)
+			}
+			if svc.MaxAge < 0 {
+				t.Fatalf("Parse(%q) produced negative ma %d", s, svc.MaxAge)
+			}
+		}
+		// Formatting what we parsed must be stable under one more
+		// parse. ALPN values are percent-decoded, so ones holding
+		// metacharacters cannot re-serialize; skip those.
+		clean := true
+		for _, svc := range services {
+			if strings.ContainsAny(svc.ALPN, "=\",; \\") || svc.ALPN != strings.TrimSpace(svc.ALPN) {
+				clean = false
+			}
+		}
+		if clean {
+			out := Format(services)
+			again, _ := Parse(out)
+			if len(again) != len(services) {
+				t.Fatalf("Format round trip changed entry count %d -> %d (%q -> %q)", len(services), len(again), s, out)
+			}
+		}
+	})
+}

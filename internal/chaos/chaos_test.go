@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"quicscan/internal/core"
+	"quicscan/internal/simnet"
+)
+
+// chaosScanConfig is the per-attempt budget used by the acceptance
+// run: tight enough that a single attempt measurably fails under the
+// default adversarial profile, generous enough that retries recover
+// essentially everything. The budgets come from norace.go/race.go so
+// the race detector's slowdown is not mistaken for packet loss.
+func chaosScanConfig(retries int) ScanConfig {
+	return ScanConfig{
+		Timeout:      chaosTimeout,
+		Retries:      retries,
+		RetryBackoff: 50 * time.Millisecond,
+		PTO:          chaosPTO,
+		MaxPTOs:      2,
+		Workers:      32,
+	}
+}
+
+// TestChaosScanRecovers is the acceptance run: 500 targets behind a
+// deterministic 5% loss + 30ms±10ms jitter + 1% reorder profile. With
+// retries the scan must reach >=99% success; without them it must do
+// measurably worse; and the shared transport must never misroute a
+// datagram.
+func TestChaosScanRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier skipped in -short mode")
+	}
+	const population = 500
+
+	run := func(retries int) Report {
+		w, err := NewWorld(population, simnet.Config{Seed: 42, Profile: DefaultProfile()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		return w.Scan(context.Background(), chaosScanConfig(retries))
+	}
+
+	withRetries := run(3)
+	t.Logf("with retries:    %v", withRetries.Summary)
+	t.Logf("  transport:     %+v", withRetries.Transport)
+	t.Logf("  impairments:   %+v", withRetries.Impair)
+	noRetries := run(0)
+	t.Logf("without retries: %v", noRetries.Summary)
+
+	if rate := withRetries.Summary.Rate(core.OutcomeSuccess); rate < 99 {
+		t.Errorf("success with retries = %.2f%%, want >= 99%%", rate)
+	}
+	if noRetries.Summary.Success >= withRetries.Summary.Success {
+		t.Errorf("retries did not help: %d successes with vs %d without",
+			withRetries.Summary.Success, noRetries.Summary.Success)
+	}
+	for _, rep := range []Report{withRetries, noRetries} {
+		if rep.Transport.RoutingMisses != 0 {
+			t.Errorf("transport misrouted %d datagrams: %+v", rep.Transport.RoutingMisses, rep.Transport)
+		}
+		if rep.Impair.Lost == 0 || rep.Impair.Reordered == 0 {
+			t.Errorf("profile was not adversarial: %+v", rep.Impair)
+		}
+	}
+	// Recovery must be visible in the per-result accounting: some
+	// targets needed more than one attempt.
+	recovered := 0
+	for _, r := range withRetries.Results {
+		if r.Outcome == core.OutcomeSuccess && r.Attempts > 1 {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no target was recovered by a retry; the no-retry gap is unexplained")
+	}
+}
+
+// TestChaosCorruptionDoesNotMisroute: bit corruption must surface as
+// drops or handshake failures, never as routing misses — corrupted
+// CIDs land in the transport's unroutable bucket.
+func TestChaosCorruptionDoesNotMisroute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier skipped in -short mode")
+	}
+	p := DefaultProfile()
+	p.Corrupt = 0.02
+	w, err := NewWorld(60, simnet.Config{Seed: 7, Profile: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rep := w.Scan(context.Background(), chaosScanConfig(3))
+	t.Logf("corruption run: %v transport=%+v impair=%+v", rep.Summary, rep.Transport, rep.Impair)
+	if rep.Impair.Corrupted == 0 {
+		t.Fatal("corruption profile produced no corrupted datagrams")
+	}
+	if rep.Transport.RoutingMisses != 0 {
+		t.Errorf("corrupted datagrams were misrouted: %+v", rep.Transport)
+	}
+}
+
+// TestChaosSoakSweep is the extended experiment behind EXPERIMENTS.md:
+// success rate across a loss sweep, with and without retries. Gated on
+// SOAK=1 (minutes of runtime); `make soak` runs it.
+func TestChaosSoakSweep(t *testing.T) {
+	if os.Getenv("SOAK") == "" {
+		t.Skip("soak sweep skipped; set SOAK=1 (make soak) to run")
+	}
+	for _, loss := range []float64{0, 0.02, 0.05, 0.10, 0.20} {
+		for _, retries := range []int{0, 3} {
+			p := DefaultProfile()
+			p.Loss = loss
+			w, err := NewWorld(500, simnet.Config{Seed: 42, Profile: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := w.Scan(context.Background(), chaosScanConfig(retries))
+			w.Close()
+			t.Logf("loss=%.0f%% retries=%d: %v (routing misses %d)",
+				loss*100, retries, rep.Summary, rep.Transport.RoutingMisses)
+			if rep.Transport.RoutingMisses != 0 {
+				t.Errorf("loss=%v retries=%d: %d routing misses", loss, retries, rep.Transport.RoutingMisses)
+			}
+		}
+	}
+}

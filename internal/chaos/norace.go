@@ -1,0 +1,14 @@
+//go:build !race
+
+package chaos
+
+import "time"
+
+// Per-attempt budgets for the acceptance run. The race-detector build
+// (race.go) uses stretched values so its 5-20x slowdown is not
+// mistaken for packet loss, while staying tight enough that genuine
+// loss still measurably defeats single attempts.
+const (
+	chaosTimeout = 500 * time.Millisecond
+	chaosPTO     = 100 * time.Millisecond
+)

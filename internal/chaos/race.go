@@ -1,0 +1,14 @@
+//go:build race
+
+package chaos
+
+import "time"
+
+// Race-detector variants of the chaos budgets (see norace.go): PTO is
+// raised well above the slowed handshake RTT so expirations still mean
+// loss, and the attempt deadline leaves roughly the same number of
+// recoverable loss events as the normal build.
+const (
+	chaosTimeout = 600 * time.Millisecond
+	chaosPTO     = 150 * time.Millisecond
+)

@@ -109,6 +109,14 @@ type Result struct {
 	HTTP            *HTTPInfo                   `json:"http,omitempty"`
 
 	HandshakeMillis float64 `json:"handshake_ms,omitempty"`
+
+	// Attempts is how many handshake attempts the target consumed
+	// (1 = answered first try; >1 = recovered or exhausted retries).
+	Attempts int `json:"attempts,omitempty"`
+	// Retransmits counts PTO-driven retransmission rounds across the
+	// final attempt's connection — the paper's timeout analysis needs
+	// the distinction between clean and repaired handshakes.
+	Retransmits int `json:"retransmits,omitempty"`
 }
 
 // Scanner is a stateful QUIC scanner.
@@ -128,6 +136,21 @@ type Scanner struct {
 	ALPN []string
 	// Timeout bounds each connection attempt (default 3s).
 	Timeout time.Duration
+	// Retries is how many additional attempts a target that timed out
+	// gets (default 0: single attempt). Only silence is retried —
+	// version mismatches, crypto errors and refusals are definitive
+	// answers. This is the ZMap loss-tolerance pattern applied to the
+	// stateful scanner.
+	Retries int
+	// RetryBackoff is the pause before the first retry, doubling each
+	// further attempt (default 200ms).
+	RetryBackoff time.Duration
+	// PTO overrides the per-connection retransmission timeout
+	// (default: the quic package's 150ms).
+	PTO time.Duration
+	// MaxPTOs overrides the per-connection retransmission budget
+	// (default 6; negative disables in-handshake retransmission).
+	MaxPTOs int
 	// Workers is the parallelism of Scan (default 64).
 	Workers int
 	// PoolSize is how many UDP sockets the shared transport opens
@@ -226,9 +249,38 @@ func (s *Scanner) dial() (net.PacketConn, error) {
 	return net.ListenPacket("udp", ":0")
 }
 
+func (s *Scanner) retryBackoff() time.Duration {
+	if s.RetryBackoff > 0 {
+		return s.RetryBackoff
+	}
+	return 200 * time.Millisecond
+}
+
 // ScanTarget attempts a full QUIC handshake plus an HTTP/3 HEAD
-// request against one target.
+// request against one target, re-probing silent targets up to Retries
+// times with exponential backoff. Each attempt gets its own Timeout
+// budget, so the worst case per target is (Retries+1)*Timeout plus
+// backoff pauses.
 func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
+	backoff := s.retryBackoff()
+	var res Result
+	for attempt := 1; ; attempt++ {
+		res = s.scanOnce(ctx, t)
+		res.Attempts = attempt
+		if res.Outcome != OutcomeTimeout || attempt > s.Retries {
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// scanOnce runs one connection attempt.
+func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 	res := Result{Target: t}
 
 	tr, err := s.sharedTransport()
@@ -255,6 +307,8 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 		Versions:         s.Versions,
 		HandshakeTimeout: s.timeout(),
 		TransportParams:  quic.DefaultClientParams(),
+		PTO:              s.PTO,
+		MaxPTOs:          s.MaxPTOs,
 	}
 
 	ctx, cancel := context.WithTimeout(ctx, s.timeout())
@@ -281,6 +335,7 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 		res.ServerVersions = append(res.ServerVersions, v.String())
 	}
 	res.Retried = st.Retried
+	res.Retransmits = st.Retransmits
 	res.HandshakeMillis = float64(st.HandshakeDuration.Microseconds()) / 1000
 
 	cs := conn.ConnectionState()

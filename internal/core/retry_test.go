@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicscan/internal/quic"
+	"quicscan/internal/simnet"
+)
+
+// TestTotalLossYieldsTimeoutWithinBudget: a 100%-loss profile must
+// classify as OutcomeTimeout (not Other), and the retry loop must give
+// up after the configured attempt budget instead of hanging.
+func TestTotalLossYieldsTimeoutWithinBudget(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.10:443", serverParams(), quic.ServerPolicy{}, "srv", "dead.test")
+	w.net.SetProfile(simnet.Profile{Loss: 1})
+
+	s := newScanner(t, w)
+	s.Timeout = 300 * time.Millisecond
+	s.Retries = 2
+	s.RetryBackoff = 20 * time.Millisecond
+	s.PTO = 50 * time.Millisecond
+
+	start := time.Now()
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "dead.test"})
+	elapsed := time.Since(start)
+
+	if res.Outcome != OutcomeTimeout {
+		t.Errorf("outcome = %s (%s), want timeout", res.Outcome, res.Error)
+	}
+	if res.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", res.Attempts)
+	}
+	// 3 attempts x 300ms + backoffs (20+40ms) plus slack.
+	if elapsed > 3*time.Second {
+		t.Errorf("retry budget not honoured: took %v", elapsed)
+	}
+}
+
+// TestRetryRecoversSilentTarget: a target whose link heals between
+// attempts is recovered by the re-probe pass, with Attempts recording
+// the work.
+func TestRetryRecoversSilentTarget(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.20:443", serverParams(), quic.ServerPolicy{}, "srv", "flaky.test")
+	prefix := netip.MustParsePrefix("192.0.2.20/32")
+	w.net.SetPrefixProfile(prefix, simnet.Profile{Loss: 1})
+	// Heal the link while the scanner is in its first backoff.
+	heal := time.AfterFunc(400*time.Millisecond, func() {
+		w.net.SetPrefixProfile(prefix, simnet.Profile{})
+	})
+	defer heal.Stop()
+
+	s := newScanner(t, w)
+	s.Timeout = 300 * time.Millisecond
+	s.Retries = 4
+	s.RetryBackoff = 150 * time.Millisecond
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "flaky.test"})
+	if res.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s (%s), want success after healing", res.Outcome, res.Error)
+	}
+	if res.Attempts < 2 {
+		t.Errorf("attempts = %d, want >= 2 (first attempt ran against a dead link)", res.Attempts)
+	}
+}
+
+// TestSingleAttemptOnSuccess: healthy targets must not consume the
+// retry budget, and Attempts must say so.
+func TestSingleAttemptOnSuccess(t *testing.T) {
+	w := newWorld(t)
+	addr := w.addServer(t, "192.0.2.30:443", serverParams(), quic.ServerPolicy{}, "srv", "fine.test")
+	s := newScanner(t, w)
+	s.Retries = 3
+
+	res := s.ScanTarget(context.Background(), Target{Addr: addr, SNI: "fine.test"})
+	if res.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Error)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("attempts = %d, want 1", res.Attempts)
+	}
+}

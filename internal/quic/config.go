@@ -45,8 +45,22 @@ type Config struct {
 	// (default 30s).
 	MaxIdleTimeout time.Duration
 
-	// PTO is the retransmission timeout (default 150ms).
+	// PTO is the retransmission timeout (default 150ms). Each
+	// consecutive PTO without forward progress doubles the interval,
+	// capped at MaxPTOBackoff.
 	PTO time.Duration
+
+	// MaxPTOs is the retransmission budget: how many consecutive PTO
+	// expirations without an acknowledgment are tolerated before the
+	// endpoint gives up (default 6, negative disables retransmission
+	// entirely). A handshake that exhausts the budget aborts with
+	// ErrHandshakeTimeout immediately instead of idling out the
+	// deadline — the scanner-relevant fast-fail for dead targets.
+	MaxPTOs int
+
+	// MaxPTOBackoff caps the exponentially growing PTO interval
+	// (default 2s).
+	MaxPTOBackoff time.Duration
 
 	// MaxDatagramSize caps outgoing UDP payloads (default 1350).
 	MaxDatagramSize int
@@ -77,6 +91,12 @@ func (c *Config) clone() *Config {
 	}
 	if out.PTO == 0 {
 		out.PTO = 150 * time.Millisecond
+	}
+	if out.MaxPTOs == 0 {
+		out.MaxPTOs = 6
+	}
+	if out.MaxPTOBackoff == 0 {
+		out.MaxPTOBackoff = 2 * time.Second
 	}
 	if out.MaxDatagramSize == 0 {
 		out.MaxDatagramSize = 1350
@@ -137,6 +157,9 @@ type Stats struct {
 	ServerVersions []quicwire.Version
 	// Retried is true if the server sent a Retry packet.
 	Retried bool
+	// Retransmits counts PTO expirations that re-sent unacknowledged
+	// frames — the connection's loss-recovery work.
+	Retransmits int
 	// HandshakeDuration is the time from first Initial to handshake
 	// completion.
 	HandshakeDuration time.Duration

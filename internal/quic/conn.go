@@ -855,15 +855,26 @@ func (c *Conn) closeLocked(err error) {
 // Closed returns a channel closed when the connection dies.
 func (c *Conn) Closed() <-chan struct{} { return c.closed }
 
-// schedulePTOLocked arms the retransmission timer.
+// schedulePTOLocked arms the retransmission timer with exponential
+// backoff, capped at MaxPTOBackoff.
 func (c *Conn) schedulePTOLocked() {
 	if c.ptoTimer != nil {
 		c.ptoTimer.Stop()
 	}
+	if c.cfg.MaxPTOs < 0 {
+		return
+	}
 	if c.handshakeDone && !c.anyUnackedLocked() {
 		return
 	}
-	d := c.cfg.PTO << c.ptoCount
+	shift := c.ptoCount
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.cfg.PTO << shift
+	if c.cfg.MaxPTOBackoff > 0 && d > c.cfg.MaxPTOBackoff {
+		d = c.cfg.MaxPTOBackoff
+	}
 	c.ptoTimer = time.AfterFunc(d, c.onPTO)
 }
 
@@ -884,8 +895,17 @@ func (c *Conn) onPTO() {
 		return
 	default:
 	}
-	if c.ptoCount >= 6 {
-		// Give up: idle/handshake failure is signalled elsewhere.
+	if c.ptoCount >= c.cfg.MaxPTOs {
+		// Retransmission budget exhausted. A handshake that could not
+		// be repaired in MaxPTOs rounds is dead: fail fast with the
+		// timeout outcome instead of waiting out the deadline. After
+		// the handshake the idle timer signals failure instead.
+		if !c.handshakeDone {
+			if c.hsErr == nil {
+				c.hsErr = ErrHandshakeTimeout
+			}
+			c.closeLocked(ErrHandshakeTimeout)
+		}
 		return
 	}
 	c.ptoCount++
@@ -900,6 +920,7 @@ func (c *Conn) onPTO() {
 		}
 	}
 	if resent {
+		c.stats.Retransmits++
 		c.sendPendingLocked()
 	} else {
 		c.schedulePTOLocked()

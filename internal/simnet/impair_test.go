@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// drain reads every datagram arriving at pc within the window and
+// returns the payloads in arrival order.
+func drain(t *testing.T, pc *PacketConn, window time.Duration) []string {
+	t.Helper()
+	var out []string
+	buf := make([]byte, 2048)
+	pc.SetReadDeadline(time.Now().Add(window))
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return out
+		}
+		out = append(out, string(buf[:n]))
+	}
+}
+
+func TestPerPrefixProfile(t *testing.T) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	n.SetPrefixProfile(netip.MustParsePrefix("198.51.100.0/24"), Profile{Loss: 1})
+
+	lossy, err := n.ListenUDP(ap("198.51.100.7:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := n.ListenUDP(ap("192.0.2.7:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		cli.WriteTo([]byte("x"), lossy.LocalAddr())
+		cli.WriteTo([]byte("x"), clean.LocalAddr())
+	}
+	if got := drain(t, lossy, 100*time.Millisecond); len(got) != 0 {
+		t.Errorf("lossy prefix delivered %d datagrams, want 0", len(got))
+	}
+	if got := drain(t, clean, 100*time.Millisecond); len(got) != 20 {
+		t.Errorf("clean prefix delivered %d datagrams, want 20", len(got))
+	}
+	// The lossy prefix impairs both directions: replies FROM it are
+	// judged under the same profile.
+	if _, err := lossy.WriteTo([]byte("y"), cli.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cli, 100*time.Millisecond); len(got) != 0 {
+		t.Errorf("reverse path delivered %d datagrams, want 0", len(got))
+	}
+
+	st := n.ImpairmentStats()
+	if st.Lost != 21 || st.Delivered != 20 {
+		t.Errorf("impairments = %+v, want Lost=21 Delivered=20", st)
+	}
+}
+
+func TestLossDeterministicUnderSeed(t *testing.T) {
+	run := func(seed uint64) []string {
+		n := New(Config{Seed: seed, Profile: Profile{Loss: 0.4}})
+		defer n.Close()
+		srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := n.DialUDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			cli.WriteTo([]byte(fmt.Sprintf("%03d", i)), srv.LocalAddr())
+		}
+		return drain(t, srv, 100*time.Millisecond)
+	}
+
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("degenerate survivor count %d", len(a))
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different outcomes:\n%v\n%v", a, b)
+	}
+	if c := run(8); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Errorf("different seeds produced identical outcomes")
+	}
+}
+
+func TestJitterReordersDelivery(t *testing.T) {
+	n := New(Config{Seed: 3, Profile: Profile{
+		Latency: 4 * time.Millisecond,
+		Jitter:  3 * time.Millisecond,
+		Reorder: 0.3,
+	}})
+	defer n.Close()
+	srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 60
+	for i := 0; i < total; i++ {
+		cli.WriteTo([]byte(fmt.Sprintf("%03d", i)), srv.LocalAddr())
+	}
+	got := drain(t, srv, 300*time.Millisecond)
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d", len(got), total)
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Error("jitter+reorder profile delivered everything in order")
+	}
+	if st := n.ImpairmentStats(); st.Reordered == 0 {
+		t.Errorf("impairments = %+v, want Reordered > 0", st)
+	}
+}
+
+func TestDuplicationAndCorruption(t *testing.T) {
+	n := New(Config{Seed: 5, Profile: Profile{Duplicate: 1}})
+	defer n.Close()
+	srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WriteTo([]byte("dup"), srv.LocalAddr())
+	if got := drain(t, srv, 100*time.Millisecond); len(got) != 2 {
+		t.Errorf("duplication delivered %d copies, want 2", len(got))
+	}
+	if st := n.ImpairmentStats(); st.Duplicated != 1 || st.Delivered != 2 {
+		t.Errorf("impairments = %+v, want Duplicated=1 Delivered=2", st)
+	}
+
+	n2 := New(Config{Seed: 5, Profile: Profile{Corrupt: 1}})
+	defer n2.Close()
+	srv2, err := n2.ListenUDP(ap("192.0.2.2:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2, err := n2.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2.WriteTo([]byte("payload"), srv2.LocalAddr())
+	got := drain(t, srv2, 100*time.Millisecond)
+	if len(got) != 1 || got[0] == "payload" {
+		t.Errorf("corruption: got %q, want one altered copy", got)
+	}
+	if st := n2.ImpairmentStats(); st.Corrupted != 1 {
+		t.Errorf("impairments = %+v, want Corrupted=1", st)
+	}
+}
+
+func TestMTUClamp(t *testing.T) {
+	n := New(Config{Seed: 1, Profile: Profile{MTU: 100}})
+	defer n.Close()
+	srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.WriteTo(make([]byte, 200), srv.LocalAddr())
+	cli.WriteTo(make([]byte, 100), srv.LocalAddr())
+	if got := drain(t, srv, 100*time.Millisecond); len(got) != 1 || len(got[0]) != 100 {
+		t.Errorf("MTU clamp delivered %d datagrams", len(got))
+	}
+	if st := n.ImpairmentStats(); st.MTUDropped != 1 {
+		t.Errorf("impairments = %+v, want MTUDropped=1", st)
+	}
+}
+
+// TestSyntheticImpairedBothWays: probes to synthetic endpoints and
+// their replies each pay their own link's impairment.
+func TestSyntheticImpairedBothWays(t *testing.T) {
+	n := New(Config{Seed: 2})
+	defer n.Close()
+	n.SetPrefixProfile(netip.MustParsePrefix("203.0.113.0/24"), Profile{Loss: 1})
+	n.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+		return [][]byte{[]byte("answer")}
+	})
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe toward the fully lossy prefix: never answered.
+	cli.WriteTo([]byte("probe"), net.UDPAddrFromAddrPort(ap("203.0.113.9:443")))
+	if got := drain(t, cli, 100*time.Millisecond); len(got) != 0 {
+		t.Errorf("lossy synthetic link answered: %q", got)
+	}
+	// Probe toward an unimpaired synthetic address: answered.
+	cli.WriteTo([]byte("probe"), net.UDPAddrFromAddrPort(ap("192.0.2.50:443")))
+	if got := drain(t, cli, 100*time.Millisecond); len(got) != 1 || got[0] != "answer" {
+		t.Errorf("clean synthetic link: got %q", got)
+	}
+}

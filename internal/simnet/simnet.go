@@ -45,10 +45,13 @@ type Network struct {
 	listeners map[netip.AddrPort]*streamListener
 	synth     SyntheticResponder
 
-	latency time.Duration
-	loss    float64
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+	// profile is the default link impairment; prefixProfiles override
+	// it for links to matching prefixes (longest prefix first).
+	profile        Profile
+	prefixProfiles []prefixProfile
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
 
 	ephemeral uint32
 	closed    bool
@@ -59,26 +62,39 @@ type Network struct {
 		udpDatagrams int
 		udpBytes     int64
 		synthAnswers int
+		impair       ImpairmentStats
 	}
 }
 
 // Config parameterizes a Network.
 type Config struct {
+	// Profile is the default link impairment profile. The richer
+	// knobs (jitter, reordering, duplication, corruption, MTU) are
+	// only reachable through it; Latency and Loss below are legacy
+	// shorthands folded into it when the corresponding Profile field
+	// is zero.
+	Profile Profile
 	// Latency is the one-way delivery delay (default 0: immediate).
 	Latency time.Duration
 	// Loss is the probability in [0,1) that a datagram is dropped.
 	Loss float64
-	// Seed makes loss decisions reproducible.
+	// Seed makes impairment decisions reproducible.
 	Seed uint64
 }
 
 // New creates a network.
 func New(cfg Config) *Network {
+	prof := cfg.Profile
+	if prof.Latency == 0 {
+		prof.Latency = cfg.Latency
+	}
+	if prof.Loss == 0 {
+		prof.Loss = cfg.Loss
+	}
 	return &Network{
 		udp:       make(map[netip.AddrPort]*PacketConn),
 		listeners: make(map[netip.AddrPort]*streamListener),
-		latency:   cfg.Latency,
-		loss:      cfg.Loss,
+		profile:   prof,
 		rng:       rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
 	}
 }
@@ -126,15 +142,6 @@ func (n *Network) nextEphemeral() netip.AddrPort {
 	return netip.AddrPortFrom(netip.AddrFrom4(a4), port)
 }
 
-func (n *Network) dropped() bool {
-	if n.loss <= 0 {
-		return false
-	}
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return n.rng.Float64() < n.loss
-}
-
 var errNetClosed = errors.New("simnet: network closed")
 
 // ListenUDP binds a socket at a fixed address. Binding an in-use
@@ -172,14 +179,19 @@ func (n *Network) unbindUDP(at netip.AddrPort, pc *PacketConn) {
 	n.mu.Unlock()
 }
 
-// deliver routes one datagram. Called from PacketConn.WriteTo.
+// deliver routes one datagram. Called from PacketConn.WriteTo. The
+// forward path is judged under the destination link's profile; replies
+// synthesized for socketless endpoints are judged independently under
+// the reverse link's profile, so a round trip pays both directions'
+// impairments.
 func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
 	n.stats.Lock()
 	n.stats.udpDatagrams++
 	n.stats.udpBytes += int64(len(payload))
 	n.stats.Unlock()
 
-	if n.dropped() {
+	v := n.judge(n.profileFor(to, from), len(payload))
+	if v.drop {
 		return
 	}
 
@@ -191,16 +203,26 @@ func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
 	if dst != nil {
 		buf := make([]byte, len(payload))
 		copy(buf, payload)
-		if n.latency > 0 {
-			time.AfterFunc(n.latency, func() { dst.enqueue(datagram{payload: buf, from: from}) })
-		} else {
-			dst.enqueue(datagram{payload: buf, from: from})
+		if v.corrupt {
+			n.corruptPayload(buf)
+		}
+		enqueueAfter(dst, datagram{payload: buf, from: from}, v.delay)
+		if v.dup {
+			dup := make([]byte, len(buf))
+			copy(dup, buf)
+			enqueueAfter(dst, datagram{payload: dup, from: from}, v.dupDelay)
 		}
 		return
 	}
 
 	if synth != nil {
-		replies := synth(to, payload)
+		probe := payload
+		if v.corrupt {
+			probe = make([]byte, len(payload))
+			copy(probe, payload)
+			n.corruptPayload(probe)
+		}
+		replies := synth(to, probe)
 		if len(replies) == 0 {
 			return
 		}
@@ -213,17 +235,23 @@ func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
 		if src == nil {
 			return
 		}
-		send := func() {
-			for _, r := range replies {
-				if !n.dropped() {
-					src.enqueue(datagram{payload: r, from: to})
-				}
+		back := n.profileFor(from, to)
+		for _, r := range replies {
+			rv := n.judge(back, len(r))
+			if rv.drop {
+				continue
 			}
-		}
-		if n.latency > 0 {
-			time.AfterFunc(n.latency, send)
-		} else {
-			send()
+			buf := make([]byte, len(r))
+			copy(buf, r)
+			if rv.corrupt {
+				n.corruptPayload(buf)
+			}
+			enqueueAfter(src, datagram{payload: buf, from: to}, v.delay+rv.delay)
+			if rv.dup {
+				dup := make([]byte, len(buf))
+				copy(dup, buf)
+				enqueueAfter(src, datagram{payload: dup, from: to}, v.delay+rv.dupDelay)
+			}
 		}
 	}
 }
@@ -271,10 +299,12 @@ func newPacketConn(n *Network, at netip.AddrPort) *PacketConn {
 }
 
 func (pc *PacketConn) enqueue(d datagram) {
+	// The non-blocking send must happen under the same lock that
+	// Close takes before closing the queue: impairment delays deliver
+	// via time.AfterFunc, so an enqueue can otherwise race a close.
 	pc.mu.Lock()
-	closed := pc.closed
-	pc.mu.Unlock()
-	if closed {
+	defer pc.mu.Unlock()
+	if pc.closed {
 		return
 	}
 	select {

@@ -1,0 +1,35 @@
+package transportparams
+
+import "testing"
+
+// FuzzParse: Unmarshal must never panic on arbitrary extension bodies,
+// and every accepted blob must survive a Marshal/Unmarshal round trip
+// (unknown parameters are dropped, so only re-marshalling stability is
+// asserted, not byte equality with the input).
+func FuzzParse(f *testing.F) {
+	def := Default()
+	f.Add(def.Marshal())
+	full := Default()
+	full.MaxIdleTimeout = 30000
+	full.InitialMaxData = 1 << 20
+	full.StatelessResetToken = []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	full.DisableActiveMigration = true
+	f.Add(full.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x00})             // truncated: id without length
+	f.Add([]byte{0x01, 0x02, 0xff}) // length overruns the buffer
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		enc := p.Marshal()
+		p2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-unmarshal of marshalled params failed: %v (input %x, enc %x)", err, b, enc)
+		}
+		if p.Fingerprint() != p2.Fingerprint() {
+			t.Fatalf("fingerprint changed across round trip: %q vs %q", p.Fingerprint(), p2.Fingerprint())
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package zmapquic
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"quicscan/internal/quicwire"
+	"quicscan/internal/simnet"
+)
+
+// vnResponder answers forced-VN probes, optionally only from the
+// skip+1'th probe per address onward (simulating a first probe lost
+// beyond the simnet's own impairments).
+func vnResponder(versions []quicwire.Version, skip int) func(netip.AddrPort, []byte) [][]byte {
+	var mu sync.Mutex
+	seen := make(map[netip.Addr]int)
+	return func(dst netip.AddrPort, payload []byte) [][]byte {
+		if dst.Port() != 443 {
+			return nil
+		}
+		hdr, _, err := quicwire.ParseLongHeader(payload)
+		if err != nil || !hdr.Version.IsForcedNegotiation() {
+			return nil
+		}
+		mu.Lock()
+		seen[dst.Addr()]++
+		nth := seen[dst.Addr()]
+		mu.Unlock()
+		if nth <= skip {
+			return nil
+		}
+		return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, 0x2a, versions)}
+	}
+}
+
+// TestReprobeRecoversSilentTargets: targets that ignore their first
+// probe are still discovered by the second pass, and the extra work is
+// accounted in Stats.Reprobes.
+func TestReprobeRecoversSilentTargets(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	versions := []quicwire.Version{quicwire.VersionDraft29}
+	n.SetSyntheticResponder(vnResponder(versions, 1))
+
+	pc, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scanner{Conn: pc, Cooldown: 100 * time.Millisecond, Retries: 1}
+
+	var targets []netip.Addr
+	for i := 1; i <= 30; i++ {
+		targets = append(targets, netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}))
+	}
+	results, stats, err := s.ScanAddrs(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 30 {
+		t.Errorf("results = %d, want all 30 recovered by re-probe", len(results))
+	}
+	if stats.ProbesSent != 60 || stats.Reprobes != 30 {
+		t.Errorf("stats = %+v, want 60 probes of which 30 reprobes", stats)
+	}
+	dup := make(map[netip.Addr]bool)
+	for _, r := range results {
+		if dup[r.Addr] {
+			t.Errorf("duplicate result for %v", r.Addr)
+		}
+		dup[r.Addr] = true
+	}
+}
+
+// TestReprobeUnderLoss: with a 40%-loss link, extra passes recover
+// targets the single pass misses — same seed, so the first pass is
+// identical in both runs.
+func TestReprobeUnderLoss(t *testing.T) {
+	versions := []quicwire.Version{quicwire.VersionDraft29}
+	run := func(retries int) ([]Result, Stats) {
+		n := simnet.New(simnet.Config{Seed: 11, Profile: simnet.Profile{Loss: 0.4}})
+		defer n.Close()
+		n.SetSyntheticResponder(vnResponder(versions, 0))
+		pc, err := n.DialUDP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &Scanner{Conn: pc, Cooldown: 150 * time.Millisecond, Retries: retries}
+		var targets []netip.Addr
+		for i := 1; i <= 50; i++ {
+			targets = append(targets, netip.AddrFrom4([4]byte{198, 51, 100, byte(i)}))
+		}
+		results, stats, err := s.ScanAddrs(context.Background(), targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results, stats
+	}
+
+	single, sstats := run(0)
+	if sstats.Reprobes != 0 {
+		t.Errorf("single pass reported %d reprobes", sstats.Reprobes)
+	}
+	if len(single) == 50 {
+		t.Fatal("40% loss lost nothing in a single pass; test needs a harsher profile")
+	}
+	multi, mstats := run(4)
+	if len(multi) <= len(single) {
+		t.Errorf("re-probing found %d targets, single pass found %d; want strictly more", len(multi), len(single))
+	}
+	if mstats.Reprobes == 0 {
+		t.Error("multi-pass run reported no reprobes")
+	}
+	if mstats.ProbesSent != 50+mstats.Reprobes {
+		t.Errorf("stats = %+v: ProbesSent should be 50 first-pass probes + Reprobes", mstats)
+	}
+}
+
+// TestReprobeStopsWhenAllAnswered: no second pass is made when the
+// first pass hears from everyone.
+func TestReprobeStopsWhenAllAnswered(t *testing.T) {
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	n.SetSyntheticResponder(vnResponder([]quicwire.Version{quicwire.Version1}, 0))
+	pc, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Scanner{Conn: pc, Cooldown: 100 * time.Millisecond, Retries: 5}
+	var targets []netip.Addr
+	for i := 1; i <= 10; i++ {
+		targets = append(targets, netip.AddrFrom4([4]byte{203, 0, 113, byte(i)}))
+	}
+	results, stats, err := s.ScanAddrs(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 || stats.ProbesSent != 10 || stats.Reprobes != 0 {
+		t.Errorf("results = %d, stats = %+v; want one clean pass", len(results), stats)
+	}
+}

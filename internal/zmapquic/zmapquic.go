@@ -50,6 +50,12 @@ type Scanner struct {
 	// invalid) response as synthesized IP/UDP packets — the raw-data
 	// artifact the paper archives.
 	Capture *pcap.Writer
+	// Retries is the number of additional passes ScanAddrs makes over
+	// targets that stayed silent, ZMap's loss-tolerance measure: a
+	// probe or response lost in transit is indistinguishable from a
+	// dead host, so silent addresses are re-probed before being
+	// declared unresponsive. 0 means a single pass.
+	Retries int
 
 	// secret keys probe validation.
 	secret     [32]byte
@@ -70,6 +76,9 @@ type Stats struct {
 	InvalidResponses int
 	// Blocked counts targets skipped due to the blocklist.
 	Blocked int
+	// Reprobes counts probes sent in second and later passes over
+	// silent targets (included in ProbesSent).
+	Reprobes int
 }
 
 func (s *Scanner) port() uint16 {
@@ -246,8 +255,50 @@ sendLoop:
 	return results, stats, ctx.Err()
 }
 
-// ScanAddrs is a convenience wrapper over Scan for a slice of targets.
+// ScanAddrs scans a slice of targets, making up to 1+Retries passes:
+// addresses that answered an earlier pass are not re-probed, and
+// blocked addresses are only counted once. Stats are the totals over
+// all passes.
 func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) ([]Result, Stats, error) {
+	var (
+		results []Result
+		total   Stats
+	)
+	responded := make(map[netip.Addr]bool)
+	pending := addrs
+	for pass := 0; pass <= s.Retries && len(pending) > 0; pass++ {
+		res, st, err := s.Scan(ctx, addrChan(ctx, pending))
+		for _, r := range res {
+			if !responded[r.Addr] {
+				responded[r.Addr] = true
+				results = append(results, r)
+			}
+		}
+		total.ProbesSent += st.ProbesSent
+		total.BytesSent += st.BytesSent
+		total.Responses += st.Responses
+		total.InvalidResponses += st.InvalidResponses
+		total.Blocked += st.Blocked
+		if pass > 0 {
+			total.Reprobes += st.ProbesSent
+		}
+		if err != nil {
+			return results, total, err
+		}
+		// The next pass re-probes only silent, probeable targets.
+		var silent []netip.Addr
+		for _, a := range pending {
+			if !responded[a] && !s.Blocklist.Blocked(a) {
+				silent = append(silent, a)
+			}
+		}
+		pending = silent
+	}
+	return results, total, ctx.Err()
+}
+
+// addrChan feeds a slice into a channel, stopping on ctx cancellation.
+func addrChan(ctx context.Context, addrs []netip.Addr) <-chan netip.Addr {
 	ch := make(chan netip.Addr)
 	go func() {
 		defer close(ch)
@@ -259,7 +310,7 @@ func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) ([]Result, 
 			}
 		}
 	}()
-	return s.Scan(ctx, ch)
+	return ch
 }
 
 // localAddrPort resolves the scanning socket's own address.

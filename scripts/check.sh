@@ -11,4 +11,7 @@ go vet ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> fuzz smoke"
+FUZZTIME=${FUZZTIME:-5s} ./scripts/fuzz-smoke.sh
+
 echo "check: OK"

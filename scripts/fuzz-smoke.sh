@@ -1,0 +1,25 @@
+#!/bin/sh
+# Fuzz smoke: run every native fuzz target for a few seconds each.
+# Seed corpora already run in the normal test suite; this adds a short
+# mutation pass so parser regressions surface in `make check` rather
+# than in a nightly job. Crashers land in the package's testdata/fuzz
+# directory and from then on fail plain `go test`.
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME=${FUZZTIME:-5s}
+
+run_target() {
+	pkg=$1
+	target=$2
+	echo "==> go test -fuzz ^${target}\$ -fuzztime ${FUZZTIME} ${pkg}"
+	go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME}" "${pkg}"
+}
+
+run_target ./internal/quicwire FuzzVarint
+run_target ./internal/quicwire FuzzParseHeader
+run_target ./internal/quicwire FuzzParseFrames
+run_target ./internal/transportparams FuzzParse
+run_target ./internal/altsvc FuzzParse
+
+echo "fuzz smoke: OK"
