@@ -12,8 +12,10 @@ test:
 check:
 	./scripts/check.sh
 
+# Root benchmark harness; results land in BENCH_<date>.json (see
+# scripts/bench.sh for BENCH/BENCHTIME/OUT overrides).
 bench:
-	$(GO) test -bench=. -benchmem
+	./scripts/bench.sh
 
 # Short native-fuzzing smoke over every parser-facing target.
 fuzz:

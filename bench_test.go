@@ -32,6 +32,7 @@ import (
 	"quicscan/internal/quiccrypto"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/simnet"
+	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
 )
 
@@ -510,4 +511,103 @@ func BenchmarkCDF(b *testing.B) {
 			b.Fatal("empty CDF")
 		}
 	}
+}
+
+// ---- telemetry overhead -------------------------------------------------
+
+// BenchmarkTelemetryOverhead quantifies what the always-on metrics
+// registry costs on the scanner's hot path. Both arms run the same
+// 64-target VN scan as BenchmarkScanSocketChurn/shared-transport; the
+// disabled arm flips the registry's global kill switch, reducing every
+// counter update to one atomic load. The telemetry subsystem's
+// acceptance bar is <5% delta between the arms (scripts/bench.sh
+// computes the percentage into the BENCH json).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const targetCount = 64
+	newVNWorld := func() *simnet.Network {
+		n := simnet.New(simnet.Config{})
+		n.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+			hdr, _, err := quicwire.ParseLongHeader(payload)
+			if err != nil {
+				return nil
+			}
+			return [][]byte{quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, 0,
+				[]quicwire.Version{quicwire.VersionGoogleQ050})}
+		})
+		return n
+	}
+	targets := make([]core.Target, targetCount)
+	for i := range targets {
+		targets[i] = core.Target{Addr: netip.AddrFrom4([4]byte{100, 64, 1, byte(i)})}
+	}
+
+	arm := func(b *testing.B, enabled bool) {
+		telemetry.SetEnabled(enabled)
+		defer telemetry.SetEnabled(true)
+		n := newVNWorld()
+		defer n.Close()
+		sc := &core.Scanner{
+			DialPacket: func() (net.PacketConn, error) { return n.DialUDP() },
+			Timeout:    2 * time.Second,
+			Workers:    32,
+			PoolSize:   4,
+			SkipHTTP:   true,
+		}
+		defer sc.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results := sc.Scan(ctx, targets)
+			if core.Summarize(results).VersionMismatch != targetCount {
+				b.Fatalf("unexpected outcomes: %s", core.Summarize(results))
+			}
+		}
+	}
+	b.Run("enabled", func(b *testing.B) { arm(b, true) })
+	b.Run("disabled", func(b *testing.B) { arm(b, false) })
+}
+
+// Registry primitive micro-benchmarks: the per-update costs producers
+// pay inline on packet and scan paths.
+func BenchmarkTelemetryPrimitives(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_counter_total")
+	g := reg.Gauge("bench_gauge")
+	h := reg.Histogram("bench_hist_ms", telemetry.LatencyBucketsMs())
+	vec := reg.CounterVec("bench_vec_total", "label")
+	child := vec.With("hot")
+
+	b.Run("counter-inc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Set(int64(i))
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i % 1000))
+		}
+	})
+	b.Run("countervec-with", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vec.With("hot").Inc()
+		}
+	})
+	b.Run("countervec-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			child.Inc()
+		}
+	})
+	b.Run("counter-parallel", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
 }

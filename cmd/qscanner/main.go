@@ -26,6 +26,7 @@ import (
 
 	"quicscan/internal/core"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +43,19 @@ func main() {
 		skipHTTP    = flag.Bool("no-http", false, "skip the HTTP/3 HEAD request")
 		retries     = flag.Int("retries", 0, "re-probe silent targets up to this many times")
 		retryWait   = flag.Duration("retry-backoff", 200*time.Millisecond, "initial pause before a re-probe (doubles per attempt)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address (e.g. 127.0.0.1:9090)")
+		qlogDir     = flag.String("qlog-dir", "", "write one qlog-style JSON-seq trace file per connection into this directory")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		srv, ln, err := telemetry.Default().Serve(*metricsAddr)
+		if err != nil {
+			fatal("starting metrics server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "qscanner: metrics on http://%s/metrics\n", ln)
+	}
 
 	var targets []core.Target
 	switch {
@@ -72,6 +84,13 @@ func main() {
 		SkipHTTP:     *skipHTTP,
 	}
 	defer scanner.Close()
+	if *qlogDir != "" {
+		tracer, err := telemetry.NewTracer(*qlogDir)
+		if err != nil {
+			fatal("creating qlog dir: %v", err)
+		}
+		scanner.Tracer = tracer
+	}
 	if *versions != "" {
 		for _, name := range strings.Split(*versions, ",") {
 			v, ok := quicwire.ParseVersionName(strings.TrimSpace(name))

@@ -27,6 +27,7 @@ import (
 	"quicscan/internal/internet"
 	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 )
 
 func main() {
@@ -35,8 +36,27 @@ func main() {
 		basePort = flag.Int("base-port", 8443, "first UDP/TCP port")
 		seed     = flag.Uint64("seed", 1, "population seed")
 		caOut    = flag.String("ca", "quicsim-ca.pem", "file to write the root CA certificate to")
+		metrics  = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
+		qlogDir  = flag.String("qlog-dir", "", "write one server-side qlog-style trace file per accepted connection into this directory")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, ln, err := telemetry.Default().Serve(*metrics)
+		if err != nil {
+			fatal("starting metrics server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "quicsim: metrics on http://%s/metrics\n", ln)
+	}
+	var tracer *telemetry.Tracer
+	if *qlogDir != "" {
+		var err error
+		tracer, err = telemetry.NewTracer(*qlogDir)
+		if err != nil {
+			fatal("creating qlog dir: %v", err)
+		}
+	}
 
 	u := internet.Build(internet.Spec{Seed: *seed, Scale: 16384, ASScale: 64, DomainScale: 65536})
 	defer u.Net.Close()
@@ -65,7 +85,7 @@ func main() {
 		if len(d.Domains) > 0 {
 			sni = d.Domains[0]
 		}
-		if err := serveDeployment(ca, d, port, sni); err != nil {
+		if err := serveDeployment(ca, d, port, sni, tracer); err != nil {
 			fatal("serving %s on port %d: %v", d.Provider, port, err)
 		}
 		versions := ""
@@ -86,7 +106,7 @@ func main() {
 	<-sig
 }
 
-func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni string) error {
+func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni string, tracer *telemetry.Tracer) error {
 	names := []string{"localhost"}
 	if sni != "" {
 		names = append(names, sni)
@@ -108,6 +128,7 @@ func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni strin
 		},
 		TransportParams: d.TPConfig,
 		Versions:        []quicwire.Version{quicwire.VersionDraft29, quicwire.Version1},
+		Tracer:          tracer,
 	}
 	policy := quic.ServerPolicy{
 		AdvertisedVersions: d.Profile.VersionSet(18),

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"quicscan/internal/pcap"
+	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
 )
 
@@ -36,8 +37,18 @@ func main() {
 		blockfile = flag.String("blocklist", "", "file with excluded prefixes, one per line")
 		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
 		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, ln, err := telemetry.Default().Serve(*metrics)
+		if err != nil {
+			fatal("starting metrics server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "zmapquic: metrics on http://%s/metrics\n", ln)
+	}
 
 	var blocklist *zmapquic.Blocklist
 	if *blockfile != "" {
@@ -119,8 +130,15 @@ func main() {
 		}
 		fmt.Printf("%s\t%s\n", r.Addr, strings.Join(names, ","))
 	}
+	// The summary reads the registry rather than the deprecated Stats
+	// return value: the snapshot covers all passes of this process and
+	// is the same data /metrics exports.
+	_ = stats
+	snap := telemetry.Default().Snapshot()
 	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d reprobes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
-		stats.ProbesSent, stats.Reprobes, stats.BytesSent, stats.Responses, stats.InvalidResponses, stats.Blocked, len(results))
+		snap.Counters["zmapquic_probes_sent_total"], snap.Counters["zmapquic_reprobes_total"],
+		snap.Counters["zmapquic_probe_bytes_total"], snap.Counters["zmapquic_responses_total"],
+		snap.Counters["zmapquic_invalid_responses_total"], snap.Counters["zmapquic_blocked_total"], len(results))
 }
 
 func readAddrs(path string) ([]netip.Addr, error) {

@@ -30,7 +30,20 @@ import (
 	"quicscan/internal/h3"
 	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 	"quicscan/internal/transportparams"
+)
+
+// Registry metrics for the scanning layer (the core_* family): scan
+// attempts, retry pressure, outcome distribution and the per-target
+// handshake latency histogram the paper's timeout analysis needs.
+var (
+	mScanAttempts = telemetry.Default().Counter("core_scan_attempts_total")
+	mScanRetries  = telemetry.Default().Counter("core_scan_retries_total")
+	mScanTargets  = telemetry.Default().Counter("core_scan_targets_total")
+	mScanOutcomes = telemetry.Default().CounterVec("core_scan_outcomes_total", "outcome")
+	mScanSourced  = telemetry.Default().CounterVec("core_scan_success_by_source_total", "source")
+	mHandshakeMs  = telemetry.Default().Histogram("core_handshake_ms", telemetry.LatencyBucketsMs())
 )
 
 // Target identifies one scan destination: an address, optionally
@@ -160,6 +173,10 @@ type Scanner struct {
 	PoolSize int
 	// SkipHTTP disables the HTTP/3 HEAD request.
 	SkipHTTP bool
+	// Tracer, when non-nil, writes a qlog-style JSON-seq trace file per
+	// connection attempt (see internal/telemetry and the -qlog-dir
+	// flag). Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 
 	mu sync.Mutex
 	tr *quic.Transport
@@ -262,25 +279,42 @@ func (s *Scanner) retryBackoff() time.Duration {
 // budget, so the worst case per target is (Retries+1)*Timeout plus
 // backoff pauses.
 func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
+	mScanTargets.Inc()
 	backoff := s.retryBackoff()
 	var res Result
 	for attempt := 1; ; attempt++ {
 		res = s.scanOnce(ctx, t)
 		res.Attempts = attempt
 		if res.Outcome != OutcomeTimeout || attempt > s.Retries {
-			return res
+			return s.finishTarget(res)
 		}
 		select {
 		case <-ctx.Done():
-			return res
+			return s.finishTarget(res)
 		case <-time.After(backoff):
 		}
 		backoff *= 2
+		mScanRetries.Inc()
 	}
+}
+
+// finishTarget records the final (post-retry) per-target outcome in
+// the registry, mirroring the paper's Table 3 tally.
+func (s *Scanner) finishTarget(res Result) Result {
+	mScanOutcomes.With(string(res.Outcome)).Inc()
+	if res.Outcome == OutcomeSuccess {
+		src := res.Target.Source
+		if src == "" {
+			src = "unknown"
+		}
+		mScanSourced.With(src).Inc()
+	}
+	return res
 }
 
 // scanOnce runs one connection attempt.
 func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
+	mScanAttempts.Inc()
 	res := Result{Target: t}
 
 	tr, err := s.sharedTransport()
@@ -309,6 +343,7 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 		TransportParams:  quic.DefaultClientParams(),
 		PTO:              s.PTO,
 		MaxPTOs:          s.MaxPTOs,
+		Tracer:           s.Tracer,
 	}
 
 	ctx, cancel := context.WithTimeout(ctx, s.timeout())
@@ -337,6 +372,7 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 	res.Retried = st.Retried
 	res.Retransmits = st.Retransmits
 	res.HandshakeMillis = float64(st.HandshakeDuration.Microseconds()) / 1000
+	mHandshakeMs.Observe(res.HandshakeMillis)
 
 	cs := conn.ConnectionState()
 	res.TLS = s.tlsInfo(&cs, t.SNI)

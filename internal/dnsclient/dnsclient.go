@@ -14,6 +14,14 @@ import (
 	"time"
 
 	"quicscan/internal/dnswire"
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics for the resolver layer (the dns_* family).
+var (
+	mQueries  = telemetry.Default().Counter("dns_queries_total")
+	mRetries  = telemetry.Default().Counter("dns_query_retries_total")
+	mOutcomes = telemetry.Default().CounterVec("dns_query_outcomes_total", "outcome")
 )
 
 // Client queries a single DNS server.
@@ -46,17 +54,24 @@ func (c *Client) timeout() time.Duration {
 
 // Query performs a single DNS query with retries.
 func (c *Client) Query(ctx context.Context, name string, qtype uint16) (*dnswire.Message, error) {
+	mQueries.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries || (c.Retries == 0 && attempt <= 2); attempt++ {
 		if err := ctx.Err(); err != nil {
+			mOutcomes.With("cancelled").Inc()
 			return nil, err
+		}
+		if attempt > 0 {
+			mRetries.Inc()
 		}
 		m, err := c.queryOnce(ctx, name, qtype)
 		if err == nil {
+			mOutcomes.With("ok").Inc()
 			return m, nil
 		}
 		lastErr = err
 	}
+	mOutcomes.With("error").Inc()
 	return nil, lastErr
 }
 

@@ -3,6 +3,8 @@ package quic
 import (
 	"context"
 	"crypto/tls"
+	"errors"
+	"fmt"
 	"net"
 
 	"quicscan/internal/quicwire"
@@ -72,11 +74,14 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 		n, err := sock.WriteTo(b, remote)
 		t.cDatagramsOut.Add(1)
 		t.cBytesOut.Add(uint64(n))
+		mDatagramsOut.Inc()
+		mBytesOut.Add(uint64(n))
 		return err
 	}
 	c.onClose = func() { t.retire(c) }
 
 	t.cDials.Add(1)
+	mDials.Inc()
 	for attempt := 0; ; attempt++ {
 		c.scid = quicwire.NewRandomConnID(clientCIDLen)
 		err := t.register(c)
@@ -87,6 +92,9 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 			return nil, err
 		}
 	}
+	c.trace = cfg.Tracer.Conn(fmt.Sprintf("client_%x", c.scid))
+	c.trace.Event("connection_started",
+		"remote", remote.String(), "version", version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
 
 	fail := func(err error) (*Conn, error) {
 		c.abort(err) // retires the registered IDs via onClose
@@ -121,6 +129,23 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 		return nil, err
 	}
 	return c, nil
+}
+
+// handshakeResult buckets a failed dial for the quic_handshakes_total
+// metric, mirroring the paper's outcome classes at the QUIC layer.
+func handshakeResult(err error) string {
+	switch {
+	case err == nil:
+		return "success"
+	case errors.Is(err, ErrHandshakeTimeout), errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		var vne *VersionNegotiationError
+		if errors.As(err, &vne) {
+			return "version_mismatch"
+		}
+		return "error"
+	}
 }
 
 // forTLS13 clones a TLS config and pins the version to 1.3, which QUIC

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 	"quicscan/internal/transportparams"
 )
 
@@ -64,6 +65,15 @@ type Config struct {
 
 	// MaxDatagramSize caps outgoing UDP payloads (default 1350).
 	MaxDatagramSize int
+
+	// Tracer, when non-nil, records a qlog-style JSON-seq event trace
+	// for every connection (one file per connection under the tracer's
+	// directory — the -qlog-dir flag). Packet sends/receives, version
+	// negotiation, handshake state transitions, PTO fires and
+	// retransmits, transport parameter receipt and the close reason
+	// are all recorded, so a failed or repaired handshake can be
+	// replayed event-by-event. Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 }
 
 // ScannerVersions is the version set supported by the QScanner in the
@@ -149,6 +159,12 @@ var ErrIdleTimeout = errors.New("quic: connection idle timeout")
 
 // Stats captures measurement-relevant facts about a connection
 // attempt.
+//
+// Deprecated: Stats is kept as a per-connection compatibility shim
+// for the scanner's Result extraction. Aggregate counters (handshake
+// latency, retransmits, version negotiation totals) are maintained in
+// the telemetry registry (quic_* metric family) and should be read
+// via telemetry.Default().Snapshot() or the /metrics exporter.
 type Stats struct {
 	// VersionNegotiation is true if the server replied with a Version
 	// Negotiation packet during the handshake.

@@ -11,6 +11,7 @@ import (
 
 	"quicscan/internal/quiccrypto"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 	"quicscan/internal/transportparams"
 )
 
@@ -110,6 +111,7 @@ type Conn struct {
 	nextUni  uint64
 
 	stats       Stats
+	trace       *telemetry.ConnTrace // nil-safe; set when Config.Tracer is active
 	started     time.Time
 	retryToken  []byte
 	dcidUpdated bool // client switched to the server-chosen DCID
@@ -258,6 +260,8 @@ func (c *Conn) drainTLSEvents() error {
 			}
 			c.spaces[spaceFor(ev.Level)].recvKeys = keys
 			c.spaces[spaceFor(ev.Level)].suite = ev.Suite
+			c.trace.Event("handshake_state",
+				"state", "keys_installed", "space", spaceNames[spaceFor(ev.Level)])
 		case tls.QUICSetWriteSecret:
 			keys, err := quiccrypto.NewKeys(ev.Suite, ev.Data)
 			if err != nil {
@@ -274,6 +278,10 @@ func (c *Conn) drainTLSEvents() error {
 			}
 			c.peerParams = params
 			c.havePeerParams = true
+			c.trace.Event("transport_parameters_received",
+				"max_idle_timeout_ms", params.MaxIdleTimeout,
+				"initial_max_data", params.InitialMaxData,
+				"max_udp_payload_size", params.MaxUDPPayloadSize)
 		case tls.QUICTransportParametersRequired:
 			c.tls.SetTransportParameters(c.cfg.TransportParams.Marshal())
 		case tls.QUICHandshakeDone:
@@ -290,6 +298,9 @@ func (c *Conn) completeHandshakeLocked() {
 	}
 	c.handshakeDone = true
 	c.stats.HandshakeDuration = time.Since(c.started)
+	mHandshakeMs.Observe(float64(c.stats.HandshakeDuration.Microseconds()) / 1000)
+	c.trace.Event("handshake_state", "state", "done",
+		"duration_ms", float64(c.stats.HandshakeDuration.Microseconds())/1000)
 	c.armIdleTimerLocked()
 	// A client that finished TLS has 1-RTT keys and never sends at the
 	// Initial level again (RFC 9001, Section 4.9.1).
@@ -415,6 +426,7 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 	if err != nil {
 		return packetLen // undecryptable: ignore, do not kill the datagram
 	}
+	c.trace.Event("packet_received", "space", spaceNames[spIdx], "pn", pn, "size", packetLen)
 	// On the first valid Initial from the server, the client adopts the
 	// server's chosen source connection ID as its destination
 	// (RFC 9000, Section 7.2).
@@ -455,6 +467,7 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 		// bit); retry with the next key generation on a fresh copy,
 		// since OpenPacket mutates its input.
 		if payload2, pn2, ok := c.tryNextKeysLocked(sp, raw, pnOff); ok {
+			c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn2, "size", len(raw))
 			c.processPayloadLocked(spaceApp, pn2, payload2)
 			return
 		}
@@ -463,6 +476,7 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 		}
 		return
 	}
+	c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn, "size", len(raw))
 	c.processPayloadLocked(spaceApp, pn, payload)
 }
 
@@ -532,6 +546,13 @@ func (c *Conn) handleVersionNegotiationLocked(hdr *quicwire.Header) {
 	}
 	c.stats.VersionNegotiation = true
 	c.stats.ServerVersions = hdr.SupportedVersions
+	mVNReceived.Inc()
+	serverVersions := make([]string, len(hdr.SupportedVersions))
+	for i, v := range hdr.SupportedVersions {
+		serverVersions[i] = v.String()
+		mVNByVersion.With(serverVersions[i]).Inc()
+	}
+	c.trace.Event("version_negotiation", "server_versions", serverVersions)
 	// A VN listing the offered version is invalid and must be ignored.
 	for _, v := range hdr.SupportedVersions {
 		if v == c.version {
@@ -550,6 +571,8 @@ func (c *Conn) handleRetryLocked(hdr *quicwire.Header, pkt []byte) {
 		return
 	}
 	c.stats.Retried = true
+	mRetries.Inc()
+	c.trace.Event("retry_received", "token_len", len(hdr.Token))
 	c.retryToken = append([]byte(nil), hdr.Token...)
 	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
 	// Initial keys are re-derived from the Retry source connection ID.
@@ -833,6 +856,12 @@ func (c *Conn) sendConnectionCloseLocked(frame *quicwire.ConnectionCloseFrame) {
 func (c *Conn) closeLocked(err error) {
 	c.closeOnce.Do(func() {
 		c.closeErr = err
+		errStr := ""
+		if err != nil {
+			errStr = err.Error()
+		}
+		c.trace.Event("connection_closed", "error", errStr)
+		c.trace.Close()
 		if c.ptoTimer != nil {
 			c.ptoTimer.Stop()
 		}
@@ -909,6 +938,8 @@ func (c *Conn) onPTO() {
 		return
 	}
 	c.ptoCount++
+	mPTOFired.Inc()
+	c.trace.Event("pto_fired", "count", c.ptoCount)
 	resent := false
 	for _, sp := range c.spaces {
 		if sp.dropped || sp.sendKeys == nil {
@@ -921,6 +952,8 @@ func (c *Conn) onPTO() {
 	}
 	if resent {
 		c.stats.Retransmits++
+		mRetransmits.Inc()
+		c.trace.Event("retransmit", "pto_count", c.ptoCount)
 		c.sendPendingLocked()
 	} else {
 		c.schedulePTOLocked()

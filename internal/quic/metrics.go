@@ -1,0 +1,34 @@
+package quic
+
+import "quicscan/internal/telemetry"
+
+// Registry metrics for the QUIC layer (the quic_* family). They are
+// resolved once at init and updated on the atomic fast path alongside
+// the legacy per-Transport/per-Conn stats structs, which remain as
+// compatibility shims; new consumers should read these through a
+// telemetry Snapshot or the /metrics exporter instead.
+var (
+	mDials        = telemetry.Default().Counter("quic_dials_total")
+	mDatagramsIn  = telemetry.Default().Counter("quic_datagrams_in_total")
+	mDatagramsOut = telemetry.Default().Counter("quic_datagrams_out_total")
+	mBytesIn      = telemetry.Default().Counter("quic_bytes_in_total")
+	mBytesOut     = telemetry.Default().Counter("quic_bytes_out_total")
+	mRoutingMiss  = telemetry.Default().Counter("quic_routing_misses_total")
+	mLatePackets  = telemetry.Default().Counter("quic_late_packets_total")
+	mDropped      = telemetry.Default().Counter("quic_dropped_datagrams_total")
+	mActiveConns  = telemetry.Default().Gauge("quic_active_conns")
+
+	mRetransmits = telemetry.Default().Counter("quic_retransmits_total")
+	mPTOFired    = telemetry.Default().Counter("quic_pto_fired_total")
+	mRetries     = telemetry.Default().Counter("quic_retry_packets_total")
+	mHandshakes  = telemetry.Default().CounterVec("quic_handshakes_total", "result")
+	// mVNByVersion breaks received Version Negotiation offers down by
+	// server-advertised version — the paper's VN behaviour analysis.
+	mVNReceived  = telemetry.Default().Counter("quic_version_negotiation_total")
+	mVNByVersion = telemetry.Default().CounterVec("quic_vn_server_versions_total", "version")
+	// mHandshakeMs is the handshake completion latency histogram.
+	mHandshakeMs = telemetry.Default().Histogram("quic_handshake_ms", telemetry.LatencyBucketsMs())
+)
+
+// spaceNames maps packet number space indices to qlog-style names.
+var spaceNames = [numSpaces]string{"initial", "handshake", "1rtt"}

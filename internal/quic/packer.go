@@ -191,6 +191,7 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 	pkt = sp.sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
 
 	sp.loss.onSent(pn, frames)
+	c.trace.Event("packet_sent", "space", spaceNames[idx], "pn", pn, "size", len(pkt))
 	return pkt
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/tls"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 
@@ -315,6 +316,9 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 	if err := c.setupInitialKeys(); err != nil {
 		return nil
 	}
+	c.trace = l.cfg.Tracer.Conn(fmt.Sprintf("server_%x", c.scid))
+	c.trace.Event("connection_started",
+		"remote", from.String(), "version", c.version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
 
 	tlsCfg := forTLS13(l.cfg.TLS)
 	if l.policy.RequireSNI != nil {

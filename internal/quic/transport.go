@@ -67,6 +67,12 @@ type Transport struct {
 }
 
 // TransportStats is a snapshot of a Transport's routing counters.
+//
+// Deprecated: TransportStats is kept as a per-Transport compatibility
+// shim. The same counters are maintained process-wide in the
+// telemetry registry (quic_datagrams_in_total, quic_bytes_out_total,
+// quic_routing_misses_total, ...); prefer reading those via
+// telemetry.Default().Snapshot() or the /metrics exporter.
 type TransportStats struct {
 	// Sockets is the fixed pool size.
 	Sockets int
@@ -174,6 +180,7 @@ func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (
 	for attempt := 0; ; attempt++ {
 		conn, err := t.dialVersion(ctx, remote, cfg, version, priorVN)
 		if err == nil {
+			mHandshakes.With("success").Inc()
 			return conn, nil
 		}
 		var vne *VersionNegotiationError
@@ -186,6 +193,7 @@ func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (
 				continue
 			}
 		}
+		mHandshakes.With(handshakeResult(err)).Inc()
 		return nil, err
 	}
 }
@@ -216,6 +224,7 @@ func (t *Transport) register(c *Conn) error {
 		t.byAddr[addr] = c
 	}
 	t.active++
+	mActiveConns.Add(1)
 	return nil
 }
 
@@ -235,6 +244,7 @@ func (t *Transport) retire(c *Conn) {
 		delete(t.byAddr, addr)
 	}
 	t.active--
+	mActiveConns.Add(-1)
 	t.draining[key] = now
 	if len(t.draining) > 8192 {
 		for k, at := range t.draining {
@@ -269,8 +279,11 @@ func (t *Transport) readLoop(pc net.PacketConn) {
 func (t *Transport) route(data []byte, from net.Addr) {
 	t.cDatagramsIn.Add(1)
 	t.cBytesIn.Add(uint64(len(data)))
+	mDatagramsIn.Inc()
+	mBytesIn.Add(uint64(len(data)))
 	if len(data) == 0 {
 		t.cDropped.Add(1)
+		mDropped.Inc()
 		return
 	}
 	var key string
@@ -278,12 +291,14 @@ func (t *Transport) route(data []byte, from net.Addr) {
 		hdr, _, err := quicwire.ParseLongHeader(data)
 		if err != nil {
 			t.cDropped.Add(1)
+			mDropped.Inc()
 			return
 		}
 		key = string(hdr.DstID)
 	} else {
 		if len(data) < 1+clientCIDLen {
 			t.cDropped.Add(1)
+			mDropped.Inc()
 			return
 		}
 		key = string(data[1 : 1+clientCIDLen])
@@ -296,6 +311,7 @@ func (t *Transport) route(data []byte, from net.Addr) {
 		if late && time.Since(drainedAt) <= drainingPeriod {
 			t.mu.Unlock()
 			t.cLatePackets.Add(1)
+			mLatePackets.Inc()
 			return
 		}
 		// Unknown destination ID: stateless resets (and corrupted
@@ -305,9 +321,11 @@ func (t *Transport) route(data []byte, from net.Addr) {
 		t.mu.Unlock()
 		if c == nil {
 			t.cDropped.Add(1)
+			mDropped.Inc()
 			return
 		}
 		t.cRoutingMisses.Add(1)
+		mRoutingMiss.Inc()
 		c.handleDatagram(data)
 		return
 	}

@@ -4,6 +4,20 @@ import (
 	"net/netip"
 	"sort"
 	"time"
+
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics bridging the impairment counters (the simnet_*
+// family), so the exporter shows what the simulated Internet did to
+// traffic while a scan ran against it.
+var (
+	mDelivered  = telemetry.Default().Counter("simnet_delivered_total")
+	mLost       = telemetry.Default().Counter("simnet_lost_total")
+	mCorrupted  = telemetry.Default().Counter("simnet_corrupted_total")
+	mDuplicated = telemetry.Default().Counter("simnet_duplicated_total")
+	mReordered  = telemetry.Default().Counter("simnet_reordered_total")
+	mMTUDropped = telemetry.Default().Counter("simnet_mtu_dropped_total")
 )
 
 // Profile describes the impairments of one network link: everything
@@ -42,6 +56,11 @@ type Profile struct {
 // ImpairmentStats counts what the network did to traffic. Delivered
 // counts transmissions that reached a receive queue (duplicates count
 // individually); the remaining counters classify interference.
+//
+// Deprecated: ImpairmentStats is kept as a per-Network compatibility
+// shim. The same counters are maintained process-wide in the
+// telemetry registry (simnet_delivered_total, simnet_lost_total, ...);
+// prefer reading those via telemetry.Default().Snapshot() or /metrics.
 type ImpairmentStats struct {
 	Delivered  int
 	Lost       int
@@ -130,12 +149,14 @@ func (n *Network) judge(p Profile, size int) verdict {
 		n.stats.Lock()
 		n.stats.impair.MTUDropped++
 		n.stats.Unlock()
+		mMTUDropped.Inc()
 		return v
 	}
 	if p == (Profile{}) {
 		n.stats.Lock()
 		n.stats.impair.Delivered++
 		n.stats.Unlock()
+		mDelivered.Inc()
 		return v
 	}
 
@@ -180,6 +201,21 @@ func (n *Network) judge(p Profile, size int) verdict {
 		}
 	}
 	n.stats.Unlock()
+	if v.drop {
+		mLost.Inc()
+	} else {
+		mDelivered.Inc()
+		if v.reordered {
+			mReordered.Inc()
+		}
+		if v.corrupt {
+			mCorrupted.Inc()
+		}
+		if v.dup {
+			mDelivered.Inc()
+			mDuplicated.Inc()
+		}
+	}
 	return v
 }
 

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one TYPE line per family,
+// series sorted by name so output is stable for diffing and tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	entries := make(map[string]*entry, len(r.metrics))
+	for n, e := range r.metrics {
+		names = append(names, n)
+		entries[n] = e
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+
+	for _, n := range names {
+		e := entries[n]
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, e.g.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, n, e.h.snapshot())
+		case kindCounterVec:
+			err = writePromCounterVec(w, n, e.cv)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromCounterVec(w io.Writer, name string, cv *CounterVec) error {
+	cv.mu.RLock()
+	series := make([]string, 0, len(cv.children))
+	values := make(map[string]uint64, len(cv.children))
+	for _, ch := range cv.children {
+		sn := seriesName(name, cv.labels, ch.values)
+		series = append(series, sn)
+		values[sn] = ch.c.Value()
+	}
+	cv.mu.RUnlock()
+	sort.Strings(series)
+
+	if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+		return err
+	}
+	for _, sn := range series {
+		if _, err := fmt.Fprintf(w, "%s %d\n", sn, values[sn]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatFloat(h.Sum), name, h.Count)
+	return err
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics  Prometheus text exposition
+//	/metricz  the same data as a JSON Snapshot
+//	/debug/pprof/...  the standard runtime profiles
+//
+// It is what -metrics-addr serves in the scanning binaries.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		io.WriteString(w, "quicscan telemetry: /metrics (Prometheus), /metricz (JSON), /debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts the exporter on addr in a background goroutine and
+// returns the server (for Close) and the bound address (useful with
+// ":0"). The error covers only listener setup.
+func (r *Registry) Serve(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}
+
+// Families reports the distinct metric family prefixes present in a
+// snapshot (the part of each name before the first underscore), a
+// cheap way for tests and operators to check that every producer
+// layer is wired in.
+func (s Snapshot) Families() []string {
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if i := strings.IndexByte(name, '_'); i > 0 {
+			seen[name[:i]] = true
+		}
+	}
+	for n := range s.Counters {
+		add(n)
+	}
+	for n := range s.Gauges {
+		add(n)
+	}
+	for n := range s.Histograms {
+		add(n)
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,461 @@
+// Package telemetry is the repo's unified observability layer: a
+// lock-cheap registry of named counters, gauges and fixed-bucket
+// histograms (with label support for per-version / per-provider
+// breakdowns), an HTTP exporter serving Prometheus text, JSON and
+// pprof, and a qlog-inspired per-connection tracer.
+//
+// The paper's headline results — handshake success rates, version
+// negotiation behaviour, Alt-Svc yield per provider — are all
+// aggregations over millions of protocol events. Every scanning layer
+// (quic, core, zmapquic, simnet, dnsclient, tlsscan) registers its
+// metrics here at package init, so one Snapshot covers the whole
+// pipeline and one -metrics-addr flag exports it live.
+//
+// Design notes:
+//
+//   - The update fast path is a single atomic add (plus one atomic
+//     load for the global enable switch); no locks, no map lookups.
+//     Producers resolve their metrics once, at package init, and hold
+//     the returned pointers.
+//   - Labelled families (CounterVec) take one RLock'd map lookup per
+//     With call; hot paths should cache the child counter instead.
+//   - Histograms have fixed bucket bounds chosen at registration, the
+//     Prometheus model: observation cost is a binary search over a
+//     small slice plus three atomic adds.
+//
+// The package is stdlib-only.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global kill switch used by overhead ablations and
+// benchmarks (see BenchmarkTelemetryOverhead at the repo root). It
+// defaults to on; disabling turns every metric update into an atomic
+// load plus a branch.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled flips metric collection globally. Intended for overhead
+// benchmarks and ablations, not production use.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// CheckMetricName validates a metric family name against the
+// Prometheus data model: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func CheckMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid metric name %q (byte %d)", name, i)
+		}
+	}
+	return nil
+}
+
+// CheckLabelName validates a label key: [a-zA-Z_][a-zA-Z0-9_]*,
+// and rejects the reserved double-underscore prefix.
+func CheckLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("telemetry: empty label name")
+	}
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("telemetry: reserved label name %q", name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("telemetry: invalid label name %q (byte %d)", name, i)
+		}
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil || !enabled.Load() {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style:
+// bucket i counts observations <= bounds[i], with an implicit +Inf
+// bucket at the end. Observation is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits, updated by CAS
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// LatencyBucketsMs is the default bucket layout for millisecond
+// latency histograms: roughly logarithmic from sub-millisecond RTTs
+// on loopback/simnet up to multi-second scan timeouts.
+func LatencyBucketsMs() []float64 {
+	return []float64{0.25, 0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+}
+
+// metric kinds for collision detection.
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+	kindCounterVec
+)
+
+var kindNames = [...]string{"counter", "gauge", "histogram", "counter vec"}
+
+type entry struct {
+	kind int
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cv   *CounterVec
+}
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the process-wide Default registry. Registration
+// takes a lock and validates names (panicking on programmer error:
+// invalid names or kind collisions); updates through the returned
+// handles never touch the registry again.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*entry)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every producer package
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) lookup(name string, kind int) *entry {
+	if err := CheckMetricName(name); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.metrics[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s, was %s",
+				name, kindNames[kind], kindNames[e.kind]))
+		}
+		return e
+	}
+	e := &entry{kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = &Histogram{}
+	case kindCounterVec:
+		e.cv = &CounterVec{children: make(map[string]*vecChild)}
+	}
+	r.metrics[name] = e
+	return e
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, kindCounter).c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, kindGauge).g
+}
+
+// Histogram returns the named histogram, creating it on first use
+// with the given bucket upper bounds (must be sorted ascending; an
+// +Inf bucket is implicit). Buckets passed on later calls for an
+// existing histogram are ignored.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	e := r.lookup(name, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.h.counts == nil {
+		if len(buckets) == 0 {
+			buckets = LatencyBucketsMs()
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not sorted", name))
+		}
+		e.h.bounds = append([]float64(nil), buckets...)
+		e.h.counts = make([]atomic.Uint64, len(buckets)+1)
+	}
+	return e.h
+}
+
+// CounterVec is a family of counters split by label values.
+type CounterVec struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*vecChild
+}
+
+type vecChild struct {
+	values []string
+	c      Counter
+}
+
+// CounterVec returns the named counter family with the given label
+// keys, creating it on first use. Label keys passed on later calls
+// must match.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	for _, l := range labels {
+		if err := CheckLabelName(l); err != nil {
+			panic(err)
+		}
+	}
+	e := r.lookup(name, kindCounterVec)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.cv.labels == nil {
+		if len(labels) == 0 {
+			panic(fmt.Sprintf("telemetry: counter vec %q needs at least one label", name))
+		}
+		e.cv.labels = append([]string(nil), labels...)
+	} else if len(e.cv.labels) != len(labels) {
+		panic(fmt.Sprintf("telemetry: counter vec %q re-registered with %d labels, was %d",
+			name, len(labels), len(e.cv.labels)))
+	}
+	return e.cv
+}
+
+// With returns the child counter for the given label values (one per
+// label key, in registration order), creating it on first use. The
+// returned counter may be cached by hot paths.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("telemetry: counter vec wants %d label values, got %d",
+			len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.RLock()
+	ch, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return &ch.c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ch, ok = v.children[key]; !ok {
+		ch = &vecChild{values: append([]string(nil), values...)}
+		v.children[key] = ch
+	}
+	return &ch.c
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry,
+// keyed by metric name (labelled children use the Prometheus series
+// syntax name{key="value"}). It is what tests and the JSON exporter
+// consume.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// HistogramSnapshot is one histogram's state: per-bucket counts (the
+// last entry is the +Inf bucket), total count and sum.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the owning bucket, the standard Prometheus
+// histogram_quantile estimator. It returns 0 for an empty histogram;
+// quantiles landing in the +Inf bucket clamp to the largest finite
+// bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Counts {
+		cum += n
+		if float64(cum) >= rank && n > 0 {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			within := rank - float64(cum-n)
+			return lo + (hi-lo)*(within/float64(n))
+		}
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// seriesName renders name{k1="v1",k2="v2"}.
+func seriesName(name string, labels, values []string) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	entries := make(map[string]*entry, len(r.metrics))
+	for n, e := range r.metrics {
+		names = append(names, n)
+		entries[n] = e
+	}
+	r.mu.RUnlock()
+
+	for _, n := range names {
+		e := entries[n]
+		switch e.kind {
+		case kindCounter:
+			s.Counters[n] = e.c.Value()
+		case kindGauge:
+			s.Gauges[n] = e.g.Value()
+		case kindHistogram:
+			s.Histograms[n] = e.h.snapshot()
+		case kindCounterVec:
+			e.cv.mu.RLock()
+			for _, ch := range e.cv.children {
+				s.Counters[seriesName(n, e.cv.labels, ch.values)] = ch.c.Value()
+			}
+			e.cv.mu.RUnlock()
+		}
+	}
+	return s
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	// Same name returns the same counter.
+	if r.Counter("test_events_total").Value() != 42 {
+		t.Error("re-registration did not return the existing counter")
+	}
+
+	g := r.Gauge("test_active")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["test_events_total"] != 42 || snap.Gauges["test_active"] != 4 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x")
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var v *CounterVec
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	v.With("x").Inc()
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics returned non-zero values")
+	}
+}
+
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_switch_total")
+	SetEnabled(false)
+	c.Inc()
+	SetEnabled(true)
+	c.Inc()
+	if got := c.Value(); got != 1 {
+		t.Errorf("counter = %d, want 1 (update while disabled must be dropped)", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["test_latency_ms"]
+	if snap.Count != 6 {
+		t.Fatalf("count = %d, want 6", snap.Count)
+	}
+	wantCounts := []uint64{2, 2, 1, 1}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	if math.Abs(snap.Sum-561.2) > 1e-9 {
+		t.Errorf("sum = %v, want 561.2", snap.Sum)
+	}
+	// Median falls in the (1,10] bucket.
+	if q := snap.Quantile(0.5); q <= 1 || q > 10 {
+		t.Errorf("p50 = %v, want in (1,10]", q)
+	}
+	// p99 lands in +Inf and clamps to the largest finite bound.
+	if q := snap.Quantile(0.99); q != 100 {
+		t.Errorf("p99 = %v, want clamp to 100", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+}
+
+func TestBoundaryValueLandsInLeBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_le_ms", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le="1" bucket owns it
+	snap := r.Snapshot().Histograms["test_le_ms"]
+	if snap.Counts[0] != 1 {
+		t.Errorf("counts = %v, want observation in first bucket", snap.Counts)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_vn_total", "version")
+	v.With("draft-29").Add(2)
+	v.With("v1").Inc()
+	v.With("draft-29").Inc()
+	snap := r.Snapshot()
+	if snap.Counters[`test_vn_total{version="draft-29"}`] != 3 {
+		t.Errorf("snapshot = %v", snap.Counters)
+	}
+	if snap.Counters[`test_vn_total{version="v1"}`] != 1 {
+		t.Errorf("snapshot = %v", snap.Counters)
+	}
+}
+
+// TestConcurrentUpdates hammers every metric kind from many
+// goroutines; run under -race this is the registry's thread-safety
+// regression test, and the totals prove no update was lost.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total")
+	g := r.Gauge("test_conc_gauge")
+	h := r.Histogram("test_conc_ms", []float64{1, 10, 100})
+	v := r.CounterVec("test_conc_vec_total", "worker")
+
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+				v.With(name).Inc()
+				if i%100 == 0 {
+					_ = r.Snapshot() // readers race with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	const total = workers * perWorker
+	if snap.Counters["test_conc_total"] != total {
+		t.Errorf("counter = %d, want %d", snap.Counters["test_conc_total"], total)
+	}
+	if snap.Gauges["test_conc_gauge"] != total {
+		t.Errorf("gauge = %d, want %d", snap.Gauges["test_conc_gauge"], total)
+	}
+	hs := snap.Histograms["test_conc_ms"]
+	if hs.Count != total {
+		t.Errorf("histogram count = %d, want %d", hs.Count, total)
+	}
+	var bucketSum uint64
+	for _, n := range hs.Counts {
+		bucketSum += n
+	}
+	if bucketSum != total {
+		t.Errorf("bucket sum = %d, want %d", bucketSum, total)
+	}
+	var vecSum uint64
+	for name, val := range snap.Counters {
+		if strings.HasPrefix(name, "test_conc_vec_total{") {
+			vecSum += val
+		}
+	}
+	if vecSum != total {
+		t.Errorf("vec sum = %d, want %d", vecSum, total)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_probes_total").Add(5)
+	r.Gauge("test_pool").Set(4)
+	r.Histogram("test_rtt_ms", []float64{1, 10}).Observe(3)
+	r.CounterVec("test_vn_total", "version").With(`dr"aft`).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_probes_total counter\ntest_probes_total 5\n",
+		"# TYPE test_pool gauge\ntest_pool 4\n",
+		`test_rtt_ms_bucket{le="1"} 0`,
+		`test_rtt_ms_bucket{le="10"} 1`,
+		`test_rtt_ms_bucket{le="+Inf"} 1`,
+		"test_rtt_ms_sum 3\n",
+		"test_rtt_ms_count 1\n",
+		`test_vn_total{version="dr\"aft"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPExporter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_http_total").Add(9)
+	srv, addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "test_http_total 9") {
+		t.Errorf("/metrics = %q", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metricz")), &snap); err != nil {
+		t.Fatalf("/metricz is not JSON: %v", err)
+	}
+	if snap.Counters["test_http_total"] != 9 {
+		t.Errorf("/metricz counters = %v", snap.Counters)
+	}
+	if out := get("/debug/pprof/cmdline"); len(out) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("quic_x_total")
+	r.Gauge("core_y")
+	r.Histogram("core_z_ms", nil)
+	fams := r.Snapshot().Families()
+	want := []string{"core", "quic"}
+	if len(fams) != len(want) || fams[0] != want[0] || fams[1] != want[1] {
+		t.Errorf("families = %v, want %v", fams, want)
+	}
+}
+
+func TestCheckMetricName(t *testing.T) {
+	for _, ok := range []string{"a", "quic_dials_total", "ns:sub_total", "_x", "A9_b"} {
+		if err := CheckMetricName(ok); err != nil {
+			t.Errorf("CheckMetricName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "9x", "a-b", "a b", "é", "a\x00b"} {
+		if err := CheckMetricName(bad); err == nil {
+			t.Errorf("CheckMetricName(%q) = nil, want error", bad)
+		}
+	}
+	for _, bad := range []string{"", "__reserved", "9x", "a:b"} {
+		if err := CheckLabelName(bad); err == nil {
+			t.Errorf("CheckLabelName(%q) = nil, want error", bad)
+		}
+	}
+}

@@ -22,6 +22,15 @@ import (
 	"quicscan/internal/altsvc"
 	"quicscan/internal/certgen"
 	"quicscan/internal/core"
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics for the TLS-over-TCP discovery layer (the
+// tlsscan_* family). Alt-Svc discoveries are counted separately: they
+// are the second QUIC discovery channel of the paper.
+var (
+	mHandshakes  = telemetry.Default().CounterVec("tlsscan_handshakes_total", "outcome")
+	mAltSvcFound = telemetry.Default().Counter("tlsscan_altsvc_quic_total")
 )
 
 // Target is one TLS-over-TCP scan destination.
@@ -110,6 +119,7 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 	raw, err := s.dial(ctx, netip.AddrPortFrom(t.Addr, t.port()))
 	if err != nil {
 		res.Error = err.Error()
+		mHandshakes.With("dial_error").Inc()
 		return res
 	}
 	defer raw.Close()
@@ -127,9 +137,11 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 	conn := tls.Client(raw, tcfg)
 	if err := conn.HandshakeContext(ctx); err != nil {
 		res.Error = err.Error()
+		mHandshakes.With("tls_error").Inc()
 		return res
 	}
 	res.OK = true
+	mHandshakes.With("success").Inc()
 	cs := conn.ConnectionState()
 	res.TLS = s.tlsInfo(&cs, t.SNI)
 
@@ -140,6 +152,9 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 			if !clear {
 				res.AltSvc = services
 				res.QUICALPNs = altsvc.H3ALPNs(services)
+				if len(res.QUICALPNs) > 0 {
+					mAltSvcFound.Inc()
+				}
 			}
 		}
 	}

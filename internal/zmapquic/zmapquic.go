@@ -22,6 +22,21 @@ import (
 
 	"quicscan/internal/pcap"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics for the stateless discovery layer (the zmapquic_*
+// family). The gauge tracks the configured probe rate so the exporter
+// shows pacing alongside observed throughput.
+var (
+	mProbesSent   = telemetry.Default().Counter("zmapquic_probes_sent_total")
+	mProbeBytes   = telemetry.Default().Counter("zmapquic_probe_bytes_total")
+	mReprobes     = telemetry.Default().Counter("zmapquic_reprobes_total")
+	mResponses    = telemetry.Default().Counter("zmapquic_responses_total")
+	mInvalidResp  = telemetry.Default().Counter("zmapquic_invalid_responses_total")
+	mBlocked      = telemetry.Default().Counter("zmapquic_blocked_total")
+	mRateGauge    = telemetry.Default().Gauge("zmapquic_probe_rate_limit")
+	mVNByVersions = telemetry.Default().CounterVec("zmapquic_vn_responses_total", "version")
 )
 
 // ProbeSize is the padded probe size: the 1200-byte minimum Initial
@@ -69,6 +84,11 @@ type Result struct {
 }
 
 // Stats summarizes a scan.
+//
+// Deprecated: Stats is kept as a per-scan compatibility shim. The
+// same counters are maintained process-wide in the telemetry registry
+// (zmapquic_probes_sent_total, zmapquic_responses_total, ...); prefer
+// reading those via telemetry.Default().Snapshot() or /metrics.
 type Stats struct {
 	ProbesSent       int
 	BytesSent        int64
@@ -192,10 +212,15 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 			mu.Lock()
 			if !ok {
 				stats.InvalidResponses++
+				mInvalidResp.Inc()
 				mu.Unlock()
 				continue
 			}
 			stats.Responses++
+			mResponses.Inc()
+			for _, v := range versions {
+				mVNByVersions.With(v.String()).Inc()
+			}
 			if !seen[addr] {
 				seen[addr] = true
 				results = append(results, Result{Addr: addr, Versions: versions})
@@ -206,6 +231,7 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 
 	limiter := newRateLimiter(s.Rate)
 	defer limiter.stop()
+	mRateGauge.Set(int64(s.Rate))
 
 sendLoop:
 	for {
@@ -220,6 +246,7 @@ sendLoop:
 				mu.Lock()
 				stats.Blocked++
 				mu.Unlock()
+				mBlocked.Inc()
 				continue
 			}
 			if err := limiter.wait(ctx); err != nil {
@@ -238,6 +265,8 @@ sendLoop:
 			stats.ProbesSent++
 			stats.BytesSent += int64(len(probe))
 			mu.Unlock()
+			mProbesSent.Inc()
+			mProbeBytes.Add(uint64(len(probe)))
 		}
 	}
 
@@ -281,6 +310,7 @@ func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) ([]Result, 
 		total.Blocked += st.Blocked
 		if pass > 0 {
 			total.Reprobes += st.ProbesSent
+			mReprobes.Add(uint64(st.ProbesSent))
 		}
 		if err != nil {
 			return results, total, err

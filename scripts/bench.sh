@@ -1,0 +1,60 @@
+#!/bin/sh
+# Benchmark runner: executes the root benchmark harness and records
+# the results as machine-readable JSON in BENCH_<date>.json, so runs
+# are comparable across commits.
+#
+#   ./scripts/bench.sh                      # full root harness
+#   BENCH='TelemetryOverhead' ./scripts/bench.sh
+#   BENCHTIME=10x OUT=out.json ./scripts/bench.sh
+#
+# The JSON carries one entry per benchmark (iterations, ns/op and any
+# -benchmem / ReportMetric extras) plus, when both arms of
+# BenchmarkTelemetryOverhead ran, the computed overhead percentage of
+# the always-on metrics registry — the subsystem's <5% acceptance bar.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-.}
+BENCHTIME=${BENCHTIME:-}
+OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+set -- -run '^$' -bench "$BENCH" -benchmem
+if [ -n "$BENCHTIME" ]; then
+	set -- "$@" -benchtime "$BENCHTIME"
+fi
+go test "$@" . | tee "$tmp"
+
+awk -v date="$(date +%Y-%m-%dT%H:%M:%S%z)" '
+function jstr(s) { gsub(/"/, "\\\"", s); return "\"" s "\"" }
+/^Benchmark/ && NF >= 4 {
+	name = $1; iters = $2
+	sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+	line = "    {\"name\": " jstr(name) ", \"iterations\": " iters
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		gsub(/[^A-Za-z0-9_]/, "_", unit)
+		line = line ", " jstr(unit) ": " $(i)
+	}
+	line = line "}"
+	bench[n++] = line
+	if (name == "BenchmarkTelemetryOverhead/enabled") enabled = $3
+	if (name == "BenchmarkTelemetryOverhead/disabled") disabled = $3
+}
+END {
+	print "{"
+	print "  \"date\": " jstr(date) ","
+	if (disabled + 0 > 0) {
+		pct = 100 * (enabled - disabled) / disabled
+		printf "  \"telemetry_overhead_pct\": %.2f,\n", pct
+	}
+	print "  \"benchmarks\": ["
+	for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+	print "  ]"
+	print "}"
+}' "$tmp" > "$OUT"
+
+echo "bench: wrote $OUT"

@@ -21,5 +21,7 @@ run_target ./internal/quicwire FuzzParseHeader
 run_target ./internal/quicwire FuzzParseFrames
 run_target ./internal/transportparams FuzzParse
 run_target ./internal/altsvc FuzzParse
+run_target ./internal/telemetry FuzzMetricName
+run_target ./internal/telemetry FuzzParseTrace
 
 echo "fuzz smoke: OK"

@@ -1,0 +1,185 @@
+package quicscan
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"quicscan/internal/core"
+	"quicscan/internal/internet"
+	"quicscan/internal/simnet"
+	"quicscan/internal/telemetry"
+	"quicscan/internal/zmapquic"
+)
+
+// TestTelemetryEndToEnd is the acceptance check for the telemetry
+// subsystem: a discovery pass plus a stateful scan against the
+// simulated Internet must leave the live HTTP exporter serving
+// non-empty Prometheus text covering the quic, core, zmapquic and
+// simnet metric families, and the qlog directory must hold parseable
+// JSON-seq traces in which the impaired handshake shows its
+// PTO/retransmit repair.
+func TestTelemetryEndToEnd(t *testing.T) {
+	u := internet.Build(internet.Spec{Seed: 7, Scale: 16384, ASScale: 64, DomainScale: 65536, Week: 18})
+	if err := u.Start(internet.StartOptions{Stateful: true}); err != nil {
+		t.Fatal(err)
+	}
+	defer u.Stop()
+
+	// Stateless discovery: probe a handful of ZMap-visible addresses.
+	var probeAddrs []netip.Addr
+	var scanTargets []core.Target
+	for _, d := range u.Deployments {
+		if d.ZMapVisible && d.Addr.Is4() && len(probeAddrs) < 8 {
+			probeAddrs = append(probeAddrs, d.Addr)
+		}
+		if d.Behavior == internet.BehaviorActive && d.Addr.Is4() && len(d.Domains) > 0 && len(scanTargets) < 3 {
+			scanTargets = append(scanTargets, core.Target{Addr: d.Addr, SNI: d.Domains[0], Source: "zmap"})
+		}
+	}
+	if len(probeAddrs) == 0 || len(scanTargets) < 2 {
+		t.Fatalf("universe too small: %d probe addrs, %d scan targets", len(probeAddrs), len(scanTargets))
+	}
+
+	pc, err := u.Net.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zs := &zmapquic.Scanner{Conn: pc, Cooldown: 300 * time.Millisecond}
+	zres, _, err := zs.ScanAddrs(context.Background(), probeAddrs)
+	pc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zres) == 0 {
+		t.Fatal("discovery found nothing")
+	}
+
+	// Stateful scan with tracing; one target sits behind a link that
+	// is fully lossy until it heals mid-handshake.
+	impaired := scanTargets[len(scanTargets)-1]
+	prefix := netip.PrefixFrom(impaired.Addr, 32)
+	u.Net.SetPrefixProfile(prefix, simnet.Profile{Loss: 1})
+	heal := time.AfterFunc(120*time.Millisecond, func() {
+		u.Net.SetPrefixProfile(prefix, simnet.Profile{})
+	})
+	defer heal.Stop()
+
+	dir := t.TempDir()
+	tracer, err := telemetry.NewTracer(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &core.Scanner{
+		DialPacket: func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:    u.RootCAs(),
+		Timeout:    3 * time.Second,
+		PTO:        30 * time.Millisecond,
+		SkipHTTP:   true,
+		Tracer:     tracer,
+	}
+	defer sc.Close()
+	results := sc.Scan(context.Background(), scanTargets)
+	sum := core.Summarize(results)
+	if sum.Success != len(scanTargets) {
+		t.Fatalf("scan: %s", sum)
+	}
+
+	// Traces: all parseable, and the impaired connection's trace shows
+	// the repair.
+	files, err := telemetry.TraceFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(scanTargets) {
+		t.Fatalf("trace files = %d, want %d", len(files), len(scanTargets))
+	}
+	repaired := false
+	for _, f := range files {
+		events, err := telemetry.ParseTraceFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		names := telemetry.EventNames(events)
+		if names[0] != "trace_start" || names[len(names)-1] != "connection_closed" {
+			t.Errorf("%s: unexpected envelope %v", f, names)
+		}
+		sawPTO, sawRetransmit, doneIdx, retransmitIdx := false, false, -1, -1
+		for i, e := range events {
+			switch e.Name {
+			case "pto_fired":
+				sawPTO = true
+			case "retransmit":
+				sawRetransmit = true
+				retransmitIdx = i
+			case "handshake_state":
+				if e.Data["state"] == "done" {
+					doneIdx = i
+				}
+			}
+		}
+		if sawPTO && sawRetransmit && retransmitIdx < doneIdx {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Error("no trace shows the PTO/retransmit repair of the impaired handshake")
+	}
+
+	// Live exporter: Prometheus text must be non-empty and cover all
+	// four producing families with actual samples.
+	srv, addr, err := telemetry.Default().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if resp.StatusCode != 200 || len(text) == 0 {
+		t.Fatalf("GET /metrics: status %d, %d bytes", resp.StatusCode, len(text))
+	}
+	for _, series := range []string{
+		"quic_dials_total ",
+		"core_scan_outcomes_total{outcome=\"success\"} ",
+		"zmapquic_probes_sent_total ",
+		"simnet_delivered_total ",
+	} {
+		idx := strings.Index(text, series)
+		if idx < 0 {
+			t.Errorf("/metrics lacks series %q", series)
+			continue
+		}
+		rest := text[idx+len(series):]
+		if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+			rest = rest[:nl]
+		}
+		if rest == "0" {
+			t.Errorf("series %q is zero after the scan", series)
+		}
+	}
+	fams := telemetry.Default().Snapshot().Families()
+	for _, want := range []string{"quic", "core", "zmapquic", "simnet"} {
+		found := false
+		for _, f := range fams {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("snapshot families %v lack %q", fams, want)
+		}
+	}
+}
