@@ -93,7 +93,7 @@ func main() {
 
 	ctx := context.Background()
 	var results []zmapquic.Result
-	var stats zmapquic.Stats
+	scanStart := time.Now()
 
 	switch {
 	case *prefixes != "":
@@ -108,14 +108,14 @@ func main() {
 		sweep := zmapquic.NewSweep(*seed, ps)
 		fmt.Fprintf(os.Stderr, "zmapquic: sweeping %d addresses\n", sweep.Total())
 		done := make(chan struct{})
-		results, stats, err = scanner.Scan(ctx, sweep.Addresses(done))
+		results, _, err = scanner.Scan(ctx, sweep.Addresses(done))
 		close(done)
 	case *hitlist != "":
 		addrs, rerr := readAddrs(*hitlist)
 		if rerr != nil {
 			fatal("%v", rerr)
 		}
-		results, stats, err = scanner.ScanAddrs(ctx, addrs)
+		results, _, err = scanner.ScanAddrs(ctx, addrs)
 	default:
 		fatal("one of -prefixes or -hitlist is required")
 	}
@@ -133,12 +133,21 @@ func main() {
 	// The summary reads the registry rather than the deprecated Stats
 	// return value: the snapshot covers all passes of this process and
 	// is the same data /metrics exports.
-	_ = stats
 	snap := telemetry.Default().Snapshot()
+	probes := snap.Counters["zmapquic_probes_sent_total"]
+	probeBytes := snap.Counters["zmapquic_probe_bytes_total"]
+	elapsed := time.Since(scanStart)
+	var probesPerSec, bytesPerProbe float64
+	if probes > 0 {
+		probesPerSec = float64(probes) / elapsed.Seconds()
+		bytesPerProbe = float64(probeBytes) / float64(probes)
+	}
 	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d reprobes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
-		snap.Counters["zmapquic_probes_sent_total"], snap.Counters["zmapquic_reprobes_total"],
-		snap.Counters["zmapquic_probe_bytes_total"], snap.Counters["zmapquic_responses_total"],
+		probes, snap.Counters["zmapquic_reprobes_total"],
+		probeBytes, snap.Counters["zmapquic_responses_total"],
 		snap.Counters["zmapquic_invalid_responses_total"], snap.Counters["zmapquic_blocked_total"], len(results))
+	fmt.Fprintf(os.Stderr, "zmapquic: %.0f probes/sec, %.1f bytes/probe over %s\n",
+		probesPerSec, bytesPerProbe, elapsed.Round(time.Millisecond))
 }
 
 func readAddrs(path string) ([]netip.Addr, error) {

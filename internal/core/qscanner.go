@@ -46,6 +46,28 @@ var (
 	mHandshakeMs  = telemetry.Default().Histogram("core_handshake_ms", telemetry.LatencyBucketsMs())
 )
 
+// outcomeCounters pre-resolves the per-outcome children for the fixed
+// outcome set, so finishTarget does no label join per target; unknown
+// outcome strings (none today) fall back to the vec lookup.
+var outcomeCounters = map[Outcome]*telemetry.Counter{
+	OutcomeSuccess:         mScanOutcomes.With(string(OutcomeSuccess)),
+	OutcomeTimeout:         mScanOutcomes.With(string(OutcomeTimeout)),
+	OutcomeCryptoError:     mScanOutcomes.With(string(OutcomeCryptoError)),
+	OutcomeVersionMismatch: mScanOutcomes.With(string(OutcomeVersionMismatch)),
+	OutcomeOther:           mScanOutcomes.With(string(OutcomeOther)),
+}
+
+// sourceCounters caches mScanSourced children per discovery source.
+var sourceCounters sync.Map // string -> *telemetry.Counter
+
+func sourceCounter(src string) *telemetry.Counter {
+	if c, ok := sourceCounters.Load(src); ok {
+		return c.(*telemetry.Counter)
+	}
+	c, _ := sourceCounters.LoadOrStore(src, mScanSourced.With(src))
+	return c.(*telemetry.Counter)
+}
+
 // Target identifies one scan destination: an address, optionally
 // paired with a domain to use as SNI.
 type Target struct {
@@ -245,11 +267,18 @@ func (s *Scanner) TransportStats() (quic.TransportStats, bool) {
 	return tr.Stats(), true
 }
 
+// onlyX25519 and defaultALPN are shared by every scan; tls.Config users
+// treat both as read-only.
+var (
+	onlyX25519  = []tls.CurveID{tls.X25519}
+	defaultALPN = []string{"h3", "h3-34", "h3-32", "h3-29"}
+)
+
 func (s *Scanner) alpn() []string {
 	if len(s.ALPN) != 0 {
 		return s.ALPN
 	}
-	return []string{"h3", "h3-34", "h3-32", "h3-29"}
+	return defaultALPN
 }
 
 func (s *Scanner) timeout() time.Duration {
@@ -301,13 +330,17 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 // finishTarget records the final (post-retry) per-target outcome in
 // the registry, mirroring the paper's Table 3 tally.
 func (s *Scanner) finishTarget(res Result) Result {
-	mScanOutcomes.With(string(res.Outcome)).Inc()
+	if c := outcomeCounters[res.Outcome]; c != nil {
+		c.Inc()
+	} else {
+		mScanOutcomes.With(string(res.Outcome)).Inc()
+	}
 	if res.Outcome == OutcomeSuccess {
 		src := res.Target.Source
 		if src == "" {
 			src = "unknown"
 		}
-		mScanSourced.With(src).Inc()
+		sourceCounter(src).Inc()
 	}
 	return res
 }
@@ -333,7 +366,10 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 		InsecureSkipVerify: true,
 		// Offer only X25519 so the negotiated key exchange group is
 		// known (the paper's scans did the same, Section 5.1).
-		CurvePreferences: []tls.CurveID{tls.X25519},
+		CurvePreferences: onlyX25519,
+		// Pinned here so the QUIC layer can use the config as-is
+		// instead of cloning it per dial (QUIC mandates 1.3 anyway).
+		MinVersion: tls.VersionTLS13,
 	}
 
 	cfg := &quic.Config{
@@ -346,8 +382,10 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 		Tracer:           s.Tracer,
 	}
 
-	ctx, cancel := context.WithTimeout(ctx, s.timeout())
-	defer cancel()
+	// No per-target context here: the QUIC layer enforces
+	// cfg.HandshakeTimeout itself, and the HTTP phase below scopes its
+	// own deadline. A derived context per target would only add
+	// allocations on the hot path.
 	conn, err := tr.Dial(ctx, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
 	if err != nil {
 		res.Outcome, res.Error = classify(err)
@@ -384,7 +422,9 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 	}
 
 	if !s.SkipHTTP {
-		res.HTTP = s.doHTTP(ctx, conn, t)
+		httpCtx, cancel := context.WithTimeout(ctx, s.timeout())
+		res.HTTP = s.doHTTP(httpCtx, conn, t)
+		cancel()
 	}
 	return res
 }

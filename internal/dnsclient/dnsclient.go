@@ -17,12 +17,28 @@ import (
 	"quicscan/internal/telemetry"
 )
 
-// Registry metrics for the resolver layer (the dns_* family).
+// Registry metrics for the resolver layer (the dns_* family). The
+// per-outcome children are resolved once so the query path does no
+// label join per reply.
 var (
 	mQueries  = telemetry.Default().Counter("dns_queries_total")
 	mRetries  = telemetry.Default().Counter("dns_query_retries_total")
 	mOutcomes = telemetry.Default().CounterVec("dns_query_outcomes_total", "outcome")
+
+	mOutcomeOK        = mOutcomes.With("ok")
+	mOutcomeError     = mOutcomes.With("error")
+	mOutcomeCancelled = mOutcomes.With("cancelled")
 )
+
+// readBufPool recycles response buffers across queries: dnswire.Parse
+// copies everything it retains, so the buffer is free for reuse as
+// soon as queryOnce returns.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65536)
+		return &b
+	},
+}
 
 // Client queries a single DNS server.
 type Client struct {
@@ -58,7 +74,7 @@ func (c *Client) Query(ctx context.Context, name string, qtype uint16) (*dnswire
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries || (c.Retries == 0 && attempt <= 2); attempt++ {
 		if err := ctx.Err(); err != nil {
-			mOutcomes.With("cancelled").Inc()
+			mOutcomeCancelled.Inc()
 			return nil, err
 		}
 		if attempt > 0 {
@@ -66,12 +82,12 @@ func (c *Client) Query(ctx context.Context, name string, qtype uint16) (*dnswire
 		}
 		m, err := c.queryOnce(ctx, name, qtype)
 		if err == nil {
-			mOutcomes.With("ok").Inc()
+			mOutcomeOK.Inc()
 			return m, nil
 		}
 		lastErr = err
 	}
-	mOutcomes.With("error").Inc()
+	mOutcomeError.Inc()
 	return nil, lastErr
 }
 
@@ -105,7 +121,9 @@ func (c *Client) queryOnce(ctx context.Context, name string, qtype uint16) (*dns
 	}
 	pc.SetReadDeadline(deadline)
 
-	buf := make([]byte, 65536)
+	bp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bp)
+	buf := *bp
 	for {
 		n, _, err := pc.ReadFrom(buf)
 		if err != nil {

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"quicscan/internal/quicwire"
+	"quicscan/internal/telemetry"
 )
 
 // Dial establishes a QUIC connection over pconn to remote, completing
@@ -59,7 +61,7 @@ func chooseVersion(offered, server []quicwire.Version) (quicwire.Version, bool) 
 // recorded up front so the surviving connection's Stats report the
 // negotiation (a VN packet is only ever addressed to the attempt that
 // triggered it, so the retry would otherwise never see one).
-func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Config, version quicwire.Version, priorVN []quicwire.Version) (*Conn, error) {
+func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote net.Addr, cfg *Config, version quicwire.Version, priorVN []quicwire.Version) (*Conn, error) {
 	c := newConn(cfg, true)
 	c.remote = remote
 	c.version = version
@@ -67,7 +69,10 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 		c.stats.VersionNegotiation = true
 		c.stats.ServerVersions = priorVN
 	}
-	c.dcid = quicwire.NewRandomConnID(clientCIDLen)
+	// One randomness draw covers both IDs; they are retained as
+	// separate non-overlapping views of the same allocation.
+	ids := quicwire.NewRandomConnID(2 * clientCIDLen)
+	c.dcid = quicwire.ConnID(ids[:clientCIDLen:clientCIDLen])
 	c.origDcid = c.dcid
 	sock := t.sockFor()
 	c.sendFunc = func(b []byte) error {
@@ -82,8 +87,8 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 
 	t.cDials.Add(1)
 	mDials.Inc()
+	c.scid = quicwire.ConnID(ids[clientCIDLen:])
 	for attempt := 0; ; attempt++ {
-		c.scid = quicwire.NewRandomConnID(clientCIDLen)
 		err := t.register(c)
 		if err == nil {
 			break
@@ -91,10 +96,13 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 		if err != errDuplicateCID || attempt == 3 {
 			return nil, err
 		}
+		c.scid = quicwire.NewRandomConnID(clientCIDLen)
 	}
-	c.trace = cfg.Tracer.Conn(fmt.Sprintf("client_%x", c.scid))
-	c.trace.Event("connection_started",
-		"remote", remote.String(), "version", version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
+	if cfg.Tracer != nil {
+		c.trace = cfg.Tracer.Conn(fmt.Sprintf("client_%x", c.scid))
+		c.trace.Event("connection_started",
+			"remote", remote.String(), "version", version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
+	}
 
 	fail := func(err error) (*Conn, error) {
 		c.abort(err) // retires the registered IDs via onClose
@@ -124,7 +132,7 @@ func (t *Transport) dialVersion(ctx context.Context, remote net.Addr, cfg *Confi
 	c.sendPendingLocked()
 	c.mu.Unlock()
 
-	if err := c.waitHandshake(ctx); err != nil {
+	if err := c.waitHandshake(ctx, deadline); err != nil {
 		c.abort(err)
 		return nil, err
 	}
@@ -148,9 +156,26 @@ func handshakeResult(err error) string {
 	}
 }
 
+// handshakeCounter maps a dial outcome to its pre-resolved counter.
+func handshakeCounter(err error) *telemetry.Counter {
+	switch handshakeResult(err) {
+	case "success":
+		return mHandshakeSuccess
+	case "timeout":
+		return mHandshakeTimeout
+	case "version_mismatch":
+		return mHandshakeVersionMismatch
+	default:
+		return mHandshakeError
+	}
+}
+
 // forTLS13 clones a TLS config and pins the version to 1.3, which QUIC
 // mandates (RFC 9001, Section 4.2).
 func forTLS13(cfg *tls.Config) *tls.Config {
+	if cfg.MinVersion >= tls.VersionTLS13 {
+		return cfg // already pinned; nothing to fix up
+	}
 	out := cfg.Clone()
 	out.MinVersion = tls.VersionTLS13
 	return out

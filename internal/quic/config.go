@@ -16,7 +16,7 @@ package quic
 import (
 	"crypto/tls"
 	"errors"
-	"fmt"
+	"strings"
 	"time"
 
 	"quicscan/internal/quicwire"
@@ -141,7 +141,26 @@ type VersionNegotiationError struct {
 }
 
 func (e *VersionNegotiationError) Error() string {
-	return fmt.Sprintf("quic: version mismatch: offered %v, server supports %v", e.Offered, e.Server)
+	// Built by hand rather than through fmt: scans over VN-only hosts
+	// stringify this error once per target.
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString("quic: version mismatch: offered [")
+	for i, v := range e.Offered {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString("], server supports [")
+	for i, v := range e.Server {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 // ErrHandshakeTimeout is returned when the handshake deadline expires,

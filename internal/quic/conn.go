@@ -54,8 +54,8 @@ type pnSpace struct {
 	nextPN    uint64
 	largestRx int64 // largest received packet number
 
-	acks   *ackManager
-	loss   *lossState
+	acks   ackManager
+	loss   lossState
 	crypto cryptoAssembler
 
 	outCrypto    []byte           // pending TLS bytes to send at this level
@@ -73,8 +73,14 @@ type pnSpace struct {
 	dropped bool // keys discarded
 }
 
-func newPNSpace() *pnSpace {
-	return &pnSpace{acks: newAckManager(), loss: newLossState(), largestRx: -1}
+// init resets a zero pnSpace to its starting sentinels. Spaces are
+// embedded by value in Conn — with their ack and loss managers — so a
+// connection's per-level state costs no allocations of its own.
+func (sp *pnSpace) init() {
+	sp.largestRx = -1
+	sp.acks.largest = -1
+	sp.acks.ackedUpTo = -1
+	sp.loss.largestAcked = -1
 }
 
 // Conn is a QUIC connection. All exported methods are safe for
@@ -90,7 +96,7 @@ type Conn struct {
 	sendFunc func(b []byte) error
 
 	mu     sync.Mutex
-	spaces [numSpaces]*pnSpace
+	spaces [numSpaces]pnSpace
 	tls    *tls.QUICConn
 
 	version  quicwire.Version
@@ -127,6 +133,45 @@ type Conn struct {
 	ptoTimer  *time.Timer
 	ptoCount  int
 	idleTimer *time.Timer
+
+	// Reusable per-connection scratch memory, all guarded by mu, so
+	// the steady-state packet path allocates nothing:
+	// rawScratch holds the pristine copy of a short-header datagram
+	// for stateless-reset checks, keyScratch the decryption trial for
+	// key updates, payloadScratch/pktScratch/datagramScratch the
+	// outgoing frame, packet, and datagram assembly buffers, and
+	// frameScratch the per-packet frame list (loss tracking copies
+	// what it retains).
+	rawScratch      []byte
+	keyScratch      []byte
+	payloadScratch  []byte
+	pktScratch      []byte
+	datagramScratch []byte
+	frameScratch    []quicwire.Frame
+
+	// The assembly buffers above start out backed by these inline
+	// arrays, sized for the default 1350-byte datagram budget. Scratch
+	// slices do not amortize across connections (a scanner builds a
+	// fresh Conn per target), so backing them by the Conn's own
+	// allocation keeps a one-datagram handshake attempt from paying
+	// append-growth allocations. A larger MaxDatagramSize simply grows
+	// past the array onto the heap.
+	payloadArr  [1536]byte
+	pktArr      [1536]byte
+	datagramArr [1536]byte
+	frameArr    [8]quicwire.Frame
+
+	// hdrScratch is the outgoing long-header scratch for the packer;
+	// rxHdr the parse target for inbound long headers. Both guarded by
+	// mu; neither survives the call that fills it.
+	hdrScratch quicwire.Header
+	rxHdr      quicwire.Header
+
+	// remoteKey and scidKey cache the transport routing-map keys so
+	// register/retire do not re-stringify the remote address and
+	// source ID.
+	remoteKey string
+	scidKey   string
 
 	// onHandshakeDone, used by the server to install post-handshake
 	// behaviour (HANDSHAKE_DONE frame).
@@ -182,13 +227,18 @@ func newConn(cfg *Config, isClient bool) *Conn {
 		cfg:         cfg,
 		isClient:    isClient,
 		handshakeCh: make(chan struct{}),
-		streams:     make(map[uint64]*Stream),
-		acceptCh:    make(chan *Stream, 16),
 		closed:      make(chan struct{}),
 		started:     time.Now(),
 	}
+	// The streams map and accept channel are created on first use: a
+	// scanner connection that never opens a stream (or dies in version
+	// negotiation) should not pay for them.
+	c.payloadScratch = c.payloadArr[:0]
+	c.pktScratch = c.pktArr[:0]
+	c.datagramScratch = c.datagramArr[:0]
+	c.frameScratch = c.frameArr[:0]
 	for i := range c.spaces {
-		c.spaces[i] = newPNSpace()
+		c.spaces[i].init()
 	}
 	if isClient {
 		c.nextBidi, c.nextUni = 0, 2
@@ -236,7 +286,7 @@ func (c *Conn) setupInitialKeys() error {
 	if err != nil {
 		return err
 	}
-	sp := c.spaces[spaceInitial]
+	sp := &c.spaces[spaceInitial]
 	if c.isClient {
 		sp.sendKeys, sp.recvKeys = ik.Client, ik.Server
 	} else {
@@ -260,8 +310,10 @@ func (c *Conn) drainTLSEvents() error {
 			}
 			c.spaces[spaceFor(ev.Level)].recvKeys = keys
 			c.spaces[spaceFor(ev.Level)].suite = ev.Suite
-			c.trace.Event("handshake_state",
-				"state", "keys_installed", "space", spaceNames[spaceFor(ev.Level)])
+			if c.trace != nil {
+				c.trace.Event("handshake_state",
+					"state", "keys_installed", "space", spaceNames[spaceFor(ev.Level)])
+			}
 		case tls.QUICSetWriteSecret:
 			keys, err := quiccrypto.NewKeys(ev.Suite, ev.Data)
 			if err != nil {
@@ -269,7 +321,7 @@ func (c *Conn) drainTLSEvents() error {
 			}
 			c.spaces[spaceFor(ev.Level)].sendKeys = keys
 		case tls.QUICWriteData:
-			sp := c.spaces[spaceFor(ev.Level)]
+			sp := &c.spaces[spaceFor(ev.Level)]
 			sp.outCrypto = append(sp.outCrypto, ev.Data...)
 		case tls.QUICTransportParameters:
 			params, err := transportparams.Unmarshal(ev.Data)
@@ -278,10 +330,12 @@ func (c *Conn) drainTLSEvents() error {
 			}
 			c.peerParams = params
 			c.havePeerParams = true
-			c.trace.Event("transport_parameters_received",
-				"max_idle_timeout_ms", params.MaxIdleTimeout,
-				"initial_max_data", params.InitialMaxData,
-				"max_udp_payload_size", params.MaxUDPPayloadSize)
+			if c.trace != nil {
+				c.trace.Event("transport_parameters_received",
+					"max_idle_timeout_ms", params.MaxIdleTimeout,
+					"initial_max_data", params.InitialMaxData,
+					"max_udp_payload_size", params.MaxUDPPayloadSize)
+			}
 		case tls.QUICTransportParametersRequired:
 			c.tls.SetTransportParameters(c.cfg.TransportParams.Marshal())
 		case tls.QUICHandshakeDone:
@@ -299,8 +353,10 @@ func (c *Conn) completeHandshakeLocked() {
 	c.handshakeDone = true
 	c.stats.HandshakeDuration = time.Since(c.started)
 	mHandshakeMs.Observe(float64(c.stats.HandshakeDuration.Microseconds()) / 1000)
-	c.trace.Event("handshake_state", "state", "done",
-		"duration_ms", float64(c.stats.HandshakeDuration.Microseconds())/1000)
+	if c.trace != nil {
+		c.trace.Event("handshake_state", "state", "done",
+			"duration_ms", float64(c.stats.HandshakeDuration.Microseconds())/1000)
+	}
 	c.armIdleTimerLocked()
 	// A client that finished TLS has 1-RTT keys and never sends at the
 	// Initial level again (RFC 9001, Section 4.9.1).
@@ -315,7 +371,12 @@ func (c *Conn) completeHandshakeLocked() {
 
 // waitHandshake blocks until the handshake completes, fails, or the
 // context expires.
-func (c *Conn) waitHandshake(ctx context.Context) error {
+func (c *Conn) waitHandshake(ctx context.Context, deadline time.Time) error {
+	// The deadline is enforced with a plain timer instead of a derived
+	// context (see Transport.Dial). The caller's own ctx still aborts
+	// the dial when cancelled.
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
 	select {
 	case <-c.handshakeCh:
 		c.mu.Lock()
@@ -328,6 +389,9 @@ func (c *Conn) waitHandshake(ctx context.Context) error {
 			return c.hsErr
 		}
 		return c.closeErr
+	case <-timer.C:
+		c.abort(ErrHandshakeTimeout)
+		return ErrHandshakeTimeout
 	case <-ctx.Done():
 		c.abort(ErrHandshakeTimeout)
 		return ErrHandshakeTimeout
@@ -363,7 +427,11 @@ func (c *Conn) armIdleTimerLocked() {
 }
 
 // handleDatagram processes one received UDP payload, which may contain
-// multiple coalesced QUIC packets.
+// multiple coalesced QUIC packets. data is owned by the caller (the
+// read loops pass their pooled buffer) and is only valid for the
+// duration of the call: all processing happens synchronously under
+// c.mu, and every value retained past return — crypto stream data,
+// stream segments, connection IDs, tokens — is copied out first.
 func (c *Conn) handleDatagram(data []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -389,7 +457,11 @@ func (c *Conn) handleDatagram(data []byte) {
 // handleLongPacketLocked handles one long header packet and returns
 // the number of bytes it occupied (0 to abandon the datagram).
 func (c *Conn) handleLongPacketLocked(data []byte) int {
-	hdr, pnOff, err := quicwire.ParseLongHeader(data)
+	// Parse into per-conn scratch: header fields alias data (and the
+	// scratch version list), so anything retained past this packet is
+	// copied explicitly below.
+	hdr := &c.rxHdr
+	pnOff, err := quicwire.ParseLongHeaderInto(hdr, data)
 	if err != nil {
 		return 0
 	}
@@ -415,7 +487,7 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 	default:
 		return 0 // 0-RTT not used
 	}
-	sp := c.spaces[spIdx]
+	sp := &c.spaces[spIdx]
 	packetLen := pnOff + int(hdr.Length)
 	if sp.dropped || sp.recvKeys == nil {
 		return packetLen
@@ -426,7 +498,9 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 	if err != nil {
 		return packetLen // undecryptable: ignore, do not kill the datagram
 	}
-	c.trace.Event("packet_received", "space", spaceNames[spIdx], "pn", pn, "size", packetLen)
+	if c.trace != nil {
+		c.trace.Event("packet_received", "space", spaceNames[spIdx], "pn", pn, "size", packetLen)
+	}
 	// On the first valid Initial from the server, the client adopts the
 	// server's chosen source connection ID as its destination
 	// (RFC 9000, Section 7.2).
@@ -447,13 +521,16 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 }
 
 func (c *Conn) handleShortPacketLocked(data []byte) {
-	sp := c.spaces[spaceApp]
+	sp := &c.spaces[spaceApp]
 	if sp.recvKeys == nil || sp.dropped {
 		return
 	}
 	// Undecryptable datagrams may be stateless resets; the check must
 	// run on the unmodified datagram, so copy before header removal.
-	raw := append([]byte(nil), data...)
+	// The copy lives in per-conn scratch (guarded by mu), keeping the
+	// steady-state 1-RTT receive path allocation-free.
+	c.rawScratch = append(c.rawScratch[:0], data...)
+	raw := c.rawScratch
 	_, pnOff, err := quicwire.ParseShortHeader(data, len(c.scid))
 	if err != nil {
 		if c.isStatelessResetLocked(raw) {
@@ -467,7 +544,9 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 		// bit); retry with the next key generation on a fresh copy,
 		// since OpenPacket mutates its input.
 		if payload2, pn2, ok := c.tryNextKeysLocked(sp, raw, pnOff); ok {
-			c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn2, "size", len(raw))
+			if c.trace != nil {
+				c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn2, "size", len(raw))
+			}
 			c.processPayloadLocked(spaceApp, pn2, payload2)
 			return
 		}
@@ -476,7 +555,9 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 		}
 		return
 	}
-	c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn, "size", len(raw))
+	if c.trace != nil {
+		c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn, "size", len(raw))
+	}
 	c.processPayloadLocked(spaceApp, pn, payload)
 }
 
@@ -493,7 +574,8 @@ func (c *Conn) tryNextKeysLocked(sp *pnSpace, raw []byte, pnOff int) ([]byte, ui
 		}
 		sp.nextRecv = next
 	}
-	cp := append([]byte(nil), raw...)
+	c.keyScratch = append(c.keyScratch[:0], raw...)
+	cp := c.keyScratch
 	payload, pn, _, err := sp.nextRecv.OpenPacket(cp, pnOff, sp.largestRx)
 	if err != nil {
 		return nil, 0, false
@@ -522,7 +604,7 @@ func (c *Conn) UpdateKeys() error {
 	if !c.handshakeDone {
 		return errors.New("quic: key update before handshake completion")
 	}
-	sp := c.spaces[spaceApp]
+	sp := &c.spaces[spaceApp]
 	nextSend, err := sp.sendKeys.Next()
 	if err != nil {
 		return err
@@ -545,21 +627,28 @@ func (c *Conn) handleVersionNegotiationLocked(hdr *quicwire.Header) {
 		return
 	}
 	c.stats.VersionNegotiation = true
-	c.stats.ServerVersions = hdr.SupportedVersions
+	// The header's version list is parse scratch; everything that
+	// survives this call (Stats, the handshake error) shares one copy.
+	serverVersions := append([]quicwire.Version(nil), hdr.SupportedVersions...)
+	c.stats.ServerVersions = serverVersions
 	mVNReceived.Inc()
-	serverVersions := make([]string, len(hdr.SupportedVersions))
-	for i, v := range hdr.SupportedVersions {
-		serverVersions[i] = v.String()
-		mVNByVersion.With(serverVersions[i]).Inc()
+	for _, v := range serverVersions {
+		vnVersionCounter(v.String()).Inc()
 	}
-	c.trace.Event("version_negotiation", "server_versions", serverVersions)
+	if c.trace != nil {
+		names := make([]string, len(serverVersions))
+		for i, v := range serverVersions {
+			names[i] = v.String()
+		}
+		c.trace.Event("version_negotiation", "server_versions", names)
+	}
 	// A VN listing the offered version is invalid and must be ignored.
-	for _, v := range hdr.SupportedVersions {
+	for _, v := range serverVersions {
 		if v == c.version {
 			return
 		}
 	}
-	c.hsErr = &VersionNegotiationError{Offered: c.cfg.Versions, Server: hdr.SupportedVersions}
+	c.hsErr = &VersionNegotiationError{Offered: c.cfg.Versions, Server: serverVersions}
 	c.closeLocked(c.hsErr)
 }
 
@@ -572,7 +661,9 @@ func (c *Conn) handleRetryLocked(hdr *quicwire.Header, pkt []byte) {
 	}
 	c.stats.Retried = true
 	mRetries.Inc()
-	c.trace.Event("retry_received", "token_len", len(hdr.Token))
+	if c.trace != nil {
+		c.trace.Event("retry_received", "token_len", len(hdr.Token))
+	}
 	c.retryToken = append([]byte(nil), hdr.Token...)
 	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
 	// Initial keys are re-derived from the Retry source connection ID.
@@ -583,13 +674,13 @@ func (c *Conn) handleRetryLocked(hdr *quicwire.Header, pkt []byte) {
 		return
 	}
 	// Retransmit the pending first flight with the token attached.
-	sp := c.spaces[spaceInitial]
+	sp := &c.spaces[spaceInitial]
 	sp.outFrames = append(sp.outFrames, sp.loss.unacked()...)
 	c.sendPendingLocked()
 }
 
 func (c *Conn) processPayloadLocked(spIdx int, pn uint64, payload []byte) {
-	sp := c.spaces[spIdx]
+	sp := &c.spaces[spIdx]
 	frames, err := quicwire.ParseFrames(payload)
 	if err != nil {
 		c.closeWithTransportErrorLocked(quicwire.FrameEncodingError, err.Error())
@@ -621,7 +712,7 @@ func (c *Conn) processPayloadLocked(spIdx int, pn uint64, payload []byte) {
 }
 
 func (c *Conn) handleFrameLocked(spIdx int, f quicwire.Frame) {
-	sp := c.spaces[spIdx]
+	sp := &c.spaces[spIdx]
 	switch fr := f.(type) {
 	case *quicwire.PaddingFrame, *quicwire.PingFrame:
 		// PADDING needs nothing; PING only elicits the ACK already queued.
@@ -700,7 +791,13 @@ func (c *Conn) handleStreamFrameLocked(fr *quicwire.StreamFrame) {
 			return
 		}
 		s = newStream(fr.StreamID, c)
+		if c.streams == nil {
+			c.streams = make(map[uint64]*Stream)
+		}
 		c.streams[fr.StreamID] = s
+		if c.acceptCh == nil {
+			c.acceptCh = make(chan *Stream, 16)
+		}
 		select {
 		case c.acceptCh <- s:
 		default:
@@ -721,6 +818,9 @@ func (c *Conn) OpenStream() (*Stream, error) {
 	id := c.nextBidi
 	c.nextBidi += 4
 	s := newStream(id, c)
+	if c.streams == nil {
+		c.streams = make(map[uint64]*Stream)
+	}
 	c.streams[id] = s
 	return s, nil
 }
@@ -737,6 +837,9 @@ func (c *Conn) OpenUniStream() (*Stream, error) {
 	id := c.nextUni
 	c.nextUni += 4
 	s := newStream(id, c)
+	if c.streams == nil {
+		c.streams = make(map[uint64]*Stream)
+	}
 	c.streams[id] = s
 	return s, nil
 }
@@ -744,8 +847,17 @@ func (c *Conn) OpenUniStream() (*Stream, error) {
 // AcceptStream returns the next peer-initiated stream (bidirectional
 // or unidirectional).
 func (c *Conn) AcceptStream(ctx context.Context) (*Stream, error) {
+	// The accept channel is lazily created (see newConn); pin it under
+	// the lock so this select and the delivery site agree on one
+	// channel.
+	c.mu.Lock()
+	if c.acceptCh == nil {
+		c.acceptCh = make(chan *Stream, 16)
+	}
+	acceptCh := c.acceptCh
+	c.mu.Unlock()
 	select {
-	case s := <-c.acceptCh:
+	case s := <-acceptCh:
 		return s, nil
 	case <-c.closed:
 		return nil, c.closeErr
@@ -764,7 +876,7 @@ func (c *Conn) queueStreamData(id uint64, data []byte, fin bool) error {
 		return c.closeErr
 	default:
 	}
-	sp := c.spaces[spaceApp]
+	sp := &c.spaces[spaceApp]
 	var offset uint64
 	// Find the current write offset for the stream by scanning queued
 	// frames; persistent per-stream offsets live in the stream frames
@@ -844,7 +956,7 @@ func (c *Conn) closeWithTLSErrorLocked(err error) {
 // mature space with send keys.
 func (c *Conn) sendConnectionCloseLocked(frame *quicwire.ConnectionCloseFrame) {
 	for idx := spaceApp; idx >= spaceInitial; idx-- {
-		sp := c.spaces[idx]
+		sp := &c.spaces[idx]
 		if sp.sendKeys != nil && !sp.dropped {
 			sp.outFrames = append(sp.outFrames, frame)
 			c.sendPendingLocked()
@@ -856,12 +968,14 @@ func (c *Conn) sendConnectionCloseLocked(frame *quicwire.ConnectionCloseFrame) {
 func (c *Conn) closeLocked(err error) {
 	c.closeOnce.Do(func() {
 		c.closeErr = err
-		errStr := ""
-		if err != nil {
-			errStr = err.Error()
+		if c.trace != nil {
+			errStr := ""
+			if err != nil {
+				errStr = err.Error()
+			}
+			c.trace.Event("connection_closed", "error", errStr)
+			c.trace.Close()
 		}
-		c.trace.Event("connection_closed", "error", errStr)
-		c.trace.Close()
 		if c.ptoTimer != nil {
 			c.ptoTimer.Stop()
 		}
@@ -904,12 +1018,18 @@ func (c *Conn) schedulePTOLocked() {
 	if c.cfg.MaxPTOBackoff > 0 && d > c.cfg.MaxPTOBackoff {
 		d = c.cfg.MaxPTOBackoff
 	}
-	c.ptoTimer = time.AfterFunc(d, c.onPTO)
+	// Reuse one timer per connection; onPTO re-validates state under
+	// mu, so a stale fire racing the Stop above is harmless.
+	if c.ptoTimer == nil {
+		c.ptoTimer = time.AfterFunc(d, c.onPTO)
+	} else {
+		c.ptoTimer.Reset(d)
+	}
 }
 
 func (c *Conn) anyUnackedLocked() bool {
-	for _, sp := range c.spaces {
-		if len(sp.loss.sent) > 0 {
+	for i := range c.spaces {
+		if len(c.spaces[i].loss.sent) > 0 {
 			return true
 		}
 	}
@@ -939,9 +1059,12 @@ func (c *Conn) onPTO() {
 	}
 	c.ptoCount++
 	mPTOFired.Inc()
-	c.trace.Event("pto_fired", "count", c.ptoCount)
+	if c.trace != nil {
+		c.trace.Event("pto_fired", "count", c.ptoCount)
+	}
 	resent := false
-	for _, sp := range c.spaces {
+	for i := range c.spaces {
+		sp := &c.spaces[i]
 		if sp.dropped || sp.sendKeys == nil {
 			continue
 		}
@@ -953,7 +1076,9 @@ func (c *Conn) onPTO() {
 	if resent {
 		c.stats.Retransmits++
 		mRetransmits.Inc()
-		c.trace.Event("retransmit", "pto_count", c.ptoCount)
+		if c.trace != nil {
+			c.trace.Event("retransmit", "pto_count", c.ptoCount)
+		}
 		c.sendPendingLocked()
 	} else {
 		c.schedulePTOLocked()

@@ -1,6 +1,10 @@
 package quic
 
-import "quicscan/internal/telemetry"
+import (
+	"sync"
+
+	"quicscan/internal/telemetry"
+)
 
 // Registry metrics for the QUIC layer (the quic_* family). They are
 // resolved once at init and updated on the atomic fast path alongside
@@ -29,6 +33,27 @@ var (
 	// mHandshakeMs is the handshake completion latency histogram.
 	mHandshakeMs = telemetry.Default().Histogram("quic_handshake_ms", telemetry.LatencyBucketsMs())
 )
+
+// Fixed-label children of the vecs above, resolved once so the dial
+// path pays no label join or vec map lookup per handshake.
+var (
+	mHandshakeSuccess         = mHandshakes.With("success")
+	mHandshakeTimeout         = mHandshakes.With("timeout")
+	mHandshakeVersionMismatch = mHandshakes.With("version_mismatch")
+	mHandshakeError           = mHandshakes.With("error")
+)
+
+// vnVersionCounters caches mVNByVersion children per advertised
+// version string; the set of versions a run observes is tiny.
+var vnVersionCounters sync.Map // string -> *telemetry.Counter
+
+func vnVersionCounter(name string) *telemetry.Counter {
+	if c, ok := vnVersionCounters.Load(name); ok {
+		return c.(*telemetry.Counter)
+	}
+	c, _ := vnVersionCounters.LoadOrStore(name, mVNByVersion.With(name))
+	return c.(*telemetry.Counter)
+}
 
 // spaceNames maps packet number space indices to qlog-style names.
 var spaceNames = [numSpaces]string{"initial", "handshake", "1rtt"}

@@ -9,6 +9,11 @@ import (
 // headers and the AEAD tag within a datagram.
 const packetOverheadBudget = 96
 
+// zeroPad is the shared source of PADDING bytes (frame type 0x00):
+// padding is appended by slicing it instead of allocating or growing
+// byte-at-a-time per Initial.
+var zeroPad [quicwire.MinInitialSize]byte
+
 // sendPendingLocked drains all queued frames and crypto data into
 // protected datagrams and transmits them. Must be called with c.mu
 // held.
@@ -48,12 +53,16 @@ func (sp *pnSpace) takeCrypto(max int) *quicwire.CryptoFrame {
 // packed.
 func (c *Conn) packDatagramLocked() ([]byte, bool) {
 	budget := c.cfg.MaxDatagramSize
-	var datagram []byte
+	// The datagram is assembled in per-conn scratch (guarded by mu):
+	// sendFunc implementations write it to a socket and never retain
+	// it, so the buffer is reusable the moment sendPendingLocked's
+	// send returns.
+	datagram := c.datagramScratch[:0]
 	packedAny := false
 	containsInitial := false
 
 	for idx := spaceInitial; idx <= spaceApp; idx++ {
-		sp := c.spaces[idx]
+		sp := &c.spaces[idx]
 		if sp.dropped || sp.sendKeys == nil {
 			continue
 		}
@@ -76,6 +85,7 @@ func (c *Conn) packDatagramLocked() ([]byte, bool) {
 	}
 
 	if !packedAny {
+		c.datagramScratch = datagram
 		return nil, false
 	}
 
@@ -84,18 +94,21 @@ func (c *Conn) packDatagramLocked() ([]byte, bool) {
 	// every Initial so the sealed packet alone satisfies this; the
 	// check here is a defensive backstop.
 	if containsInitial && len(datagram) < quicwire.MinInitialSize {
-		pad := make([]byte, quicwire.MinInitialSize-len(datagram))
-		datagram = append(datagram, pad...)
+		datagram = append(datagram, zeroPad[:quicwire.MinInitialSize-len(datagram)]...)
 	}
+	c.datagramScratch = datagram
 	return datagram, true
 }
 
 // packPacketLocked builds one protected packet for the given space
 // within the size budget, or nil if nothing is pending.
 func (c *Conn) packPacketLocked(idx int, budget int) []byte {
-	sp := c.spaces[idx]
+	sp := &c.spaces[idx]
 
-	var frames []quicwire.Frame
+	// The frame list is per-conn scratch: loss tracking copies the
+	// ack-eliciting frames it retains (lossState.onSent), so the
+	// backing array is free for reuse by the next packet.
+	frames := c.frameScratch[:0]
 	if ack := func() *quicwire.AckFrame {
 		if sp.acks.needsAck() {
 			return sp.acks.buildAck()
@@ -132,10 +145,12 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 	}
 
 	if len(frames) == 0 {
+		c.frameScratch = frames
 		return nil
 	}
+	c.frameScratch = frames
 
-	var payload []byte
+	payload := c.payloadScratch[:0]
 	for _, f := range frames {
 		payload = f.Append(payload)
 	}
@@ -153,7 +168,7 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 		payload = append(payload, 0)
 	}
 
-	var pkt []byte
+	pkt := c.pktScratch[:0]
 	var pnOff int
 	switch idx {
 	case spaceInitial, spaceHandshake:
@@ -170,11 +185,13 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 		// the plaintext so the sealed packet alone satisfies it.
 		if idx == spaceInitial {
 			target := quicwire.MinInitialSize - c.headerOverheadLocked(typ, len(token), pnLen) - quiccrypto.SealOverhead
-			for len(payload) < target {
-				payload = append(payload, 0)
+			if n := target - len(payload); n > 0 {
+				payload = append(payload, zeroPad[:n]...)
 			}
 		}
-		hdr := &quicwire.Header{
+		// The header lives in per-conn scratch: AppendLongHeader
+		// serializes it immediately and nothing retains it.
+		c.hdrScratch = quicwire.Header{
 			Type:            typ,
 			Version:         c.version,
 			DstID:           c.dcid,
@@ -183,15 +200,21 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 			PacketNumber:    pn,
 			PacketNumberLen: pnLen,
 		}
-		pkt, pnOff = quicwire.AppendLongHeader(nil, hdr, len(payload)+quiccrypto.SealOverhead)
+		pkt, pnOff = quicwire.AppendLongHeader(pkt, &c.hdrScratch, len(payload)+quiccrypto.SealOverhead)
 	default:
-		pkt, pnOff = quicwire.AppendShortHeader(nil, c.dcid, pn, pnLen, sp.sendPhase)
+		pkt, pnOff = quicwire.AppendShortHeader(pkt, c.dcid, pn, pnLen, sp.sendPhase)
 	}
 	pkt = append(pkt, payload...)
+	c.payloadScratch = payload
 	pkt = sp.sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
+	// Keep the grown buffer; the caller copies pkt into the datagram
+	// before the next packPacketLocked call reuses it.
+	c.pktScratch = pkt
 
 	sp.loss.onSent(pn, frames)
-	c.trace.Event("packet_sent", "space", spaceNames[idx], "pn", pn, "size", len(pkt))
+	if c.trace != nil {
+		c.trace.Event("packet_sent", "space", spaceNames[idx], "pn", pn, "size", len(pkt))
+	}
 	return pkt
 }
 

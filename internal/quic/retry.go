@@ -70,7 +70,9 @@ func (m *retryMinter) validate(addr net.Addr, token []byte) (quicwire.ConnID, bo
 	if len(body) != 8+1+odcidLen {
 		return nil, false
 	}
-	return quicwire.ConnID(body[9 : 9+odcidLen]), true
+	// Copy: body aliases the incoming datagram, which lives in a
+	// pooled read buffer valid only for the current call stack.
+	return append(quicwire.ConnID(nil), body[9:9+odcidLen]...), true
 }
 
 // sendRetry answers a token-less Initial with a Retry packet.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"quicscan/internal/quicwire"
 	"quicscan/internal/transportparams"
@@ -148,8 +149,14 @@ func (l *Listener) Close() error {
 	return l.pconn.Close()
 }
 
+// readLoop leases a single read buffer for its lifetime:
+// handleDatagram processes synchronously and must not retain the
+// datagram, so the buffer is refilled immediately — no per-packet
+// allocation or copy.
 func (l *Listener) readLoop() {
-	buf := make([]byte, 65536)
+	bp := leaseReadBuf()
+	defer releaseReadBuf(bp)
+	buf := *bp
 	for {
 		n, from, err := l.pconn.ReadFrom(buf)
 		if err != nil {
@@ -160,14 +167,14 @@ func (l *Listener) readLoop() {
 			}
 			return
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		l.handleDatagram(pkt, from)
+		l.handleDatagram(buf[:n], from)
 	}
 }
 
 // handleDatagram routes a datagram to an existing connection or
-// treats it as a new connection attempt.
+// treats it as a new connection attempt. data is only valid for the
+// duration of the call; everything retained (connection IDs, tokens,
+// crypto data) is copied out.
 func (l *Listener) handleDatagram(data []byte, from net.Addr) {
 	if len(data) == 0 {
 		return
@@ -316,9 +323,11 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 	if err := c.setupInitialKeys(); err != nil {
 		return nil
 	}
-	c.trace = l.cfg.Tracer.Conn(fmt.Sprintf("server_%x", c.scid))
-	c.trace.Event("connection_started",
-		"remote", from.String(), "version", c.version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
+	if l.cfg.Tracer != nil {
+		c.trace = l.cfg.Tracer.Conn(fmt.Sprintf("server_%x", c.scid))
+		c.trace.Event("connection_started",
+			"remote", from.String(), "version", c.version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
+	}
 
 	tlsCfg := forTLS13(l.cfg.TLS)
 	if l.policy.RequireSNI != nil {
@@ -402,7 +411,9 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 
 // HandshakeComplete waits for the server-side handshake to finish.
 func (c *Conn) HandshakeComplete(ctx context.Context) error {
-	return c.waitHandshake(ctx)
+	// Servers bound the handshake by HandshakeTimeout from the moment
+	// the caller starts waiting.
+	return c.waitHandshake(ctx, time.Now().Add(c.cfg.HandshakeTimeout))
 }
 
 // forget drops the listener's state for a connection without closing

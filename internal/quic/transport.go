@@ -25,6 +25,13 @@ const drainingPeriod = 3 * time.Second
 // ErrTransportClosed is returned for operations on a closed Transport.
 var ErrTransportClosed = errors.New("quic: transport closed")
 
+// drainEntry records one retired connection ID and when it was parked,
+// queued in retirement order for incremental expiry.
+type drainEntry struct {
+	key string
+	at  time.Time
+}
+
 // Transport multiplexes many client connections over a small, fixed
 // pool of UDP sockets — the architecture high-rate scanners need:
 // socket count stays constant no matter how many concurrent handshakes
@@ -49,8 +56,16 @@ type Transport struct {
 	conns    map[string]*Conn // local CID -> connection
 	byAddr   map[string]*Conn // remote address -> connection (fallback)
 	draining map[string]time.Time
-	active   int
-	closed   bool
+	// drainQ holds the draining keys in retirement order so expiry is
+	// an amortized O(1) pop from the front (a periodic full-map sweep
+	// goes quadratic under scanner churn: with tens of thousands of
+	// short-lived connections per draining period, every sweep scans
+	// entries that are almost all too young to remove). drainHead is
+	// the queue's logical start within the backing slice.
+	drainQ    []drainEntry
+	drainHead int
+	active    int
+	closed    bool
 
 	next   atomic.Uint32 // round-robin socket assignment
 	readWG sync.WaitGroup
@@ -172,15 +187,18 @@ func (t *Transport) Close() error {
 // Mismatch" outcome.
 func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (*Conn, error) {
 	cfg := config.clone()
-	ctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout)
-	defer cancel()
+	// The handshake deadline is enforced with one plain timer inside
+	// waitHandshake rather than a derived context: a context chain
+	// costs several allocations per dial and its only consumer here
+	// would be that same select. The caller's ctx still cancels dials.
+	deadline := time.Now().Add(cfg.HandshakeTimeout)
 
 	version := cfg.Versions[0]
 	var priorVN []quicwire.Version
 	for attempt := 0; ; attempt++ {
-		conn, err := t.dialVersion(ctx, remote, cfg, version, priorVN)
+		conn, err := t.dialVersion(ctx, deadline, remote, cfg, version, priorVN)
 		if err == nil {
-			mHandshakes.With("success").Inc()
+			mHandshakeSuccess.Inc()
 			return conn, nil
 		}
 		var vne *VersionNegotiationError
@@ -193,7 +211,7 @@ func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (
 				continue
 			}
 		}
-		mHandshakes.With(handshakeResult(err)).Inc()
+		handshakeCounter(err).Inc()
 		return nil, err
 	}
 }
@@ -209,8 +227,15 @@ func (t *Transport) sockFor() net.PacketConn {
 var errDuplicateCID = errors.New("quic: connection ID already registered")
 
 func (t *Transport) register(c *Conn) error {
+	// The map keys are cached on the connection: retire needs the very
+	// same strings, so stringifying the address and source ID once per
+	// connection (not once per map touch) is both cheaper and safer.
 	key := string(c.scid)
-	addr := c.remote.String()
+	c.scidKey = key
+	if c.remoteKey == "" {
+		c.remoteKey = c.remote.String()
+	}
+	addr := c.remoteKey
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -231,8 +256,8 @@ func (t *Transport) register(c *Conn) error {
 // retire removes a closing connection's routes, parking its IDs in the
 // draining set so late server packets are not misread as drops.
 func (t *Transport) retire(c *Conn) {
-	key := string(c.scid)
-	addr := c.remote.String()
+	key := c.scidKey
+	addr := c.remoteKey
 	now := time.Now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -246,19 +271,54 @@ func (t *Transport) retire(c *Conn) {
 	t.active--
 	mActiveConns.Add(-1)
 	t.draining[key] = now
-	if len(t.draining) > 8192 {
-		for k, at := range t.draining {
-			if now.Sub(at) > drainingPeriod {
-				delete(t.draining, k)
-			}
+	t.drainQ = append(t.drainQ, drainEntry{key: key, at: now})
+	t.expireDrainingLocked(now)
+}
+
+// maxDraining caps the draining set. Entries past the cap are retired
+// early (their late packets count as drops rather than latePackets),
+// bounding memory when connections churn faster than the draining
+// period expires them.
+const maxDraining = 8192
+
+// expireDrainingLocked pops expired (or over-cap) entries from the
+// front of the retirement-ordered queue. Amortized O(1) per retire.
+func (t *Transport) expireDrainingLocked(now time.Time) {
+	for t.drainHead < len(t.drainQ) {
+		e := t.drainQ[t.drainHead]
+		if now.Sub(e.at) <= drainingPeriod && len(t.drainQ)-t.drainHead <= maxDraining {
+			break
 		}
+		// A key can reappear in the queue only if the same CID was
+		// retired twice; keep the map entry unless it is this one's.
+		if at, ok := t.draining[e.key]; ok && at.Equal(e.at) {
+			delete(t.draining, e.key)
+		}
+		t.drainQ[t.drainHead] = drainEntry{} // release the key string
+		t.drainHead++
+	}
+	// Compact once the dead prefix dominates so the backing array does
+	// not grow without bound.
+	if t.drainHead > 1024 && t.drainHead > len(t.drainQ)/2 {
+		n := copy(t.drainQ, t.drainQ[t.drainHead:])
+		t.drainQ = t.drainQ[:n]
+		t.drainHead = 0
 	}
 }
 
 // readLoop receives datagrams on one pooled socket and routes them.
+// It leases a single read buffer for its lifetime: route delivers
+// synchronously and handleDatagram must not retain the datagram, so
+// the buffer can be refilled immediately — no per-packet allocation
+// or copy.
 func (t *Transport) readLoop(pc net.PacketConn) {
 	defer t.readWG.Done()
-	buf := make([]byte, 65536)
+	bp := leaseReadBuf()
+	defer releaseReadBuf(bp)
+	buf := *bp
+	// hdr is this loop's long-header parse scratch; route fills it per
+	// datagram and nothing downstream retains it.
+	var hdr quicwire.Header
 	for {
 		n, from, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -268,15 +328,15 @@ func (t *Transport) readLoop(pc net.PacketConn) {
 			}
 			return
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		t.route(pkt, from)
+		t.route(&hdr, buf[:n], from)
 	}
 }
 
 // route delivers one datagram to its connection: by destination
-// connection ID first, then by remote address.
-func (t *Transport) route(data []byte, from net.Addr) {
+// connection ID first, then by remote address. The datagram is only
+// valid for the duration of the call (it lives in the read loop's
+// leased buffer).
+func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 	t.cDatagramsIn.Add(1)
 	t.cBytesIn.Add(uint64(len(data)))
 	mDatagramsIn.Inc()
@@ -286,28 +346,31 @@ func (t *Transport) route(data []byte, from net.Addr) {
 		mDropped.Inc()
 		return
 	}
-	var key string
+	// dstID stays a []byte: the map lookups below use the inline
+	// string conversion the compiler elides, so no per-packet key
+	// allocation happens.
+	var dstID []byte
 	if quicwire.IsLongHeader(data[0]) {
-		hdr, _, err := quicwire.ParseLongHeader(data)
+		_, err := quicwire.ParseLongHeaderInto(hdr, data)
 		if err != nil {
 			t.cDropped.Add(1)
 			mDropped.Inc()
 			return
 		}
-		key = string(hdr.DstID)
+		dstID = hdr.DstID
 	} else {
 		if len(data) < 1+clientCIDLen {
 			t.cDropped.Add(1)
 			mDropped.Inc()
 			return
 		}
-		key = string(data[1 : 1+clientCIDLen])
+		dstID = data[1 : 1+clientCIDLen]
 	}
 
 	t.mu.Lock()
-	c := t.conns[key]
+	c := t.conns[string(dstID)]
 	if c == nil {
-		drainedAt, late := t.draining[key]
+		drainedAt, late := t.draining[string(dstID)]
 		if late && time.Since(drainedAt) <= drainingPeriod {
 			t.mu.Unlock()
 			t.cLatePackets.Add(1)

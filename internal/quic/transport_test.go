@@ -164,3 +164,48 @@ func TestDialCompatOwnsSocket(t *testing.T) {
 		t.Errorf("socket count after failed Dial = %d, want %d (socket must be closed)", got, before-1)
 	}
 }
+
+// TestDrainingSetExpiry exercises expireDrainingLocked directly: the
+// draining set is bounded by the hard cap under fast churn, entries
+// past the draining period are removed, and expiry is driven from the
+// front of the retirement-ordered queue (no full-map sweep).
+func TestDrainingSetExpiry(t *testing.T) {
+	tr := &Transport{draining: make(map[string]time.Time)}
+	now := time.Now()
+
+	park := func(key string, at time.Time) {
+		tr.draining[key] = at
+		tr.drainQ = append(tr.drainQ, drainEntry{key: key, at: at})
+		tr.expireDrainingLocked(at)
+	}
+
+	// Fast churn: 3*maxDraining retirements inside one draining period
+	// must stay capped, evicting oldest-first.
+	for i := 0; i < 3*maxDraining; i++ {
+		park(string(rune(i))+"-churn", now.Add(time.Duration(i)*time.Microsecond))
+	}
+	if got := len(tr.draining); got > maxDraining {
+		t.Errorf("draining set size = %d, want <= %d", got, maxDraining)
+	}
+	if _, ok := tr.draining[string(rune(0))+"-churn"]; ok {
+		t.Error("oldest entry survived cap eviction")
+	}
+	last := string(rune(3*maxDraining-1)) + "-churn"
+	if _, ok := tr.draining[last]; !ok {
+		t.Error("newest entry was evicted")
+	}
+
+	// Time-based expiry: everything parked above is older than the
+	// draining period relative to a later retirement.
+	later := now.Add(drainingPeriod + time.Second)
+	park("fresh", later)
+	if got := len(tr.draining); got != 1 {
+		t.Errorf("draining set size after period elapsed = %d, want 1 (only the fresh entry)", got)
+	}
+	if _, ok := tr.draining["fresh"]; !ok {
+		t.Error("fresh entry missing after expiry pass")
+	}
+	if tr.drainHead != 0 || len(tr.drainQ) != 1 {
+		t.Errorf("queue not compacted: head=%d len=%d, want 0/1", tr.drainHead, len(tr.drainQ))
+	}
+}

@@ -1,8 +1,6 @@
 package quiccrypto
 
 import (
-	"crypto/hkdf"
-	"crypto/sha256"
 	"fmt"
 
 	"quicscan/internal/quicwire"
@@ -61,18 +59,16 @@ func NewInitialKeys(v quicwire.Version, clientDstID quicwire.ConnID) (*InitialKe
 	if err != nil {
 		return nil, err
 	}
-	initialSecret, err := hkdf.Extract(sha256.New, clientDstID, salt)
-	if err != nil {
-		return nil, err
-	}
-	clientSecret := expandLabelSHA256(initialSecret, "client in", 32)
-	serverSecret := expandLabelSHA256(initialSecret, "server in", 32)
+	var initialSecret, clientSecret, serverSecret [32]byte
+	hkdfExtract256(salt, clientDstID, &initialSecret)
+	expandLabel256(initialSecret[:], "client in", clientSecret[:])
+	expandLabel256(initialSecret[:], "server in", serverSecret[:])
 
-	ck, err := NewKeys(TLSAes128GcmSha256, clientSecret)
+	ck, err := NewKeys(TLSAes128GcmSha256, clientSecret[:])
 	if err != nil {
 		return nil, err
 	}
-	sk, err := NewKeys(TLSAes128GcmSha256, serverSecret)
+	sk, err := NewKeys(TLSAes128GcmSha256, serverSecret[:])
 	if err != nil {
 		return nil, err
 	}

@@ -70,12 +70,22 @@ func NewKeys(suite uint16, secret []byte) (*Keys, error) {
 		return nil, fmt.Errorf("quiccrypto: unsupported cipher suite %#04x", suite)
 	}
 
-	key := ExpandLabel(h, secret, "quic key", keyLen)
-	iv := ExpandLabel(h, secret, "quic iv", 12)
-	hpKey := ExpandLabel(h, secret, "quic hp", keyLen)
-
+	var key, hpKey []byte
 	k := &Keys{suite: suite, secret: append([]byte(nil), secret...)}
-	copy(k.iv[:], iv)
+	if suite == TLSAes256GcmSha384 {
+		key = ExpandLabel(h, secret, "quic key", keyLen)
+		copy(k.iv[:], ExpandLabel(h, secret, "quic iv", 12))
+		hpKey = ExpandLabel(h, secret, "quic hp", keyLen)
+	} else {
+		// SHA-256 suites take the pooled fast path; the key buffers
+		// live on the stack and are consumed before return (the ChaCha
+		// header protector, which retains its key, copies below).
+		var keyBuf, hpBuf [32]byte
+		expandLabel256(secret, "quic key", keyBuf[:keyLen])
+		expandLabel256(secret, "quic iv", k.iv[:])
+		expandLabel256(secret, "quic hp", hpBuf[:keyLen])
+		key, hpKey = keyBuf[:keyLen], hpBuf[:keyLen]
+	}
 	switch suite {
 	case TLSAes128GcmSha256, TLSAes256GcmSha384:
 		block, err := aes.NewCipher(key)
@@ -98,7 +108,10 @@ func NewKeys(suite uint16, secret []byte) (*Keys, error) {
 			return nil, err
 		}
 		k.aead = aead
-		k.hp = chachaHeaderProtector{key: hpKey}
+		// Explicit copy: the protector retains its key, and retaining
+		// hpKey directly would force the stack buffers above to escape
+		// on every NewKeys call, including the AES ones.
+		k.hp = chachaHeaderProtector{key: append([]byte(nil), hpKey...)}
 	}
 	return k, nil
 }

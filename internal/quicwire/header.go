@@ -109,46 +109,61 @@ var (
 // For Version Negotiation packets (Version == 0) the SupportedVersions
 // list is parsed and the whole packet is consumed.
 func ParseLongHeader(b []byte) (*Header, int, error) {
+	h := &Header{}
+	n, err := ParseLongHeaderInto(h, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	return h, n, nil
+}
+
+// ParseLongHeaderInto is ParseLongHeader into a caller-owned Header,
+// for hot paths that parse per packet: h is reset and refilled, its
+// byte-slice fields (DstID, SrcID, Token) alias b, and for Version
+// Negotiation packets the SupportedVersions backing array is reused
+// across calls. Callers retaining any of those past the next parse (or
+// past b's reuse) must copy them.
+func ParseLongHeaderInto(h *Header, b []byte) (int, error) {
+	*h = Header{SupportedVersions: h.SupportedVersions[:0]}
 	r := &reader{b: b}
 	first := r.byte()
 	if r.err != nil {
-		return nil, 0, r.err
+		return 0, r.err
 	}
 	if !IsLongHeader(first) {
-		return nil, 0, errNotLongHeader
+		return 0, errNotLongHeader
 	}
-	h := &Header{}
 	h.Version = Version(r.uint32())
 
 	dcidLen := int(r.byte())
 	if dcidLen > MaxConnIDLen {
-		return nil, 0, errBadConnIDLen
+		return 0, errBadConnIDLen
 	}
 	h.DstID = ConnID(r.bytes(dcidLen))
 	scidLen := int(r.byte())
 	if scidLen > MaxConnIDLen {
-		return nil, 0, errBadConnIDLen
+		return 0, errBadConnIDLen
 	}
 	h.SrcID = ConnID(r.bytes(scidLen))
 	if r.err != nil {
-		return nil, 0, r.err
+		return 0, r.err
 	}
 
 	if h.Version == 0 {
 		h.Type = PacketVersionNegotiation
 		if r.remaining()%4 != 0 {
-			return nil, 0, fmt.Errorf("quicwire: version negotiation body of %d bytes is not a multiple of 4", r.remaining())
+			return 0, fmt.Errorf("quicwire: version negotiation body of %d bytes is not a multiple of 4", r.remaining())
 		}
 		for r.remaining() > 0 {
 			h.SupportedVersions = append(h.SupportedVersions, Version(r.uint32()))
 		}
-		return h, r.off, r.err
+		return r.off, r.err
 	}
 
 	// For proper packets the fixed bit must be set. A cleared fixed bit
 	// with a non-zero version is not a valid QUIC packet.
 	if first&0x40 == 0 {
-		return nil, 0, errBadFixedBit
+		return 0, errBadFixedBit
 	}
 
 	switch (first >> 4) & 0x3 {
@@ -171,18 +186,18 @@ func ParseLongHeader(b []byte) (*Header, int, error) {
 	case PacketRetry:
 		// Retry: the remainder is token || 16-byte integrity tag.
 		if r.remaining() < 16 {
-			return nil, 0, ErrTruncated
+			return 0, ErrTruncated
 		}
 		h.Token = r.bytes(r.remaining() - 16)
-		return h, r.off, r.err
+		return r.off, r.err
 	}
 	if r.err != nil {
-		return nil, 0, r.err
+		return 0, r.err
 	}
 	if h.Length > uint64(r.remaining()) {
-		return nil, 0, fmt.Errorf("quicwire: header Length %d exceeds remaining %d bytes", h.Length, r.remaining())
+		return 0, fmt.Errorf("quicwire: header Length %d exceeds remaining %d bytes", h.Length, r.remaining())
 	}
-	return h, r.off, nil
+	return r.off, nil
 }
 
 // AppendLongHeader appends the long header for h up to but not

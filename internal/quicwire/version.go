@@ -67,6 +67,8 @@ func (v Version) DraftNumber() int {
 // "ietf-01", "Q050", "T051", "mvfst-1", or a hex literal for unknown
 // values.
 func (v Version) String() string {
+	// Versions from the measurement window return constants so the
+	// hot paths that label metrics by version never allocate.
 	switch v {
 	case Version1:
 		return "ietf-01"
@@ -76,6 +78,32 @@ func (v Version) String() string {
 		return "mvfst-2"
 	case VersionMvfstExp:
 		return "mvfst-e"
+	case VersionDraft27:
+		return "draft-27"
+	case VersionDraft28:
+		return "draft-28"
+	case VersionDraft29:
+		return "draft-29"
+	case VersionDraft32:
+		return "draft-32"
+	case VersionDraft34:
+		return "draft-34"
+	case VersionGoogleQ039:
+		return "Q039"
+	case VersionGoogleQ043:
+		return "Q043"
+	case VersionGoogleQ046:
+		return "Q046"
+	case VersionGoogleQ048:
+		return "Q048"
+	case VersionGoogleQ050:
+		return "Q050"
+	case VersionGoogleQ099:
+		return "Q099"
+	case VersionGoogleT048:
+		return "T048"
+	case VersionGoogleT051:
+		return "T051"
 	}
 	if n := v.DraftNumber(); n != 0 {
 		return fmt.Sprintf("draft-%d", n)

@@ -237,12 +237,3 @@ func (n *Network) corruptPayload(b []byte) {
 	n.rngMu.Unlock()
 	b[bit/8] ^= 1 << (bit % 8)
 }
-
-// enqueueAfter delivers d to pc after delay (immediately when zero).
-func enqueueAfter(pc *PacketConn, d datagram, delay time.Duration) {
-	if delay > 0 {
-		time.AfterFunc(delay, func() { pc.enqueue(d) })
-		return
-	}
-	pc.enqueue(d)
-}

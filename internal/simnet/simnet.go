@@ -53,6 +53,10 @@ type Network struct {
 	rng   *rand.Rand
 	rngMu sync.Mutex
 
+	// sched delivers delayed datagrams (jitter, reordering) from one
+	// goroutine with one timer; see sched.go.
+	sched scheduler
+
 	ephemeral uint32
 	closed    bool
 
@@ -201,28 +205,41 @@ func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
 	n.mu.RUnlock()
 
 	if dst != nil {
-		buf := make([]byte, len(payload))
+		buf := leasePayload(len(payload))
 		copy(buf, payload)
 		if v.corrupt {
 			n.corruptPayload(buf)
 		}
-		enqueueAfter(dst, datagram{payload: buf, from: from}, v.delay)
+		// The duplicate is copied before buf is handed off (ownership
+		// transfers to the receive path at scheduleAfter) but scheduled
+		// second, preserving the original delivery order.
+		var dup []byte
 		if v.dup {
-			dup := make([]byte, len(buf))
+			dup = leasePayload(len(buf))
 			copy(dup, buf)
-			enqueueAfter(dst, datagram{payload: dup, from: from}, v.dupDelay)
+		}
+		n.scheduleAfter(dst, datagram{payload: buf, from: from}, v.delay)
+		if dup != nil {
+			n.scheduleAfter(dst, datagram{payload: dup, from: from}, v.dupDelay)
 		}
 		return
 	}
 
 	if synth != nil {
 		probe := payload
+		var corrupted []byte
 		if v.corrupt {
-			probe = make([]byte, len(payload))
-			copy(probe, payload)
-			n.corruptPayload(probe)
+			corrupted = leasePayload(len(payload))
+			copy(corrupted, payload)
+			n.corruptPayload(corrupted)
+			probe = corrupted
 		}
+		// The responder must not retain probe past the call: it lives
+		// in the sender's buffer (or a pooled copy released below).
 		replies := synth(to, probe)
+		if corrupted != nil {
+			releasePayload(corrupted)
+		}
 		if len(replies) == 0 {
 			return
 		}
@@ -241,16 +258,19 @@ func (n *Network) deliver(from, to netip.AddrPort, payload []byte) {
 			if rv.drop {
 				continue
 			}
-			buf := make([]byte, len(r))
+			buf := leasePayload(len(r))
 			copy(buf, r)
 			if rv.corrupt {
 				n.corruptPayload(buf)
 			}
-			enqueueAfter(src, datagram{payload: buf, from: to}, v.delay+rv.delay)
+			var dup []byte
 			if rv.dup {
-				dup := make([]byte, len(buf))
+				dup = leasePayload(len(buf))
 				copy(dup, buf)
-				enqueueAfter(src, datagram{payload: dup, from: to}, v.delay+rv.dupDelay)
+			}
+			n.scheduleAfter(src, datagram{payload: buf, from: to}, v.delay+rv.delay)
+			if dup != nil {
+				n.scheduleAfter(src, datagram{payload: dup, from: to}, v.delay+rv.dupDelay)
 			}
 		}
 	}
@@ -275,6 +295,7 @@ func (n *Network) Close() {
 	for _, l := range listeners {
 		l.Close()
 	}
+	n.sched.close()
 }
 
 // PacketConn is a simulated UDP socket implementing net.PacketConn.
@@ -305,11 +326,14 @@ func (pc *PacketConn) enqueue(d datagram) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.closed {
+		releasePayload(d.payload)
 		return
 	}
 	select {
 	case pc.queue <- d:
-	default: // receive buffer overflow: drop, like a real socket
+	default:
+		// Receive buffer overflow: drop, like a real socket.
+		releasePayload(d.payload)
 	}
 }
 
@@ -345,6 +369,9 @@ func (pc *PacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
 				return 0, nil, net.ErrClosed
 			}
 			nn := copy(p, d.payload)
+			// The pooled payload is consumed; oversized datagrams
+			// truncate into p exactly as real UDP does.
+			releasePayload(d.payload)
 			return nn, net.UDPAddrFromAddrPort(d.from), nil
 		case <-timeout:
 			return 0, nil, &timeoutError{}

@@ -31,7 +31,18 @@ import (
 var (
 	mHandshakes  = telemetry.Default().CounterVec("tlsscan_handshakes_total", "outcome")
 	mAltSvcFound = telemetry.Default().Counter("tlsscan_altsvc_quic_total")
+
+	// Pre-resolved children: the per-target path does no label join.
+	mHSDialError = mHandshakes.With("dial_error")
+	mHSTLSError  = mHandshakes.With("tls_error")
+	mHSSuccess   = mHandshakes.With("success")
 )
+
+// readerPool recycles the buffered readers that parse HTTP responses,
+// one lease per target instead of a 4 KiB allocation each.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 4096) },
+}
 
 // Target is one TLS-over-TCP scan destination.
 type Target struct {
@@ -119,7 +130,7 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 	raw, err := s.dial(ctx, netip.AddrPortFrom(t.Addr, t.port()))
 	if err != nil {
 		res.Error = err.Error()
-		mHandshakes.With("dial_error").Inc()
+		mHSDialError.Inc()
 		return res
 	}
 	defer raw.Close()
@@ -137,11 +148,11 @@ func (s *Scanner) ScanTarget(ctx context.Context, t Target) Result {
 	conn := tls.Client(raw, tcfg)
 	if err := conn.HandshakeContext(ctx); err != nil {
 		res.Error = err.Error()
-		mHandshakes.With("tls_error").Inc()
+		mHSTLSError.Inc()
 		return res
 	}
 	res.OK = true
-	mHandshakes.With("success").Inc()
+	mHSSuccess.Inc()
 	cs := conn.ConnectionState()
 	res.TLS = s.tlsInfo(&cs, t.SNI)
 
@@ -202,15 +213,23 @@ func (s *Scanner) doHTTP(conn *tls.Conn, t Target) *HTTPInfo {
 		host = t.Addr.String()
 	}
 	fmt.Fprintf(conn, "HEAD / HTTP/1.1\r\nHost: %s\r\nUser-Agent: quicscan-tls/1.0\r\nConnection: close\r\n\r\n", host)
-	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(conn)
+	resp, err := http.ReadResponse(br, nil)
 	if err != nil {
+		br.Reset(nil)
+		readerPool.Put(br)
 		return info
 	}
-	defer resp.Body.Close()
+	// The HEAD response has no body and the header values below are
+	// copied strings, so the reader can be released before return.
+	resp.Body.Close()
 	info.RequestOK = true
 	info.Status = fmt.Sprintf("%d", resp.StatusCode)
 	info.Server = resp.Header.Get("Server")
 	info.AltSvcRaw = strings.Join(resp.Header.Values("Alt-Svc"), ", ")
+	br.Reset(nil)
+	readerPool.Put(br)
 	return info
 }
 

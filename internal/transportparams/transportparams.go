@@ -105,14 +105,20 @@ func appendParam(b []byte, id uint64, value []byte) []byte {
 }
 
 func appendIntParam(b []byte, id, v uint64) []byte {
-	return appendParam(b, id, quicwire.AppendVarint(nil, v))
+	// The value is a varint of at most 8 bytes; staging it in a stack
+	// array keeps integer parameters allocation-free.
+	var tmp [8]byte
+	return appendParam(b, id, quicwire.AppendVarint(tmp[:0], v))
 }
 
 // Marshal encodes p as the transport parameters extension body.
 // Parameters whose value equals the RFC default are omitted, matching
 // common implementations.
 func (p *Parameters) Marshal() []byte {
-	var b []byte
+	// A full parameter set fits comfortably in 128 bytes (each integer
+	// parameter is at most 18); presizing makes the whole marshal a
+	// single allocation.
+	b := make([]byte, 0, 128)
 	if p.OriginalDestinationConnectionID != nil {
 		b = appendParam(b, IDOriginalDestinationConnectionID, p.OriginalDestinationConnectionID)
 	}

@@ -15,6 +15,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"hash"
 	"net"
 	"net/netip"
 	"sync"
@@ -38,6 +39,27 @@ var (
 	mRateGauge    = telemetry.Default().Gauge("zmapquic_probe_rate_limit")
 	mVNByVersions = telemetry.Default().CounterVec("zmapquic_vn_responses_total", "version")
 )
+
+// vnVersionCounters caches the per-version child counters so the
+// response path performs no label join or vec lookup per packet.
+var vnVersionCounters sync.Map // quicwire.Version -> *telemetry.Counter
+
+func vnCounter(v quicwire.Version) *telemetry.Counter {
+	if c, ok := vnVersionCounters.Load(v); ok {
+		return c.(*telemetry.Counter)
+	}
+	c, _ := vnVersionCounters.LoadOrStore(v, mVNByVersions.With(v.String()))
+	return c.(*telemetry.Counter)
+}
+
+// recvBufPool recycles the response collection buffers across scan
+// passes.
+var recvBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 65536)
+		return &b
+	},
+}
 
 // ProbeSize is the padded probe size: the 1200-byte minimum Initial
 // datagram (RFC 9000, Section 14.1).
@@ -75,6 +97,30 @@ type Scanner struct {
 	// secret keys probe validation.
 	secret     [32]byte
 	secretOnce sync.Once
+
+	// macPool recycles the keyed HMAC state and digest scratch of
+	// probeSum: the send loop and the response validator derive IDs
+	// concurrently, so the state cannot be a single field.
+	macPool sync.Pool
+
+	// tmpl is the precomputed probe wire image, immutable once built;
+	// only the 8-byte CID fields at probeDCIDOff/probeSCIDOff vary
+	// per target. Each scan pass patches them into its own copy.
+	tmpl     []byte
+	tmplOnce sync.Once
+}
+
+// Fixed probe layout offsets: 1 byte header, 4 bytes version, then
+// length-prefixed 8-byte destination and source connection IDs.
+const (
+	probeDCIDOff = 6
+	probeSCIDOff = probeDCIDOff + 8 + 1
+)
+
+// macState is one pooled HMAC computation state.
+type macState struct {
+	mac hash.Hash
+	sum []byte
 }
 
 // Result is one responding address.
@@ -123,44 +169,83 @@ func (s *Scanner) initSecret() {
 	})
 }
 
-// probeIDs derives the (dcid, scid) pair for a target, allowing
-// stateless validation of the echoed IDs in responses.
-func (s *Scanner) probeIDs(addr netip.Addr) (dcid, scid quicwire.ConnID) {
+// probeSum computes the per-target HMAC into out without allocating:
+// bytes 0-7 are the probe's destination connection ID, bytes 8-15 its
+// source ID. The keyed MAC state is pooled because the send loop and
+// the response validator run concurrently.
+func (s *Scanner) probeSum(addr netip.Addr, out *[32]byte) {
 	s.initSecret()
-	mac := hmac.New(sha256.New, s.secret[:])
+	var st *macState
+	if v := s.macPool.Get(); v != nil {
+		st = v.(*macState)
+	} else {
+		st = &macState{mac: hmac.New(sha256.New, s.secret[:]), sum: make([]byte, 0, sha256.Size)}
+	}
+	st.mac.Reset()
 	b := addr.As16()
-	mac.Write(b[:])
-	sum := mac.Sum(nil)
-	return quicwire.ConnID(sum[0:8]), quicwire.ConnID(sum[8:16])
+	st.mac.Write(b[:])
+	st.sum = st.mac.Sum(st.sum[:0])
+	copy(out[:], st.sum)
+	s.macPool.Put(st)
+}
+
+// probeIDs derives the (dcid, scid) pair for a target, allowing
+// stateless validation of the echoed IDs in responses. The returned
+// IDs are freshly allocated; hot paths use probeSum directly.
+func (s *Scanner) probeIDs(addr netip.Addr) (dcid, scid quicwire.ConnID) {
+	var sum [32]byte
+	s.probeSum(addr, &sum)
+	return append(quicwire.ConnID(nil), sum[0:8]...), append(quicwire.ConnID(nil), sum[8:16]...)
+}
+
+// template lazily builds the probe wire image shared by every target:
+// header, forced-negotiation version, CID length prefixes, empty
+// token, length field, and padding. Only the CID bytes differ per
+// target.
+func (s *Scanner) template() []byte {
+	s.tmplOnce.Do(func() {
+		size := ProbeSize
+		if s.NoPadding {
+			size = 64
+		}
+		b := make([]byte, 0, size)
+		b = append(b, 0xc0|0x40) // long header, fixed bit, type Initial
+		v := quicwire.ForcedNegotiationVersion
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+		b = append(b, 8) // dcid length
+		b = append(b, make([]byte, 8)...)
+		b = append(b, 8) // scid length
+		b = append(b, make([]byte, 8)...)
+		b = append(b, 0) // empty token
+		// Length field covering the rest of the datagram.
+		rest := size - len(b) - 2
+		b = quicwire.AppendVarintWithLen(b, uint64(rest), 2)
+		b = append(b, make([]byte, size-len(b))...)
+		s.tmpl = b
+	})
+	return s.tmpl
+}
+
+// patchProbe writes addr's CIDs into b, a copy of the template, and
+// returns it. The send loop reuses one copy for every target — the
+// only per-probe work is the HMAC and two 8-byte copies.
+func (s *Scanner) patchProbe(b []byte, addr netip.Addr) []byte {
+	var sum [32]byte
+	s.probeSum(addr, &sum)
+	copy(b[probeDCIDOff:probeDCIDOff+8], sum[0:8])
+	copy(b[probeSCIDOff:probeSCIDOff+8], sum[8:16])
+	return b
 }
 
 // BuildProbe constructs the forced-VN Initial for a target. The
 // packet has a valid long header but deliberately unencrypted,
 // padding-only content: the server must respond to the unknown
 // version before parsing further (saving the scanner all Initial
-// cryptography, as in the paper's module).
+// cryptography, as in the paper's module). The returned slice is a
+// fresh copy of the shared template; the scan loop itself patches a
+// reused copy instead.
 func (s *Scanner) BuildProbe(addr netip.Addr) []byte {
-	dcid, scid := s.probeIDs(addr)
-	size := ProbeSize
-	if s.NoPadding {
-		size = 64
-	}
-	b := make([]byte, 0, size)
-	b = append(b, 0xc0|0x40) // long header, fixed bit, type Initial
-	v := quicwire.ForcedNegotiationVersion
-	b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-	b = append(b, byte(len(dcid)))
-	b = append(b, dcid...)
-	b = append(b, byte(len(scid)))
-	b = append(b, scid...)
-	b = append(b, 0) // empty token
-	// Length field covering the rest of the datagram.
-	rest := size - len(b) - 2
-	b = quicwire.AppendVarintWithLen(b, uint64(rest), 2)
-	for len(b) < size {
-		b = append(b, 0)
-	}
-	return b
+	return s.patchProbe(append([]byte(nil), s.template()...), addr)
 }
 
 // ValidateResponse checks a datagram received from addr and returns
@@ -171,10 +256,12 @@ func (s *Scanner) ValidateResponse(addr netip.Addr, pkt []byte) ([]quicwire.Vers
 	if err != nil || hdr.Type != quicwire.PacketVersionNegotiation {
 		return nil, false
 	}
-	dcid, scid := s.probeIDs(addr)
+	var sum [32]byte
+	s.probeSum(addr, &sum)
 	// Invariants: the response's destination is our source ID and its
-	// source is our destination ID.
-	if string(hdr.DstID) != string(scid) || string(hdr.SrcID) != string(dcid) {
+	// source is our destination ID. The conversions inside the
+	// comparisons do not allocate.
+	if string(hdr.DstID) != string(sum[8:16]) || string(hdr.SrcID) != string(sum[0:8]) {
 		return nil, false
 	}
 	return hdr.SupportedVersions, true
@@ -194,7 +281,9 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 	recvDone := make(chan struct{})
 	go func() {
 		defer close(recvDone)
-		buf := make([]byte, 65536)
+		bp := recvBufPool.Get().(*[]byte)
+		defer recvBufPool.Put(bp)
+		buf := *bp
 		for {
 			n, from, err := s.Conn.ReadFrom(buf)
 			if err != nil {
@@ -219,7 +308,7 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 			stats.Responses++
 			mResponses.Inc()
 			for _, v := range versions {
-				mVNByVersions.With(v.String()).Inc()
+				vnCounter(v).Inc()
 			}
 			if !seen[addr] {
 				seen[addr] = true
@@ -232,6 +321,13 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 	limiter := newRateLimiter(s.Rate)
 	defer limiter.stop()
 	mRateGauge.Set(int64(s.Rate))
+
+	// Per-pass reusable send state: one template copy whose CID bytes
+	// are patched per target, and one UDPAddr whose IP backing array
+	// is rewritten in place (WriteTo implementations do not retain
+	// their address argument).
+	probeBuf := append([]byte(nil), s.template()...)
+	dst := &net.UDPAddr{IP: make(net.IP, 0, 16), Port: int(s.port())}
 
 sendLoop:
 	for {
@@ -252,9 +348,15 @@ sendLoop:
 			if err := limiter.wait(ctx); err != nil {
 				break sendLoop
 			}
-			probe := s.BuildProbe(addr)
+			probe := s.patchProbe(probeBuf, addr)
 			dstAP := netip.AddrPortFrom(addr, s.port())
-			dst := net.UDPAddrFromAddrPort(dstAP)
+			if a := addr.Unmap(); a.Is4() {
+				a4 := a.As4()
+				dst.IP = append(dst.IP[:0], a4[:]...)
+			} else {
+				a16 := a.As16()
+				dst.IP = append(dst.IP[:0], a16[:]...)
+			}
 			if _, err := s.Conn.WriteTo(probe, dst); err != nil {
 				continue
 			}

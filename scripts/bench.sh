@@ -11,6 +11,12 @@
 # -benchmem / ReportMetric extras) plus, when both arms of
 # BenchmarkTelemetryOverhead ran, the computed overhead percentage of
 # the always-on metrics registry — the subsystem's <5% acceptance bar.
+#
+# Regression gate: unless SKIP_DIFF=1, the fresh numbers are diffed
+# against the most recent committed BENCH_*.json (as of HEAD). A >20%
+# regression in ns/op or allocs/op for any benchmark present in both
+# runs fails the script — this is how `make check` holds the hot-path
+# performance floor. Benchmarks new since the baseline are ignored.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -58,3 +64,46 @@ END {
 }' "$tmp" > "$OUT"
 
 echo "bench: wrote $OUT"
+
+# --- regression gate -------------------------------------------------
+# Compare against the newest BENCH_*.json committed at HEAD. Reading
+# the baseline out of git (not the working tree) keeps the comparison
+# honest while the current run's output file is being rewritten.
+[ "${SKIP_DIFF:-0}" = "1" ] && exit 0
+base=$(git ls-files 'BENCH_*.json' | sort | tail -1)
+[ -n "$base" ] || exit 0
+basetmp=$(mktemp)
+trap 'rm -f "$tmp" "$basetmp"' EXIT
+if ! git show "HEAD:$base" > "$basetmp" 2>/dev/null; then
+	echo "bench: no committed baseline readable at HEAD:$base; skipping diff"
+	exit 0
+fi
+
+echo "bench: diffing against HEAD:$base (fail threshold: +20% ns/op or allocs/op)"
+awk '
+function jget(line, key,    re) {
+	re = "\"" key "\": [0-9.]+"
+	if (match(line, re) == 0) return ""
+	return substr(line, RSTART + length(key) + 4, RLENGTH - length(key) - 4)
+}
+/"name":/ {
+	match($0, /"name": "[^"]*"/)
+	name = substr($0, RSTART + 9, RLENGTH - 10)
+	ns = jget($0, "ns_per_op"); al = jget($0, "allocs_per_op")
+	if (FILENAME == ARGV[1]) {
+		if (ns != "") bns[name] = ns
+		if (al != "") bal[name] = al
+	} else {
+		if (ns != "" && name in bns && ns + 0 > bns[name] * 1.20) {
+			printf "REGRESSION %s ns/op: %s -> %s (+%.1f%%)\n", name, bns[name], ns, 100 * (ns - bns[name]) / bns[name]
+			bad = 1
+		}
+		if (al != "" && name in bal && al + 0 > bal[name] * 1.20) {
+			printf "REGRESSION %s allocs/op: %s -> %s (+%.1f%%)\n", name, bal[name], al, 100 * (al - bal[name]) / bal[name]
+			bad = 1
+		}
+	}
+}
+END { exit bad }
+' "$basetmp" "$OUT" || { echo "bench: FAIL (regression vs $base)"; exit 1; }
+echo "bench: no regression vs $base"

@@ -14,4 +14,13 @@ go test -race ./...
 echo "==> fuzz smoke"
 FUZZTIME=${FUZZTIME:-5s} ./scripts/fuzz-smoke.sh
 
+echo "==> bench regression gate"
+# A quick pass over the allocation-sensitive benchmarks, diffed by
+# bench.sh against the newest committed BENCH_*.json. A >20% regression
+# in ns/op or allocs/op fails the build. Results land in a throwaway
+# file so `make check` never dirties the committed numbers.
+benchout=$(mktemp)
+BENCH='ScanSocketChurn|ZmapSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
+rm -f "$benchout"
+
 echo "check: OK"
