@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"quicscan/internal/analysis"
+	campaignpkg "quicscan/internal/campaign"
 	"quicscan/internal/certgen"
 	"quicscan/internal/core"
 	"quicscan/internal/experiments"
@@ -533,6 +534,49 @@ func BenchmarkZmapSweep(b *testing.B) {
 	b.StopTimer()
 	runtime.ReadMemStats(&after)
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*targetCount), "allocs/probe")
+}
+
+// BenchmarkCampaignSweep measures the campaign engine's orchestration
+// overhead per swept address — shard walk, rate gate (unlimited),
+// cursor bookkeeping, null sink — for a sharded campaign vs the
+// single-shard degenerate case. The two arms walk the same /18, so
+// their ns/op gap is the cost of coordination, not of the sweep.
+func BenchmarkCampaignSweep(b *testing.B) {
+	prefixes := []netip.Prefix{netip.MustParsePrefix("10.200.0.0/18")}
+	const total = 1 << 14
+	arm := func(b *testing.B, shards, workers int) {
+		b.ReportAllocs()
+		// The churn benchmarks that precede this one in the harness leave
+		// tens of MB of garbage behind; collect it so their GC debt isn't
+		// billed to the campaign orchestration loop.
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var probes atomic.Uint64
+			eng, err := campaignpkg.New(campaignpkg.Config{
+				Sweep:   zmapquic.NewSweep(uint64(i)+1, prefixes),
+				Shards:  shards,
+				Workers: workers,
+				Probe: func(context.Context, netip.Addr) error {
+					probes.Add(1)
+					return nil
+				},
+				Sink: campaignpkg.NullSink{},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			if probes.Load() != total {
+				b.Fatalf("covered %d of %d", probes.Load(), total)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*total), "ns/addr")
+	}
+	b.Run("sharded-8", func(b *testing.B) { arm(b, 8, 8) })
+	b.Run("single-shard", func(b *testing.B) { arm(b, 1, 1) })
 }
 
 // BenchmarkSweepPermutation measures the ZMap-style address

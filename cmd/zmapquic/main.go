@@ -3,23 +3,38 @@
 // reserved-version Initial packets and reports each responding
 // address with its advertised version set.
 //
-// Scan a prefix sweep (randomized order) or a hitlist file:
+// Prefix sweeps run through the sharded campaign engine: the
+// permutation is split into -shards deterministic residue classes,
+// paced under one global -rate budget, checkpointed to -checkpoint,
+// and streamed as NDJSON to -output. A killed campaign picks up
+// mid-sweep with -resume:
 //
-//	zmapquic -prefixes 192.0.2.0/24,198.51.100.0/24 -rate 15000
+//	zmapquic -prefixes 192.0.2.0/24,198.51.100.0/24 -rate 15000 \
+//	    -shards 8 -checkpoint sweep.ckpt -output sweep.ndjson -journal
+//	# ... killed ...
+//	zmapquic -prefixes 192.0.2.0/24,198.51.100.0/24 -rate 15000 \
+//	    -shards 8 -checkpoint sweep.ckpt -output sweep.ndjson -journal -resume
+//
+// Hitlist scans are unchanged:
+//
 //	zmapquic -hitlist v6addrs.txt
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/netip"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"quicscan/internal/campaign"
 	"quicscan/internal/pcap"
 	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
@@ -30,7 +45,7 @@ func main() {
 		prefixes  = flag.String("prefixes", "", "comma-separated IPv4 prefixes to sweep")
 		hitlist   = flag.String("hitlist", "", "file with one address per line")
 		port      = flag.Int("port", 443, "target UDP port")
-		rate      = flag.Int("rate", 10000, "probes per second (0 = unlimited)")
+		rate      = flag.Int("rate", 10000, "probes per second, shared across all workers (0 = unlimited)")
 		cooldown  = flag.Duration("cooldown", 3*time.Second, "response collection time after the last probe")
 		noPadding = flag.Bool("no-padding", false, "send unpadded probes (RFC-violating ablation)")
 		seed      = flag.Uint64("seed", 1, "sweep permutation seed")
@@ -38,6 +53,15 @@ func main() {
 		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
 		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
+
+		shards     = flag.Int("shards", 1, "total shard count of the campaign (-prefixes only)")
+		shardList  = flag.String("shard", "", `shard ids this process runs, e.g. "0,3,5" or "0-7" (default: all)`)
+		workers    = flag.Int("workers", 0, "concurrent shard workers (default: one per owned shard, capped at GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "campaign state file, atomically rewritten while sweeping")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint (and the -output journal) instead of starting over")
+		ckptEvery  = flag.Duration("checkpoint-every", 2*time.Second, "checkpoint write interval")
+		output     = flag.String("output", "-", `NDJSON result stream: "-" stdout, "none" discard, else a file path`)
+		journal    = flag.Bool("journal", false, "record every probe in -output, making -resume exact instead of checkpoint-granular")
 	)
 	flag.Parse()
 
@@ -73,7 +97,6 @@ func main() {
 	scanner := &zmapquic.Scanner{
 		Conn:      pc,
 		Port:      uint16(*port),
-		Rate:      *rate,
 		Cooldown:  *cooldown,
 		NoPadding: *noPadding,
 		Blocklist: blocklist,
@@ -92,7 +115,6 @@ func main() {
 	}
 
 	ctx := context.Background()
-	var results []zmapquic.Result
 	scanStart := time.Now()
 
 	switch {
@@ -105,34 +127,213 @@ func main() {
 			}
 			ps = append(ps, p)
 		}
-		sweep := zmapquic.NewSweep(*seed, ps)
-		fmt.Fprintf(os.Stderr, "zmapquic: sweeping %d addresses\n", sweep.Total())
-		done := make(chan struct{})
-		results, _, err = scanner.Scan(ctx, sweep.Addresses(done))
-		close(done)
+		runCampaign(ctx, scanner, ps, campaignFlags{
+			seed: *seed, rate: *rate, shards: *shards, shardList: *shardList,
+			workers: *workers, checkpoint: *checkpoint, resume: *resume,
+			ckptEvery: *ckptEvery, output: *output, journal: *journal,
+			cooldown: scanner.Cooldown,
+		})
 	case *hitlist != "":
+		scanner.Rate = *rate
 		addrs, rerr := readAddrs(*hitlist)
 		if rerr != nil {
 			fatal("%v", rerr)
 		}
-		results, _, err = scanner.ScanAddrs(ctx, addrs)
+		results, _, err := scanner.ScanAddrs(ctx, addrs)
+		if err != nil {
+			fatal("scan: %v", err)
+		}
+		for _, r := range results {
+			names := make([]string, len(r.Versions))
+			for i, v := range r.Versions {
+				names[i] = v.String()
+			}
+			fmt.Printf("%s\t%s\n", r.Addr, strings.Join(names, ","))
+		}
 	default:
 		fatal("one of -prefixes or -hitlist is required")
 	}
-	if err != nil {
-		fatal("scan: %v", err)
+
+	printSummary(scanStart)
+}
+
+// campaignFlags carries the sweep-mode flag values.
+type campaignFlags struct {
+	seed       uint64
+	rate       int
+	shards     int
+	shardList  string
+	workers    int
+	checkpoint string
+	resume     bool
+	ckptEvery  time.Duration
+	output     string
+	journal    bool
+	cooldown   time.Duration
+}
+
+// runCampaign drives a prefix sweep through the campaign engine: the
+// scanner supplies per-target probing and response validation, the
+// engine supplies sharding, pacing, checkpointing and the result
+// stream.
+func runCampaign(ctx context.Context, scanner *zmapquic.Scanner, ps []netip.Prefix, cf campaignFlags) {
+	sweep := zmapquic.NewSweep(cf.seed, ps)
+	fmt.Fprintf(os.Stderr, "zmapquic: sweeping %d addresses in %d shards\n", sweep.Total(), cf.shards)
+
+	// Result sink: stdout, discard, or a file (append mode on resume
+	// so the journal survives).
+	var (
+		sink    campaign.Sink
+		outFile string
+	)
+	switch cf.output {
+	case "none":
+		sink = campaign.NullSink{}
+	case "-", "":
+		sink = campaign.NewNDJSONSink(os.Stdout, 0, false)
+	default:
+		outFile = cf.output
+		mode := os.O_CREATE | os.O_WRONLY
+		if cf.resume {
+			mode |= os.O_APPEND
+		} else {
+			mode |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(cf.output, mode, 0o644)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		// Journaling exists to make resume exact, which requires each
+		// record to be durable before the cursor moves past it.
+		sink = campaign.NewNDJSONSink(f, 0, cf.journal)
 	}
 
-	for _, r := range results {
-		names := make([]string, len(r.Versions))
-		for i, v := range r.Versions {
-			names[i] = v.String()
-		}
-		fmt.Printf("%s\t%s\n", r.Addr, strings.Join(names, ","))
+	own, err := parseShardList(cf.shardList)
+	if err != nil {
+		fatal("-shard: %v", err)
 	}
-	// The summary reads the registry rather than the deprecated Stats
-	// return value: the snapshot covers all passes of this process and
-	// is the same data /metrics exports.
+	eng, err := campaign.New(campaign.Config{
+		Sweep:   sweep,
+		Shards:  cf.shards,
+		Own:     own,
+		Workers: cf.workers,
+		Rate:    cf.rate,
+		Probe: func(_ context.Context, addr netip.Addr) error {
+			_, err := scanner.SendProbe(addr)
+			return err
+		},
+		Sink:            sink,
+		Journal:         cf.journal,
+		CheckpointPath:  cf.checkpoint,
+		CheckpointEvery: cf.ckptEvery,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if cf.resume {
+		if cf.checkpoint == "" {
+			fatal("-resume requires -checkpoint")
+		}
+		cp, err := campaign.LoadCheckpoint(cf.checkpoint)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Fprintf(os.Stderr, "zmapquic: no checkpoint at %s, starting fresh\n", cf.checkpoint)
+		case err != nil:
+			fatal("%v", err)
+		default:
+			if err := eng.Restore(cp); err != nil {
+				fatal("%v", err)
+			}
+		}
+		// The journal closes the gap between the last checkpoint and
+		// the moment the previous run died.
+		if cf.journal && outFile != "" {
+			if f, err := os.Open(outFile); err == nil {
+				cursors, jerr := campaign.ReplayJournal(f)
+				f.Close()
+				if jerr != nil {
+					fatal("replaying journal %s: %v", outFile, jerr)
+				}
+				eng.AdvanceCursors(cursors)
+			}
+		}
+		p := eng.Progress()
+		fmt.Fprintf(os.Stderr, "zmapquic: resuming with %d/%d shards done, %d units behind us\n",
+			p.ShardsDone, p.Shards, p.Units)
+	}
+
+	// The collector validates responses for the whole campaign and
+	// streams first-sighting hits into the sink.
+	collectCtx, stopCollect := context.WithCancel(ctx)
+	collectDone := make(chan struct{})
+	hits := 0
+	go func() {
+		defer close(collectDone)
+		seen := make(map[netip.Addr]bool)
+		scanner.CollectResponses(collectCtx, func(r zmapquic.Result) {
+			if seen[r.Addr] {
+				return
+			}
+			seen[r.Addr] = true
+			hits++
+			names := make([]string, len(r.Versions))
+			for i, v := range r.Versions {
+				names[i] = v.String()
+			}
+			sink.Write(campaign.Record{Type: campaign.RecordHit, Shard: -1, Addr: r.Addr.String(), Versions: names})
+		})
+	}()
+
+	runErr := eng.Run(ctx)
+	time.Sleep(cf.cooldown)
+	stopCollect()
+	<-collectDone
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "zmapquic: closing sink: %v\n", err)
+	}
+	if runErr != nil {
+		fatal("campaign: %v", runErr)
+	}
+	p := eng.Progress()
+	fmt.Fprintf(os.Stderr, "zmapquic: campaign complete: %d shards, %d probes, %d hits\n",
+		p.Shards, p.Probes, hits)
+}
+
+// parseShardList parses "-shard 0,3,5" or "-shard 0-7" (ranges and
+// ids compose: "0-3,12") into shard ids; empty means every shard.
+func parseShardList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err1 := strconv.Atoi(strings.TrimSpace(lo))
+			b, err2 := strconv.Atoi(strings.TrimSpace(hi))
+			if err1 != nil || err2 != nil || a > b {
+				return nil, fmt.Errorf("shard range %q: want lo-hi with lo <= hi", part)
+			}
+			for id := a; id <= b; id++ {
+				out = append(out, id)
+			}
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("shard id %q: %v", part, err)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// printSummary reads the registry rather than per-scan stats: the
+// snapshot covers all passes of this process and is the same data
+// /metrics exports.
+func printSummary(scanStart time.Time) {
 	snap := telemetry.Default().Snapshot()
 	probes := snap.Counters["zmapquic_probes_sent_total"]
 	probeBytes := snap.Counters["zmapquic_probe_bytes_total"]
@@ -142,10 +343,10 @@ func main() {
 		probesPerSec = float64(probes) / elapsed.Seconds()
 		bytesPerProbe = float64(probeBytes) / float64(probes)
 	}
-	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d reprobes=%d bytes=%d responses=%d invalid=%d blocked=%d hits=%d\n",
+	fmt.Fprintf(os.Stderr, "zmapquic: probes=%d reprobes=%d bytes=%d responses=%d invalid=%d blocked=%d\n",
 		probes, snap.Counters["zmapquic_reprobes_total"],
 		probeBytes, snap.Counters["zmapquic_responses_total"],
-		snap.Counters["zmapquic_invalid_responses_total"], snap.Counters["zmapquic_blocked_total"], len(results))
+		snap.Counters["zmapquic_invalid_responses_total"], snap.Counters["zmapquic_blocked_total"])
 	fmt.Fprintf(os.Stderr, "zmapquic: %.0f probes/sec, %.1f bytes/probe over %s\n",
 		probesPerSec, bytesPerProbe, elapsed.Round(time.Millisecond))
 }

@@ -1,0 +1,11 @@
+//go:build !race
+
+package campaign
+
+// Coverage-proof sweep budget for the regular test build: a
+// multi-million-target prefix (4,194,304 addresses) containing every
+// IPv4 deployment of the simulated Internet.
+const (
+	coveragePrefix = "11.0.0.0/10"
+	coverageTotal  = 1 << 22
+)

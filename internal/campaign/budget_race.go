@@ -1,0 +1,11 @@
+//go:build race
+
+package campaign
+
+// Under the race detector every map/atomic touch costs ~10x; shrink
+// the coverage sweep to 262,144 addresses so `make check` stays fast
+// while the concurrency interleavings still get exercised.
+const (
+	coveragePrefix = "11.0.0.0/14"
+	coverageTotal  = 1 << 18
+)

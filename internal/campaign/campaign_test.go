@@ -1,0 +1,320 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/netip"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quicscan/internal/zmapquic"
+)
+
+// countingWriter tallies bytes and lines; safe because the sink's
+// single writer goroutine owns it.
+type countingWriter struct {
+	bytes int64
+	lines int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.bytes += int64(len(p))
+	w.lines += int64(bytes.Count(p, []byte{'\n'}))
+	return len(p), nil
+}
+
+// TestGlobalRateBudget is the -race concurrency proof: a coordinator,
+// 8 concurrent shard workers, a fast periodic checkpointer, and an
+// NDJSON sink all run together while the token bucket enforces one
+// campaign-wide probe budget. The observed rate must respect the
+// budget within tolerance — the workers share it, they do not each
+// get their own.
+func TestGlobalRateBudget(t *testing.T) {
+	const (
+		rate  = 8000
+		total = 4096 // 10.4.0.0/20
+	)
+	var probes atomic.Uint64
+	cw := &countingWriter{}
+	sink := NewNDJSONSink(cw, 256, false)
+	eng, err := New(Config{
+		Sweep:   zmapquic.NewSweep(5, []netip.Prefix{netip.MustParsePrefix("10.4.0.0/20")}),
+		Shards:  8,
+		Workers: 8,
+		Rate:    rate,
+		Probe: func(context.Context, netip.Addr) error {
+			probes.Add(1)
+			return nil
+		},
+		Sink:            sink,
+		Journal:         true,
+		CheckpointPath:  filepath.Join(t.TempDir(), "state.json"),
+		CheckpointEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := probes.Load(); got != total {
+		t.Fatalf("probes = %d, want %d", got, total)
+	}
+	if cw.lines != total {
+		t.Fatalf("journal lines = %d, want %d", cw.lines, total)
+	}
+	// The budget is a ceiling: 4096 probes at 8000/s need >=512ms no
+	// matter how many workers run (minus the initial burst allowance).
+	// The floor check is the one that proves sharing; the generous
+	// ceiling only catches a stuck bucket without flaking slow CI.
+	minElapsed := time.Duration(float64(total-rate/100) / rate * float64(time.Second))
+	if elapsed < minElapsed*3/4 {
+		t.Fatalf("campaign finished in %v: 8 workers outran the shared %d/s budget (floor %v)",
+			elapsed, rate, minElapsed)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("campaign took %v, rate limiter appears stuck", elapsed)
+	}
+	observed := float64(total) / elapsed.Seconds()
+	if observed > rate*1.35 {
+		t.Fatalf("observed rate %.0f/s exceeds budget %d/s beyond tolerance", observed, rate)
+	}
+}
+
+// slowWriter models a sink that drains slower than probing: each
+// flush pays a delay.
+type slowWriter struct {
+	delay time.Duration
+	n     atomic.Int64
+}
+
+func (w *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(w.delay)
+	w.n.Add(int64(len(p)))
+	return len(p), nil
+}
+
+// TestSinkBackpressureThrottlesProbing: with a bounded queue and a
+// slow writer, Write blocks the probe loop instead of buffering
+// without bound — the campaign takes at least the sink's drain time,
+// and memory stays bounded by the queue.
+func TestSinkBackpressureThrottlesProbing(t *testing.T) {
+	const total = 256 // 10.5.0.0/24
+	w := &slowWriter{delay: time.Millisecond}
+	sink := NewNDJSONSink(w, 8, true) // flush per record: every record pays the delay
+	eng, err := New(Config{
+		Sweep:   zmapquic.NewSweep(5, []netip.Prefix{netip.MustParsePrefix("10.5.0.0/24")}),
+		Shards:  4,
+		Workers: 4,
+		Probe:   func(context.Context, netip.Addr) error { return nil },
+		Sink:    sink,
+		Journal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Run returns only once every record is accepted; with an 8-deep
+	// queue at 1ms per drain, that is >= (total-queue)*1ms of probing
+	// time. Un-throttled probing would finish in microseconds.
+	if min := (total - 16) * time.Millisecond / 2; elapsed < min {
+		t.Fatalf("campaign finished in %v despite a ~%v sink drain time: backpressure not applied",
+			elapsed, total*time.Millisecond)
+	}
+}
+
+// TestSinkFailureAbortsCampaign: once the writer fails, probing must
+// stop with the error instead of continuing unrecorded.
+func TestSinkFailureAbortsCampaign(t *testing.T) {
+	failAfter := int64(1000)
+	fw := &failingWriter{failAt: failAfter}
+	sink := NewNDJSONSink(fw, 4, true)
+	var probes atomic.Uint64
+	eng, err := New(Config{
+		Sweep:   zmapquic.NewSweep(5, []netip.Prefix{netip.MustParsePrefix("10.6.0.0/18")}),
+		Shards:  4,
+		Workers: 4,
+		Probe: func(context.Context, netip.Addr) error {
+			probes.Add(1)
+			return nil
+		},
+		Sink:    sink,
+		Journal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := eng.Run(context.Background())
+	sink.Close()
+	if runErr == nil {
+		t.Fatal("Run succeeded despite sink failure")
+	}
+	if !strings.Contains(runErr.Error(), "disk full") {
+		t.Fatalf("Run error %v does not carry the sink failure", runErr)
+	}
+	if got, total := probes.Load(), uint64(16384); got >= total {
+		t.Fatalf("all %d probes sent despite sink failing after ~%d bytes", got, failAfter)
+	}
+}
+
+type failingWriter struct {
+	written int64
+	failAt  int64
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.written += int64(len(p))
+	if w.written > w.failAt {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestNDJSONSinkOutput(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf, 0, false)
+	recs := []Record{
+		{Type: RecordProbe, Shard: 3, Pos: 17, Addr: "10.0.0.1"},
+		{Type: RecordHit, Shard: -1, Addr: "10.0.0.1", Versions: []string{"draft-29", "v1"}},
+	}
+	for _, r := range recs {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"type":"probe","shard":3,"pos":17,"addr":"10.0.0.1"}` + "\n" +
+		`{"type":"hit","shard":-1,"pos":0,"addr":"10.0.0.1","versions":["draft-29","v1"]}` + "\n"
+	if buf.String() != want {
+		t.Fatalf("sink output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	// The hand-rolled encoding must replay through the stdlib decoder.
+	cursors, err := ReplayJournal(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cursors) != 1 || cursors[3] != 18 {
+		t.Fatalf("replay = %v, want shard 3 at cursor 18", cursors)
+	}
+	if err := sink.Write(Record{}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("write after close = %v, want ErrSinkClosed", err)
+	}
+}
+
+func TestReplayJournalSkipsDamage(t *testing.T) {
+	in := `{"type":"probe","shard":0,"pos":4,"addr":"10.0.0.4"}
+{"type":"hit","shard":-1,"pos":0,"addr":"10.0.0.4","versions":["v1"]}
+not json at all
+{"type":"probe","shard":1,"pos":9,"addr":"10.0.1.9"}
+{"type":"probe","shard":0,"pos":2,"addr":"10.0.0.2"}
+{"type":"probe","shard":0,"pos":` // torn final line: process died mid-write
+	cursors, err := ReplayJournal(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursors[0] != 5 || cursors[1] != 10 || len(cursors) != 2 {
+		t.Fatalf("replay = %v, want {0:5 1:10}", cursors)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sw := zmapquic.NewSweep(1, []netip.Prefix{netip.MustParsePrefix("10.0.0.0/28")})
+	probe := func(context.Context, netip.Addr) error { return nil }
+	for name, cfg := range map[string]Config{
+		"missing sweep":    {Probe: probe},
+		"missing probe":    {Sweep: sw},
+		"shard out of range": {Sweep: sw, Probe: probe, Shards: 4, Own: []int{4}},
+		"negative shard":   {Sweep: sw, Probe: probe, Shards: 4, Own: []int{-1}},
+		"duplicate shard":  {Sweep: sw, Probe: probe, Shards: 4, Own: []int{1, 1}},
+		"empty own":        {Sweep: sw, Probe: probe, Shards: 4, Own: []int{}},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", name)
+		}
+	}
+
+	eng, err := New(Config{Sweep: sw, Probe: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err == nil {
+		t.Error("second Run on the same engine must fail")
+	}
+}
+
+// TestMultiProcessShardSplit models two separate processes each
+// owning half the shards of one campaign, with separate checkpoint
+// files and sinks: together they must cover the sweep exactly once.
+func TestMultiProcessShardSplit(t *testing.T) {
+	prefixes := []netip.Prefix{netip.MustParsePrefix("10.7.0.0/20")}
+	var (
+		mu     sync.Mutex
+		counts = make(map[netip.Addr]int)
+	)
+	probe := func(_ context.Context, addr netip.Addr) error {
+		mu.Lock()
+		counts[addr]++
+		mu.Unlock()
+		return nil
+	}
+	var wg sync.WaitGroup
+	for proc, own := range [][]int{{0, 2, 4, 6}, {1, 3, 5, 7}} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng, err := New(Config{
+				Sweep:          zmapquic.NewSweep(77, prefixes),
+				Shards:         8,
+				Own:            own,
+				Probe:          probe,
+				CheckpointPath: filepath.Join(t.TempDir(), "state.json"),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := eng.Run(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+		_ = proc
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(counts) != 4096 {
+		t.Fatalf("two half-campaigns covered %d addresses, want 4096", len(counts))
+	}
+	for addr, c := range counts {
+		if c != 1 {
+			t.Fatalf("%v probed %d times across the two processes", addr, c)
+		}
+	}
+}
+
+var _ io.Writer = (*countingWriter)(nil)

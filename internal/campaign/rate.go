@@ -1,0 +1,65 @@
+package campaign
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// tokenBucket paces the whole campaign: every worker draws one token
+// per probe from this single bucket, so the configured rate is a
+// global budget no matter how many shards run concurrently — the
+// ZMap-style ethical ceiling, not a per-worker one. Refill is
+// computed from elapsed wall time on each draw; the burst allowance
+// (10ms of budget, at least one token) absorbs scheduler jitter
+// without letting the long-run rate drift.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns nil for rate <= 0: unlimited.
+func newTokenBucket(rate int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	burst := float64(rate) / 100
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: float64(rate), burst: burst, tokens: burst, last: time.Now()}
+}
+
+// wait blocks until a token is available or ctx is done. A nil bucket
+// never blocks.
+func (b *tokenBucket) wait(ctx context.Context) error {
+	if b == nil {
+		return nil
+	}
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return nil
+		}
+		sleep := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}

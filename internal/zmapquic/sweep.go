@@ -15,6 +15,7 @@ import (
 // four-round Feistel network over the index space, keyed by seed —
 // a bijection, so every address is visited exactly once.
 type Sweep struct {
+	seed     uint64
 	prefixes []netip.Prefix
 	starts   []uint64 // cumulative address counts
 	total    uint64
@@ -29,7 +30,7 @@ type Sweep struct {
 // 10.0.0.128/25 would probe the overlapped quarter twice, violating
 // the one-probe-per-address property the permutation exists for.
 func NewSweep(seed uint64, prefixes []netip.Prefix) *Sweep {
-	s := &Sweep{prefixes: normalizePrefixes(prefixes)}
+	s := &Sweep{seed: seed, prefixes: normalizePrefixes(prefixes)}
 	for _, p := range s.prefixes {
 		s.starts = append(s.starts, s.total)
 		s.total += uint64(1) << (32 - p.Bits())
@@ -51,6 +52,44 @@ func NewSweep(seed uint64, prefixes []netip.Prefix) *Sweep {
 
 // Total returns the number of addresses in the sweep.
 func (s *Sweep) Total() uint64 { return s.total }
+
+// Seed returns the permutation seed the sweep was built with.
+func (s *Sweep) Seed() uint64 { return s.seed }
+
+// Prefixes returns the normalized (masked, de-overlapped, sorted)
+// prefix list the sweep enumerates. The slice is a copy; equal
+// normalized lists plus equal seeds mean identical sweeps, which is
+// how the campaign layer fingerprints a checkpoint's identity.
+func (s *Sweep) Prefixes() []netip.Prefix {
+	return append([]netip.Prefix(nil), s.prefixes...)
+}
+
+// DomainSize returns the Feistel permutation domain: the smallest
+// power of four at or above Total. Positions in [0, DomainSize) map
+// through the permutation onto addresses, with cycle-walk skips for
+// positions whose permuted index falls outside the target space.
+// Sharding partitions this domain, not the address space: shard k of
+// N walks positions congruent to k mod N, and because the permutation
+// is a bijection the N walks together visit every address exactly
+// once.
+func (s *Sweep) DomainSize() uint64 { return s.size }
+
+// AddrAtPosition maps a raw permutation-domain position to its swept
+// address. ok is false for positions outside the domain and for
+// cycle-walk skips; callers iterating the domain simply move on. The
+// mapping is pure: equal (seed, prefixes, position) triples always
+// yield the same address, which makes a position cursor a complete
+// record of a shard's progress.
+func (s *Sweep) AddrAtPosition(x uint64) (netip.Addr, bool) {
+	if x >= s.size {
+		return netip.Addr{}, false
+	}
+	idx := s.permute(x)
+	if idx >= s.total {
+		return netip.Addr{}, false
+	}
+	return s.addrAt(idx)
+}
 
 // permute applies the Feistel network to an index in [0, size).
 func (s *Sweep) permute(x uint64) uint64 {

@@ -108,6 +108,17 @@ type Scanner struct {
 	// per target. Each scan pass patches them into its own copy.
 	tmpl     []byte
 	tmplOnce sync.Once
+
+	// sendPool recycles the per-call template copy and destination
+	// address of SendProbe, which unlike Scan's send loop may be
+	// entered from many campaign workers concurrently.
+	sendPool sync.Pool
+}
+
+// sendState is one pooled SendProbe scratch set.
+type sendState struct {
+	buf []byte
+	dst *net.UDPAddr
 }
 
 // Fixed probe layout offsets: 1 byte header, 4 bytes version, then
@@ -265,6 +276,87 @@ func (s *Scanner) ValidateResponse(addr netip.Addr, pkt []byte) ([]quicwire.Vers
 		return nil, false
 	}
 	return hdr.SupportedVersions, true
+}
+
+// SendProbe sends a single forced-VN probe to addr over the shared
+// socket. It is safe for concurrent use and is the campaign engine's
+// per-target hook: pacing, ordering and retries belong to the caller.
+// sent is false when the blocklist excluded the target; a nil error
+// with sent true means the datagram left the socket.
+func (s *Scanner) SendProbe(addr netip.Addr) (sent bool, err error) {
+	if s.Blocklist.Blocked(addr) {
+		mBlocked.Inc()
+		return false, nil
+	}
+	var st *sendState
+	if v := s.sendPool.Get(); v != nil {
+		st = v.(*sendState)
+	} else {
+		st = &sendState{
+			buf: append([]byte(nil), s.template()...),
+			dst: &net.UDPAddr{IP: make(net.IP, 0, 16), Port: int(s.port())},
+		}
+	}
+	probe := s.patchProbe(st.buf, addr)
+	if a := addr.Unmap(); a.Is4() {
+		a4 := a.As4()
+		st.dst.IP = append(st.dst.IP[:0], a4[:]...)
+	} else {
+		a16 := a.As16()
+		st.dst.IP = append(st.dst.IP[:0], a16[:]...)
+	}
+	_, err = s.Conn.WriteTo(probe, st.dst)
+	if err == nil {
+		if s.Capture != nil {
+			s.Capture.WriteUDP(time.Now(), s.localAddrPort(), netip.AddrPortFrom(addr, s.port()), probe)
+		}
+		mProbesSent.Inc()
+		mProbeBytes.Add(uint64(len(probe)))
+	}
+	s.sendPool.Put(st)
+	return err == nil, err
+}
+
+// CollectResponses runs the receive loop until ctx is done, invoking
+// fn for each validated Version Negotiation response (duplicates
+// included; deduplication is the caller's concern). It pairs with
+// SendProbe: a campaign keeps one collector alive for the whole run
+// while workers probe, instead of Scan's per-pass receiver.
+func (s *Scanner) CollectResponses(ctx context.Context, fn func(Result)) {
+	stop := context.AfterFunc(ctx, func() {
+		s.Conn.SetReadDeadline(time.Now())
+	})
+	defer stop()
+	bp := recvBufPool.Get().(*[]byte)
+	defer recvBufPool.Put(bp)
+	buf := *bp
+	for {
+		n, from, err := s.Conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				s.Conn.SetReadDeadline(time.Time{})
+			}
+			return
+		}
+		ap, err2 := toAddrPort(from)
+		if err2 != nil {
+			continue
+		}
+		addr := ap.Addr().Unmap()
+		if s.Capture != nil {
+			s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, ap.Port()), s.localAddrPort(), buf[:n])
+		}
+		versions, ok := s.ValidateResponse(addr, buf[:n])
+		if !ok {
+			mInvalidResp.Inc()
+			continue
+		}
+		mResponses.Inc()
+		for _, v := range versions {
+			vnCounter(v).Inc()
+		}
+		fn(Result{Addr: addr, Versions: versions})
+	}
 }
 
 // Scan probes every target and collects version negotiation

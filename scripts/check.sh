@@ -20,7 +20,7 @@ echo "==> bench regression gate"
 # in ns/op or allocs/op fails the build. Results land in a throwaway
 # file so `make check` never dirties the committed numbers.
 benchout=$(mktemp)
-BENCH='ScanSocketChurn|ZmapSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
+BENCH='ScanSocketChurn|ZmapSweep|CampaignSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
 rm -f "$benchout"
 
 echo "check: OK"

@@ -23,5 +23,6 @@ run_target ./internal/transportparams FuzzParse
 run_target ./internal/altsvc FuzzParse
 run_target ./internal/telemetry FuzzMetricName
 run_target ./internal/telemetry FuzzParseTrace
+run_target ./internal/campaign FuzzCheckpointParse
 
 echo "fuzz smoke: OK"

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	campaignpkg "quicscan/internal/campaign"
 	"quicscan/internal/core"
 	"quicscan/internal/internet"
 	"quicscan/internal/simnet"
@@ -58,6 +59,42 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	}
 	if len(zres) == 0 {
 		t.Fatal("discovery found nothing")
+	}
+
+	// Campaign layer: a small sharded sweep with checkpointing and an
+	// NDJSON sink, so the campaign_* family reaches the exporter too.
+	ckpt := t.TempDir() + "/campaign.json"
+	cpc, err := u.Net.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	czs := &zmapquic.Scanner{Conn: cpc}
+	sink := campaignpkg.NewNDJSONSink(io.Discard, 0, false)
+	eng, err := campaignpkg.New(campaignpkg.Config{
+		Sweep:  zmapquic.NewSweep(7, []netip.Prefix{netip.PrefixFrom(probeAddrs[0], 28).Masked()}),
+		Shards: 4,
+		Rate:   100000,
+		Probe: func(_ context.Context, addr netip.Addr) error {
+			_, perr := czs.SendProbe(addr)
+			return perr
+		},
+		Sink:            sink,
+		Journal:         true,
+		CheckpointPath:  ckpt,
+		CheckpointEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cpc.Close()
+	if p := eng.Progress(); p.ShardsDone != 4 || p.Probes != 16 {
+		t.Fatalf("campaign progress %+v, want 4 shards done and 16 probes", p)
 	}
 
 	// Stateful scan with tracing; one target sits behind a link that
@@ -156,6 +193,10 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"core_scan_outcomes_total{outcome=\"success\"} ",
 		"zmapquic_probes_sent_total ",
 		"simnet_delivered_total ",
+		"campaign_probes_total ",
+		"campaign_shards_completed_total ",
+		"campaign_checkpoint_writes_total ",
+		"campaign_sink_records_total ",
 	} {
 		idx := strings.Index(text, series)
 		if idx < 0 {
@@ -171,7 +212,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		}
 	}
 	fams := telemetry.Default().Snapshot().Families()
-	for _, want := range []string{"quic", "core", "zmapquic", "simnet"} {
+	for _, want := range []string{"quic", "core", "zmapquic", "simnet", "campaign"} {
 		found := false
 		for _, f := range fams {
 			if f == want {
