@@ -536,6 +536,91 @@ func BenchmarkZmapSweep(b *testing.B) {
 	b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N*targetCount), "allocs/probe")
 }
 
+// concealBatch hides a PacketConn's native BatchConn implementation so
+// netbatch.Wrap falls back to one WriteTo per datagram — the
+// pre-batching baseline for BenchmarkBatchSweep.
+type concealBatch struct{ pc net.PacketConn }
+
+func (c concealBatch) ReadFrom(p []byte) (int, net.Addr, error)  { return c.pc.ReadFrom(p) }
+func (c concealBatch) WriteTo(p []byte, a net.Addr) (int, error) { return c.pc.WriteTo(p, a) }
+func (c concealBatch) Close() error                              { return c.pc.Close() }
+func (c concealBatch) LocalAddr() net.Addr                       { return c.pc.LocalAddr() }
+func (c concealBatch) SetDeadline(t time.Time) error             { return c.pc.SetDeadline(t) }
+func (c concealBatch) SetReadDeadline(t time.Time) error         { return c.pc.SetReadDeadline(t) }
+func (c concealBatch) SetWriteDeadline(t time.Time) error        { return c.pc.SetWriteDeadline(t) }
+
+// BenchmarkBatchSweep prices batched socket I/O: the same 4096-target
+// sweep over the same simulated world, once through the conn's native
+// batch implementation (one WriteBatch per flushed batch — one
+// sendmmsg on real Linux sockets) and once with batching concealed so
+// every datagram pays its own write call. syscalls/probe counts batch
+// flushes vs per-datagram fallback writes from the telemetry registry,
+// the in-tree stand-in for sendmmsg vs sendto counts; probes/sec is
+// the sweep throughput including the response collection cooldown.
+func BenchmarkBatchSweep(b *testing.B) {
+	const targetCount = 4096
+	addrs := make([]netip.Addr, targetCount)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{100, 66, byte(i >> 8), byte(i)})
+	}
+	ctx := context.Background()
+
+	arm := func(b *testing.B, conceal bool, callCounter string) {
+		n := simnet.New(simnet.Config{})
+		defer n.Close()
+		n.SetSyntheticResponder(func(dst netip.AddrPort, payload []byte) [][]byte {
+			var hdr quicwire.Header
+			if _, err := quicwire.ParseLongHeaderInto(&hdr, payload); err != nil {
+				return nil
+			}
+			return [][]byte{quicwire.AppendVersionNegotiation(make([]byte, 0, 64), hdr.SrcID, hdr.DstID, 0, vnOnlyVersions)}
+		})
+		pc, err := n.DialUDP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var conn net.PacketConn = pc
+		if conceal {
+			conn = concealBatch{pc}
+		}
+		s := &zmapquic.Scanner{Conn: conn, Cooldown: 10 * time.Millisecond}
+
+		// Warm the template, pools, and responder before counting.
+		if _, _, err := s.ScanAddrs(ctx, addrs[:8]); err != nil {
+			b.Fatal(err)
+		}
+		snap := telemetry.Default().Snapshot()
+		callsBefore := snap.Counters[callCounter]
+		probesBefore := snap.Counters["zmapquic_probes_sent_total"]
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			results, st, err := s.ScanAddrs(ctx, addrs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != targetCount || st.ProbesSent != targetCount {
+				b.Fatalf("sweep incomplete: %d results, %d probes", len(results), st.ProbesSent)
+			}
+		}
+		elapsed := time.Since(start)
+		b.StopTimer()
+
+		snap = telemetry.Default().Snapshot()
+		probes := float64(snap.Counters["zmapquic_probes_sent_total"] - probesBefore)
+		calls := float64(snap.Counters[callCounter] - callsBefore)
+		if probes > 0 {
+			b.ReportMetric(calls/probes, "syscalls/probe")
+			b.ReportMetric(probes/elapsed.Seconds(), "probes/sec")
+		}
+	}
+
+	b.Run("batched", func(b *testing.B) { arm(b, false, "zmapquic_batch_flushes_total") })
+	b.Run("one-per-syscall", func(b *testing.B) { arm(b, true, "netbatch_fallback_writes_total") })
+}
+
 // BenchmarkCampaignSweep measures the campaign engine's orchestration
 // overhead per swept address — shard walk, rate gate (unlimited),
 // cursor bookkeeping, null sink — for a sharded campaign vs the

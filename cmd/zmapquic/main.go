@@ -32,9 +32,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"quicscan/internal/campaign"
+	"quicscan/internal/netbatch"
 	"quicscan/internal/pcap"
 	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
@@ -62,6 +64,7 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-every", 2*time.Second, "checkpoint write interval")
 		output     = flag.String("output", "-", `NDJSON result stream: "-" stdout, "none" discard, else a file path`)
 		journal    = flag.Bool("journal", false, "record every probe in -output, making -resume exact instead of checkpoint-granular")
+		recvSocks  = flag.Int("recv-sockets", 1, "SO_REUSEPORT-sharded receive sockets, one collector each (-prefixes only; Linux)")
 	)
 	flag.Parse()
 
@@ -88,14 +91,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "zmapquic: blocklist with %d prefixes loaded\n", blocklist.Len())
 	}
 
-	pc, err := net.ListenPacket("udp", ":0")
+	// Campaign mode may shard the receive path over an SO_REUSEPORT
+	// socket group (one collector per socket, the kernel hashing
+	// responses across them). Hitlist mode keeps a single socket: Scan
+	// reads only its own conn, and responses hashed to an undrained
+	// group socket would silently vanish.
+	nsock := *recvSocks
+	if *prefixes == "" || nsock < 1 {
+		nsock = 1
+	}
+	conns, err := netbatch.ListenReusePortUDP("udp", ":0", nsock)
 	if err != nil {
 		fatal("%v", err)
 	}
-	defer pc.Close()
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if len(conns) < nsock {
+		fmt.Fprintf(os.Stderr, "zmapquic: SO_REUSEPORT unavailable here, using one receive socket\n")
+	}
 
 	scanner := &zmapquic.Scanner{
-		Conn:      pc,
+		Conn:      conns[0],
 		Port:      uint16(*port),
 		Cooldown:  *cooldown,
 		NoPadding: *noPadding,
@@ -127,7 +146,7 @@ func main() {
 			}
 			ps = append(ps, p)
 		}
-		runCampaign(ctx, scanner, ps, campaignFlags{
+		runCampaign(ctx, scanner, conns, ps, campaignFlags{
 			seed: *seed, rate: *rate, shards: *shards, shardList: *shardList,
 			workers: *workers, checkpoint: *checkpoint, resume: *resume,
 			ckptEvery: *ckptEvery, output: *output, journal: *journal,
@@ -175,8 +194,10 @@ type campaignFlags struct {
 // runCampaign drives a prefix sweep through the campaign engine: the
 // scanner supplies per-target probing and response validation, the
 // engine supplies sharding, pacing, checkpointing and the result
-// stream.
-func runCampaign(ctx context.Context, scanner *zmapquic.Scanner, ps []netip.Prefix, cf campaignFlags) {
+// stream. conns is the receive socket group; every socket gets its
+// own collector because SO_REUSEPORT spreads responses across all of
+// them.
+func runCampaign(ctx context.Context, scanner *zmapquic.Scanner, conns []net.PacketConn, ps []netip.Prefix, cf campaignFlags) {
 	sweep := zmapquic.NewSweep(cf.seed, ps)
 	fmt.Fprintf(os.Stderr, "zmapquic: sweeping %d addresses in %d shards\n", sweep.Total(), cf.shards)
 
@@ -264,32 +285,42 @@ func runCampaign(ctx context.Context, scanner *zmapquic.Scanner, ps []netip.Pref
 			p.ShardsDone, p.Shards, p.Units)
 	}
 
-	// The collector validates responses for the whole campaign and
-	// streams first-sighting hits into the sink.
+	// The collectors validate responses for the whole campaign and
+	// stream first-sighting hits into the sink: one per receive socket,
+	// deduplicating through a shared seen set.
 	collectCtx, stopCollect := context.WithCancel(ctx)
-	collectDone := make(chan struct{})
-	hits := 0
-	go func() {
-		defer close(collectDone)
-		seen := make(map[netip.Addr]bool)
-		scanner.CollectResponses(collectCtx, func(r zmapquic.Result) {
-			if seen[r.Addr] {
-				return
-			}
-			seen[r.Addr] = true
-			hits++
-			names := make([]string, len(r.Versions))
-			for i, v := range r.Versions {
-				names[i] = v.String()
-			}
-			sink.Write(campaign.Record{Type: campaign.RecordHit, Shard: -1, Addr: r.Addr.String(), Versions: names})
-		})
-	}()
+	var (
+		collectWG sync.WaitGroup
+		hitMu     sync.Mutex
+		seen      = make(map[netip.Addr]bool)
+		hits      = 0
+	)
+	for _, conn := range conns {
+		collectWG.Add(1)
+		go func(conn net.PacketConn) {
+			defer collectWG.Done()
+			scanner.CollectResponsesOn(collectCtx, conn, func(r zmapquic.Result) {
+				hitMu.Lock()
+				if seen[r.Addr] {
+					hitMu.Unlock()
+					return
+				}
+				seen[r.Addr] = true
+				hits++
+				hitMu.Unlock()
+				names := make([]string, len(r.Versions))
+				for i, v := range r.Versions {
+					names[i] = v.String()
+				}
+				sink.Write(campaign.Record{Type: campaign.RecordHit, Shard: -1, Addr: r.Addr.String(), Versions: names})
+			})
+		}(conn)
+	}
 
 	runErr := eng.Run(ctx)
 	time.Sleep(cf.cooldown)
 	stopCollect()
-	<-collectDone
+	collectWG.Wait()
 	if err := sink.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "zmapquic: closing sink: %v\n", err)
 	}

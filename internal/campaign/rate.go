@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"quicscan/internal/zmapquic"
 )
 
 // tokenBucket paces the whole campaign: every worker draws one token
@@ -22,6 +24,13 @@ type tokenBucket struct {
 }
 
 // newTokenBucket returns nil for rate <= 0: unlimited.
+//
+// Unlike the integer rateLimiter zmapquic used to have, the float
+// refill here never truncates (1999/s accrues 1.999 tokens/ms), so
+// only the burst allowance needs capping: at very high rates 10ms of
+// budget could otherwise admit thousands of probes back-to-back, so
+// the burst is bounded to two send batches, matching the scan loop's
+// own limiter.
 func newTokenBucket(rate int) *tokenBucket {
 	if rate <= 0 {
 		return nil
@@ -29,6 +38,9 @@ func newTokenBucket(rate int) *tokenBucket {
 	burst := float64(rate) / 100
 	if burst < 1 {
 		burst = 1
+	}
+	if m := float64(2 * zmapquic.SendBatchSize); burst > m {
+		burst = m
 	}
 	return &tokenBucket{rate: float64(rate), burst: burst, tokens: burst, last: time.Now()}
 }

@@ -1,0 +1,10 @@
+//go:build !linux || (!amd64 && !arm64) || portable
+
+package netbatch
+
+import "net"
+
+// newSyscallBatchConn has no raw-syscall path off Linux (or under the
+// portable build tag): Wrap falls through to the one-datagram-per-call
+// loop, which is semantically identical.
+func newSyscallBatchConn(net.PacketConn) (BatchConn, bool) { return nil, false }

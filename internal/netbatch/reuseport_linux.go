@@ -1,0 +1,72 @@
+//go:build linux && !portable
+
+package netbatch
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, identical across Linux architectures.
+// The stdlib syscall package does not export it.
+const soReusePort = 0xf
+
+// reusePortControl flips SO_REUSEPORT on before bind so several
+// sockets can share one port, the kernel hashing inbound datagrams
+// across the group by 4-tuple.
+func reusePortControl(_, _ string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}
+
+// ListenReusePortUDP opens n UDP sockets sharing one local port via
+// SO_REUSEPORT — the per-CPU receive sharding high-rate scanners use:
+// each worker owns a kernel receive queue instead of all contending
+// on one. The first socket binds address (which may use port 0); the
+// rest bind the concrete port it was assigned. All n sockets receive
+// a share of the inbound traffic, so every one of them needs a
+// reader. Closing the returned conns is the caller's job.
+func ListenReusePortUDP(network, address string, n int) ([]net.PacketConn, error) {
+	if n <= 0 {
+		n = 1
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	ctx := context.Background()
+	first, err := lc.ListenPacket(ctx, network, address)
+	if err != nil {
+		return nil, err
+	}
+	conns := []net.PacketConn{first}
+	if n == 1 {
+		return conns, nil
+	}
+	la, ok := first.LocalAddr().(*net.UDPAddr)
+	if !ok {
+		first.Close()
+		return nil, fmt.Errorf("netbatch: unexpected local address %T", first.LocalAddr())
+	}
+	host, _, err := net.SplitHostPort(address)
+	if err != nil {
+		host = ""
+	}
+	bound := net.JoinHostPort(host, strconv.Itoa(la.Port))
+	for i := 1; i < n; i++ {
+		pc, err := lc.ListenPacket(ctx, network, bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("netbatch: REUSEPORT socket %d/%d: %w", i+1, n, err)
+		}
+		conns = append(conns, pc)
+	}
+	return conns, nil
+}

@@ -1,0 +1,77 @@
+//go:build linux && !portable
+
+package netbatch_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"quicscan/internal/netbatch"
+)
+
+// TestListenReusePortGroup opens a four-socket SO_REUSEPORT group and
+// checks the invariant the campaign wiring depends on: every datagram
+// sent at the shared port arrives on exactly one group socket, and
+// nothing is lost as long as all sockets are drained.
+func TestListenReusePortGroup(t *testing.T) {
+	conns, err := netbatch.ListenReusePortUDP("udp4", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Skipf("SO_REUSEPORT group unavailable: %v", err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	if len(conns) != 4 {
+		t.Fatalf("got %d sockets, want 4", len(conns))
+	}
+	port := conns[0].LocalAddr().(*net.UDPAddr).Port
+	for i, c := range conns {
+		if p := c.LocalAddr().(*net.UDPAddr).Port; p != port {
+			t.Fatalf("socket %d bound port %d, others %d", i, p, port)
+		}
+	}
+
+	// The kernel hashes by 4-tuple, so spread the sends over many
+	// source sockets to hit several receive queues.
+	dst := conns[0].LocalAddr()
+	const sources, perSource = 16, 4
+	for s := 0; s < sources; s++ {
+		src, err := net.ListenPacket("udp4", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perSource; i++ {
+			if _, err := src.WriteTo(fmt.Appendf(nil, "reuseport-%02d-%d", s, i), dst); err != nil {
+				src.Close()
+				t.Fatal(err)
+			}
+		}
+		src.Close()
+	}
+
+	// Drain every group socket: the total must account for every
+	// datagram exactly once.
+	seen := make(map[string]bool)
+	buf := make([]byte, 64)
+	for _, c := range conns {
+		c.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		for {
+			n, _, err := c.ReadFrom(buf)
+			if err != nil {
+				break
+			}
+			p := string(buf[:n])
+			if seen[p] {
+				t.Errorf("payload %q arrived on two sockets", p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) != sources*perSource {
+		t.Errorf("group received %d datagrams, want %d", len(seen), sources*perSource)
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !linux || portable
+
+package netbatch
+
+import "net"
+
+// ListenReusePortUDP degrades to a single socket where SO_REUSEPORT
+// sharding is unavailable: the caller still gets a working conn slice,
+// just without per-CPU receive queues. Callers that care can compare
+// len(result) against n.
+func ListenReusePortUDP(network, address string, n int) ([]net.PacketConn, error) {
+	pc, err := net.ListenPacket(network, address)
+	if err != nil {
+		return nil, err
+	}
+	return []net.PacketConn{pc}, nil
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64 && !portable
+
+package netbatch
+
+// Syscall numbers the frozen stdlib syscall package predates or
+// omits on this architecture (sendmmsg landed in kernel 3.0).
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

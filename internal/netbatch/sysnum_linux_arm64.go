@@ -1,0 +1,9 @@
+//go:build linux && arm64 && !portable
+
+package netbatch
+
+// Syscall numbers for the asm-generic table arm64 uses.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

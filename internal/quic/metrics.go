@@ -20,6 +20,7 @@ var (
 	mRoutingMiss  = telemetry.Default().Counter("quic_routing_misses_total")
 	mLatePackets  = telemetry.Default().Counter("quic_late_packets_total")
 	mDropped      = telemetry.Default().Counter("quic_dropped_datagrams_total")
+	mReadTimeouts = telemetry.Default().Counter("quic_read_timeouts_total")
 	mActiveConns  = telemetry.Default().Gauge("quic_active_conns")
 
 	mRetransmits = telemetry.Default().Counter("quic_retransmits_total")

@@ -1,0 +1,60 @@
+package quic
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"quicscan/internal/simnet"
+	"quicscan/internal/telemetry"
+)
+
+// TestReadLoopTimeoutBound covers the stray-deadline case: the
+// Transport sets no deadlines on its sockets, so an expired deadline
+// left by whoever handed the socket in used to make readLoop spin
+// forever re-reading the same timeout. The loop must now count a
+// bounded run of timeouts in quic_read_timeouts_total and exit.
+func TestReadLoopTimeoutBound(t *testing.T) {
+	readTimeouts := func() uint64 {
+		return telemetry.Default().Snapshot().Counters["quic_read_timeouts_total"]
+	}
+	before := readTimeouts()
+
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	pc, err := n.ListenUDP(netip.MustParseAddrPort("198.18.0.99:40000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc.SetReadDeadline(time.Now().Add(-time.Hour))
+
+	tr, err := NewTransport(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for readTimeouts()-before < maxConsecutiveReadTimeouts {
+		if time.Now().After(deadline) {
+			t.Fatalf("read loop counted only %d timeouts in 5s, want %d",
+				readTimeouts()-before, maxConsecutiveReadTimeouts)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The loop has hit the bound; it must stop counting (i.e. it
+	// exited rather than continuing to spin).
+	time.Sleep(50 * time.Millisecond)
+	if got := readTimeouts() - before; got != maxConsecutiveReadTimeouts {
+		t.Errorf("read loop counted %d timeouts after the bound, want exactly %d",
+			got, maxConsecutiveReadTimeouts)
+	}
+
+	// Close must not hang on the already-exited loop.
+	done := make(chan struct{})
+	go func() { tr.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Transport.Close hung after the read loop exited")
+	}
+}

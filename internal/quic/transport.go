@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quicscan/internal/netbatch"
 	"quicscan/internal/quicwire"
 )
 
@@ -306,29 +307,64 @@ func (t *Transport) expireDrainingLocked(now time.Time) {
 	}
 }
 
-// readLoop receives datagrams on one pooled socket and routes them.
-// It leases a single read buffer for its lifetime: route delivers
-// synchronously and handleDatagram must not retain the datagram, so
-// the buffer can be refilled immediately — no per-packet allocation
-// or copy.
+// readBatchSize is how many datagrams one read-loop wakeup may drain
+// from a pooled socket — one recvmmsg on Linux instead of one syscall
+// per datagram, which matters under the bursty arrival pattern a
+// handshake campaign produces.
+const readBatchSize = 16
+
+// maxConsecutiveReadTimeouts bounds deadline-expiry retries in
+// readLoop. The transport sets no deadlines on its own sockets, so an
+// expired deadline left by whoever handed the socket in used to make
+// the loop spin forever; it now tolerates a bounded run of timeouts
+// (counted in quic_read_timeouts_total) before concluding the socket
+// is unusable and exiting.
+const maxConsecutiveReadTimeouts = 64
+
+// readLoop receives datagrams on one pooled socket, a batch per
+// wakeup, and routes them. It leases its read buffers for its
+// lifetime: route delivers synchronously and handleDatagram must not
+// retain the datagram, so buffers are refilled immediately — no
+// per-packet allocation or copy.
 func (t *Transport) readLoop(pc net.PacketConn) {
 	defer t.readWG.Done()
-	bp := leaseReadBuf()
-	defer releaseReadBuf(bp)
-	buf := *bp
-	// hdr is this loop's long-header parse scratch; route fills it per
-	// datagram and nothing downstream retains it.
+	bc, _ := netbatch.Wrap(pc)
+	var msgs [readBatchSize]netbatch.Message
+	var leased [readBatchSize]*[]byte
+	for i := range msgs {
+		leased[i] = leaseReadBuf()
+		msgs[i].Buf = *leased[i]
+	}
+	defer func() {
+		for i := range leased {
+			releaseReadBuf(leased[i])
+		}
+	}()
+	// from is the scratch address handed to route, rewritten in place
+	// per datagram; route does not retain it. hdr is the long-header
+	// parse scratch, likewise per-datagram.
+	from := &net.UDPAddr{IP: make(net.IP, 0, 16)}
 	var hdr quicwire.Header
+	timeouts := 0
 	for {
-		n, from, err := pc.ReadFrom(buf)
+		got, err := bc.ReadBatch(msgs[:])
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue // stray deadline; the transport sets none itself
+				mReadTimeouts.Inc()
+				timeouts++
+				if timeouts >= maxConsecutiveReadTimeouts {
+					return
+				}
+				continue
 			}
 			return
 		}
-		t.route(&hdr, buf[:n], from)
+		timeouts = 0
+		for i := 0; i < got; i++ {
+			netbatch.SetUDPAddr(from, msgs[i].Addr)
+			t.route(&hdr, msgs[i].Buf[:msgs[i].N], from)
+		}
 	}
 }
 

@@ -24,6 +24,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"quicscan/internal/netbatch"
 )
 
 // datagram is one in-flight UDP payload.
@@ -398,6 +400,109 @@ func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 	}
 	pc.net.deliver(pc.addr, to, p)
 	return len(p), nil
+}
+
+// PacketConn implements netbatch.BatchConn natively, so netbatch.Wrap
+// selects it (KindNative) and batched scanners exercise the same code
+// shape over simnet as over real sockets.
+var _ netbatch.BatchConn = (*PacketConn)(nil)
+
+// WriteBatch implements netbatch.BatchConn. The simulated network has
+// no syscall boundary, so batching is one closed check followed by
+// sequential delivery. Delivering in message order keeps the seeded
+// impairment rng draws identical to a WriteTo loop, which the
+// fallback-parity tests rely on.
+func (pc *PacketConn) WriteBatch(ms []netbatch.Message) (int, error) {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	pc.mu.Unlock()
+	for i := range ms {
+		pc.net.deliver(pc.addr, ms[i].Addr, ms[i].Buf[:ms[i].N])
+	}
+	return len(ms), nil
+}
+
+// errEmptyBuf rejects ReadBatch messages with nowhere to put data,
+// before any datagram is consumed.
+var errEmptyBuf = errors.New("simnet: ReadBatch message has empty Buf")
+
+// ReadBatch implements netbatch.BatchConn: a deadline-aware blocking
+// wait for the first datagram (same semantics as ReadFrom), then a
+// non-blocking drain of whatever else is queued, up to len(ms).
+func (pc *PacketConn) ReadBatch(ms []netbatch.Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	for i := range ms {
+		if len(ms[i].Buf) == 0 {
+			return 0, errEmptyBuf
+		}
+	}
+	for {
+		pc.mu.Lock()
+		if pc.closed {
+			pc.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		deadline := pc.deadline
+		dlCh := pc.dlCh
+		pc.mu.Unlock()
+
+		var timer *time.Timer
+		var timeout <-chan time.Time
+		if !deadline.IsZero() {
+			d := time.Until(deadline)
+			if d <= 0 {
+				return 0, &timeoutError{}
+			}
+			timer = time.NewTimer(d)
+			timeout = timer.C
+		}
+
+		select {
+		case d, ok := <-pc.queue:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return 0, net.ErrClosed
+			}
+			fillMessage(&ms[0], d)
+			got := 1
+			for got < len(ms) {
+				select {
+				case d, ok := <-pc.queue:
+					if !ok {
+						return got, nil
+					}
+					fillMessage(&ms[got], d)
+					got++
+				default:
+					return got, nil
+				}
+			}
+			return got, nil
+		case <-timeout:
+			return 0, &timeoutError{}
+		case <-dlCh:
+			// Deadline changed; re-evaluate.
+			if timer != nil {
+				timer.Stop()
+			}
+		}
+	}
+}
+
+// fillMessage moves one delivered datagram into a batch slot,
+// truncating oversized payloads exactly like real UDP and releasing
+// the pooled payload.
+func fillMessage(m *netbatch.Message, d datagram) {
+	m.N = copy(m.Buf, d.payload)
+	releasePayload(d.payload)
+	m.Addr = d.from
 }
 
 // Close implements net.PacketConn.

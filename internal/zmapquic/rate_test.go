@@ -1,0 +1,101 @@
+package zmapquic
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterPacing verifies the limiter's long-run pacing,
+// deliberately over rates that are not multiples of 1000/s: the old
+// refill truncated to whole tokens per 1ms tick, so 1999/s paced at
+// 1000/s (half the configured budget) and anything below 1000/s hit a
+// different rounding path entirely. The wall-clock owed-token refill
+// must keep every rate within ±5%.
+func TestRateLimiterPacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive pacing test")
+	}
+	cases := []struct {
+		rate int
+		n    int // timed tokens, sized for a ~0.7-0.9s window
+	}{
+		{3, 2},
+		{250, 200},
+		{999, 800},
+		{1001, 800},
+		{1999, 1600},
+		{50000, 40000},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("rate=%d", tc.rate), func(t *testing.T) {
+			expected := time.Duration(float64(tc.n) / float64(tc.rate) * float64(time.Second))
+			tol := expected / 20 // ±5%
+			var elapsed time.Duration
+			// Two attempts: the refill is wall-clock math, but this
+			// process can itself be descheduled mid-measurement; only a
+			// repeatable deviation is a pacing bug.
+			for attempt := 0; attempt < 2; attempt++ {
+				rl := newRateLimiter(tc.rate)
+				// The first token is untimed: it absorbs limiter
+				// start-up, and the bucket begins empty.
+				if err := rl.wait(ctx); err != nil {
+					rl.stop()
+					t.Fatal(err)
+				}
+				start := time.Now()
+				for i := 0; i < tc.n; i++ {
+					if err := rl.wait(ctx); err != nil {
+						rl.stop()
+						t.Fatal(err)
+					}
+				}
+				elapsed = time.Since(start)
+				rl.stop()
+				if d := elapsed - expected; -tol <= d && d <= tol {
+					return
+				}
+			}
+			t.Errorf("rate %d: %d tokens took %v, want %v ±%v",
+				tc.rate, tc.n, elapsed, expected, tol)
+		})
+	}
+}
+
+// TestRateLimiterBurstCap pins the bucket capacity: rate/10+1 for
+// modest rates (unchanged behavior), but never more than two full
+// send batches — at 50000/s the old bound banked 5001 probes for a
+// stalled consumer to blast out at once.
+func TestRateLimiterBurstCap(t *testing.T) {
+	rl := newRateLimiter(100)
+	defer rl.stop()
+	if got, want := cap(rl.tokens), 100/10+1; got != want {
+		t.Errorf("rate 100: bucket capacity = %d, want %d", got, want)
+	}
+	rl2 := newRateLimiter(50000)
+	defer rl2.stop()
+	if got, want := cap(rl2.tokens), 2*SendBatchSize; got != want {
+		t.Errorf("rate 50000: bucket capacity = %d, want %d", got, want)
+	}
+}
+
+// TestRateLimiterTryWait covers the non-blocking path the batched
+// send loop uses to decide between filling and flushing.
+func TestRateLimiterTryWait(t *testing.T) {
+	unlimited := newRateLimiter(0)
+	if !unlimited.tryWait() {
+		t.Error("unlimited limiter refused a token")
+	}
+	rl := newRateLimiter(5)
+	defer rl.stop()
+	// Freshly built, the bucket is empty: tryWait must not block and
+	// must report pacing pressure.
+	if rl.tryWait() {
+		t.Error("tryWait succeeded on an empty bucket")
+	}
+	if err := rl.wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

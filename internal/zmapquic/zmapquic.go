@@ -15,12 +15,14 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"errors"
 	"hash"
 	"net"
 	"net/netip"
 	"sync"
 	"time"
 
+	"quicscan/internal/netbatch"
 	"quicscan/internal/pcap"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/telemetry"
@@ -38,6 +40,16 @@ var (
 	mBlocked      = telemetry.Default().Counter("zmapquic_blocked_total")
 	mRateGauge    = telemetry.Default().Gauge("zmapquic_probe_rate_limit")
 	mVNByVersions = telemetry.Default().CounterVec("zmapquic_vn_responses_total", "version")
+
+	// Batch-path metrics: flushes counts WriteBatch calls (one syscall
+	// each on the Linux path), batchProbes the datagrams they carried,
+	// so batchProbes/flushes is the realized amortization. fallback
+	// counts flushes that went through a one-datagram-per-call conn.
+	mBatchFlushes  = telemetry.Default().Counter("zmapquic_batch_flushes_total")
+	mBatchProbes   = telemetry.Default().Counter("zmapquic_batch_probes_total")
+	mBatchFallback = telemetry.Default().Counter("zmapquic_batch_fallback_total")
+	mBatchSize     = telemetry.Default().Histogram("zmapquic_batch_size",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
 )
 
 // vnVersionCounters caches the per-version child counters so the
@@ -64,6 +76,18 @@ var recvBufPool = sync.Pool{
 // ProbeSize is the padded probe size: the 1200-byte minimum Initial
 // datagram (RFC 9000, Section 14.1).
 const ProbeSize = quicwire.MinInitialSize
+
+// SendBatchSize is how many templated probes the scan loop hands to
+// one WriteBatch (one sendmmsg on Linux). 64 matches what high-rate
+// UDP scanners use: large enough to amortize the kernel crossing to
+// noise, small enough that a batch is a sub-millisecond pacing quantum
+// even at modest rates.
+const SendBatchSize = 64
+
+// recvBatchSize is how many responses one ReadBatch may drain. The
+// response rate is a fraction of the probe rate (the paper saw ~2.3%
+// of the IPv4 sweep answer), so the read batch stays smaller.
+const recvBatchSize = 32
 
 // Scanner performs stateless version negotiation scans.
 type Scanner struct {
@@ -109,17 +133,75 @@ type Scanner struct {
 	tmpl     []byte
 	tmplOnce sync.Once
 
-	// sendPool recycles the per-call template copy and destination
-	// address of SendProbe, which unlike Scan's send loop may be
-	// entered from many campaign workers concurrently.
-	sendPool sync.Pool
+	// depositMu guards cpend, the batch currently accumulating probes
+	// deposited by concurrent SendProbe callers. flushMu serializes
+	// the actual WriteBatch calls and guards every pendingBatch's
+	// flushed/sent/err fields; holding it while another caller's
+	// flush is in flight is what combines deposits into one syscall.
+	depositMu sync.Mutex
+	cpend     *pendingBatch
+	flushMu   sync.Mutex
+
+	// bc is the batch view of Conn, resolved once: native for simnet,
+	// sendmmsg/recvmmsg for real Linux sockets, a WriteTo loop
+	// elsewhere.
+	bc        netbatch.BatchConn
+	bcKind    netbatch.Kind
+	batchOnce sync.Once
+
+	// batchPool recycles send batches — SendBatchSize template copies
+	// plus their message headers — across scan passes.
+	batchPool sync.Pool
 }
 
-// sendState is one pooled SendProbe scratch set.
-type sendState struct {
-	buf []byte
-	dst *net.UDPAddr
+// batchConn resolves (and caches) the batch implementation for Conn.
+func (s *Scanner) batchConn() (netbatch.BatchConn, netbatch.Kind) {
+	s.batchOnce.Do(func() {
+		s.bc, s.bcKind = netbatch.Wrap(s.Conn)
+	})
+	return s.bc, s.bcKind
 }
+
+// sendBatch is one pooled set of probe buffers: each message's Buf is
+// a private template copy whose CID bytes patchProbe rewrites per
+// target, so a full batch needs zero allocations and zero template
+// re-copies.
+type sendBatch struct {
+	msgs [SendBatchSize]netbatch.Message
+}
+
+func (s *Scanner) leaseSendBatch() *sendBatch {
+	if v := s.batchPool.Get(); v != nil {
+		return v.(*sendBatch)
+	}
+	b := &sendBatch{}
+	tmpl := s.template()
+	for i := range b.msgs {
+		b.msgs[i].Buf = append([]byte(nil), tmpl...)
+		b.msgs[i].N = len(tmpl)
+	}
+	return b
+}
+
+func (s *Scanner) releaseSendBatch(b *sendBatch) { s.batchPool.Put(b) }
+
+// pendingBatch is one combined send in flight: probes deposited by
+// concurrent SendProbe callers, flushed together by whichever caller
+// reaches flushMu first. n is guarded by depositMu until the batch is
+// detached; flushed, sent and err are guarded by flushMu.
+type pendingBatch struct {
+	b       *sendBatch
+	n       int
+	flushed bool
+	sent    int
+	err     error
+}
+
+// errProbeDropped reports a probe that was buffered into a combined
+// batch whose send stopped short of its slot. Per the WriteBatch
+// contract a partial send always carries the cause, so this only
+// backstops a conn that violates it.
+var errProbeDropped = errors.New("zmapquic: probe dropped in partial batch send")
 
 // Fixed probe layout offsets: 1 byte header, 4 bytes version, then
 // length-prefixed 8-byte destination and source connection IDs.
@@ -283,79 +365,156 @@ func (s *Scanner) ValidateResponse(addr netip.Addr, pkt []byte) ([]quicwire.Vers
 // per-target hook: pacing, ordering and retries belong to the caller.
 // sent is false when the blocklist excluded the target; a nil error
 // with sent true means the datagram left the socket.
+//
+// Concurrent callers are flat-combined: each deposits its probe into
+// a shared pending batch, then serializes on the flush lock. Whoever
+// acquires it first flushes every probe deposited so far in one
+// WriteBatch (one sendmmsg on Linux); callers queued behind it find
+// their probe already sent and return without a syscall. A lone
+// caller degenerates to a batch of one — no added latency — and the
+// return still means the datagram left the socket, so campaign
+// journal/resume semantics are unchanged.
 func (s *Scanner) SendProbe(addr netip.Addr) (sent bool, err error) {
 	if s.Blocklist.Blocked(addr) {
 		mBlocked.Inc()
 		return false, nil
 	}
-	var st *sendState
-	if v := s.sendPool.Get(); v != nil {
-		st = v.(*sendState)
-	} else {
-		st = &sendState{
-			buf: append([]byte(nil), s.template()...),
-			dst: &net.UDPAddr{IP: make(net.IP, 0, 16), Port: int(s.port())},
+	bc, kind := s.batchConn()
+	// The HMAC runs outside the deposit lock; only the two 8-byte CID
+	// copies happen inside it.
+	var sum [32]byte
+	s.probeSum(addr, &sum)
+
+	s.depositMu.Lock()
+	if s.cpend == nil {
+		s.cpend = &pendingBatch{b: s.leaseSendBatch()}
+	}
+	p := s.cpend
+	slot := p.n
+	m := &p.b.msgs[slot]
+	copy(m.Buf[probeDCIDOff:probeDCIDOff+8], sum[0:8])
+	copy(m.Buf[probeSCIDOff:probeSCIDOff+8], sum[8:16])
+	m.Addr = netip.AddrPortFrom(addr.Unmap(), s.port())
+	p.n++
+	if p.n == SendBatchSize {
+		s.cpend = nil
+	}
+	s.depositMu.Unlock()
+
+	s.flushMu.Lock()
+	if !p.flushed {
+		// Detach the batch so no deposit lands after the count is read.
+		s.depositMu.Lock()
+		if s.cpend == p {
+			s.cpend = nil
 		}
-	}
-	probe := s.patchProbe(st.buf, addr)
-	if a := addr.Unmap(); a.Is4() {
-		a4 := a.As4()
-		st.dst.IP = append(st.dst.IP[:0], a4[:]...)
-	} else {
-		a16 := a.As16()
-		st.dst.IP = append(st.dst.IP[:0], a16[:]...)
-	}
-	_, err = s.Conn.WriteTo(probe, st.dst)
-	if err == nil {
-		if s.Capture != nil {
-			s.Capture.WriteUDP(time.Now(), s.localAddrPort(), netip.AddrPortFrom(addr, s.port()), probe)
+		n := p.n
+		s.depositMu.Unlock()
+		p.sent, p.err = bc.WriteBatch(p.b.msgs[:n])
+		p.flushed = true
+		mBatchFlushes.Inc()
+		mBatchSize.Observe(float64(n))
+		if kind == netbatch.KindFallback {
+			mBatchFallback.Inc()
 		}
-		mProbesSent.Inc()
-		mProbeBytes.Add(uint64(len(probe)))
+		var sentBytes uint64
+		for i := 0; i < p.sent; i++ {
+			mm := &p.b.msgs[i]
+			if s.Capture != nil {
+				s.Capture.WriteUDP(time.Now(), s.localAddrPort(), mm.Addr, mm.Buf[:mm.N])
+			}
+			sentBytes += uint64(mm.N)
+		}
+		if p.sent > 0 {
+			mBatchProbes.Add(uint64(p.sent))
+			mProbesSent.Add(uint64(p.sent))
+			mProbeBytes.Add(sentBytes)
+		}
+		s.releaseSendBatch(p.b)
+		p.b = nil
 	}
-	s.sendPool.Put(st)
-	return err == nil, err
+	ok := slot < p.sent
+	ferr := p.err
+	s.flushMu.Unlock()
+
+	if ok {
+		return true, nil
+	}
+	if ferr == nil {
+		ferr = errProbeDropped
+	}
+	return false, ferr
 }
 
-// CollectResponses runs the receive loop until ctx is done, invoking
-// fn for each validated Version Negotiation response (duplicates
-// included; deduplication is the caller's concern). It pairs with
-// SendProbe: a campaign keeps one collector alive for the whole run
-// while workers probe, instead of Scan's per-pass receiver.
-func (s *Scanner) CollectResponses(ctx context.Context, fn func(Result)) {
-	stop := context.AfterFunc(ctx, func() {
-		s.Conn.SetReadDeadline(time.Now())
-	})
-	defer stop()
-	bp := recvBufPool.Get().(*[]byte)
-	defer recvBufPool.Put(bp)
-	buf := *bp
+// collectLoop drains conn in batches (one recvmmsg per wakeup on
+// Linux), invoking handle for every received datagram until a read
+// error — deadline expiry or close — ends the loop. Buffers come from
+// recvBufPool and are reused across reads; handle must not retain pkt.
+func (s *Scanner) collectLoop(conn net.PacketConn, handle func(from netip.AddrPort, pkt []byte)) {
+	bc, _ := netbatch.Wrap(conn)
+	var msgs [recvBatchSize]netbatch.Message
+	var leased [recvBatchSize]*[]byte
+	for i := range msgs {
+		leased[i] = recvBufPool.Get().(*[]byte)
+		msgs[i].Buf = *leased[i]
+	}
+	defer func() {
+		for i := range leased {
+			recvBufPool.Put(leased[i])
+		}
+	}()
 	for {
-		n, from, err := s.Conn.ReadFrom(buf)
+		got, err := bc.ReadBatch(msgs[:])
 		if err != nil {
-			if ctx.Err() != nil {
-				s.Conn.SetReadDeadline(time.Time{})
-			}
 			return
 		}
-		ap, err2 := toAddrPort(from)
-		if err2 != nil {
-			continue
+		for i := 0; i < got; i++ {
+			if !msgs[i].Addr.IsValid() {
+				continue
+			}
+			handle(msgs[i].Addr, msgs[i].Buf[:msgs[i].N])
 		}
-		addr := ap.Addr().Unmap()
+	}
+}
+
+// CollectResponses runs the receive loop on the Scanner's own socket
+// until ctx is done, invoking fn for each validated Version
+// Negotiation response (duplicates included; deduplication is the
+// caller's concern). It pairs with SendProbe: a campaign keeps one
+// collector alive for the whole run while workers probe, instead of
+// Scan's per-pass receiver.
+func (s *Scanner) CollectResponses(ctx context.Context, fn func(Result)) {
+	s.CollectResponsesOn(ctx, s.Conn, fn)
+}
+
+// CollectResponsesOn is CollectResponses over an explicit socket. With
+// SO_REUSEPORT-sharded receive sockets the kernel hashes inbound
+// datagrams across the whole group, so a campaign must run one
+// collector per group socket; conn must share the probe socket's
+// port or validation will reject everything it reads.
+func (s *Scanner) CollectResponsesOn(ctx context.Context, conn net.PacketConn, fn func(Result)) {
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetReadDeadline(time.Now())
+	})
+	defer stop()
+	s.collectLoop(conn, func(from netip.AddrPort, pkt []byte) {
+		addr := from.Addr().Unmap()
 		if s.Capture != nil {
-			s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, ap.Port()), s.localAddrPort(), buf[:n])
+			s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, from.Port()), s.localAddrPort(), pkt)
 		}
-		versions, ok := s.ValidateResponse(addr, buf[:n])
+		versions, ok := s.ValidateResponse(addr, pkt)
 		if !ok {
 			mInvalidResp.Inc()
-			continue
+			return
 		}
 		mResponses.Inc()
 		for _, v := range versions {
 			vnCounter(v).Inc()
 		}
 		fn(Result{Addr: addr, Versions: versions})
+	})
+	if ctx.Err() != nil {
+		conn.SetReadDeadline(time.Time{})
 	}
 }
 
@@ -373,29 +532,18 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 	recvDone := make(chan struct{})
 	go func() {
 		defer close(recvDone)
-		bp := recvBufPool.Get().(*[]byte)
-		defer recvBufPool.Put(bp)
-		buf := *bp
-		for {
-			n, from, err := s.Conn.ReadFrom(buf)
-			if err != nil {
-				return
-			}
-			ap, err2 := toAddrPort(from)
-			if err2 != nil {
-				continue
-			}
-			addr := ap.Addr().Unmap()
+		s.collectLoop(s.Conn, func(from netip.AddrPort, pkt []byte) {
+			addr := from.Addr().Unmap()
 			if s.Capture != nil {
-				s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, ap.Port()), s.localAddrPort(), buf[:n])
+				s.Capture.WriteUDP(time.Now(), netip.AddrPortFrom(addr, from.Port()), s.localAddrPort(), pkt)
 			}
-			versions, ok := s.ValidateResponse(addr, buf[:n])
+			versions, ok := s.ValidateResponse(addr, pkt)
 			mu.Lock()
+			defer mu.Unlock()
 			if !ok {
 				stats.InvalidResponses++
 				mInvalidResp.Inc()
-				mu.Unlock()
-				continue
+				return
 			}
 			stats.Responses++
 			mResponses.Inc()
@@ -406,63 +554,112 @@ func (s *Scanner) Scan(ctx context.Context, targets <-chan netip.Addr) ([]Result
 				seen[addr] = true
 				results = append(results, Result{Addr: addr, Versions: versions})
 			}
-			mu.Unlock()
-		}
+		})
 	}()
 
 	limiter := newRateLimiter(s.Rate)
 	defer limiter.stop()
 	mRateGauge.Set(int64(s.Rate))
 
-	// Per-pass reusable send state: one template copy whose CID bytes
-	// are patched per target, and one UDPAddr whose IP backing array
-	// is rewritten in place (WriteTo implementations do not retain
-	// their address argument).
-	probeBuf := append([]byte(nil), s.template()...)
-	dst := &net.UDPAddr{IP: make(net.IP, 0, 16), Port: int(s.port())}
+	// Per-pass send state: a pooled batch of pre-templated probes. Each
+	// admitted target is patched into the next slot; a full batch — or
+	// a lull in targets or tokens — flushes everything in one
+	// WriteBatch (one sendmmsg on the Linux path).
+	bc, kind := s.batchConn()
+	batch := s.leaseSendBatch()
+	defer s.releaseSendBatch(batch)
+	pending := 0
+
+	// flush hands the buffered probes to the conn, then accounts for
+	// what actually left. A partial send drops the tail: probe loss is
+	// inherent to the scan model (silent targets are re-probed by later
+	// passes), so a mid-batch send failure is treated like network
+	// loss, not retried.
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		sent, _ := bc.WriteBatch(batch.msgs[:pending])
+		mBatchFlushes.Inc()
+		mBatchSize.Observe(float64(pending))
+		if kind == netbatch.KindFallback {
+			mBatchFallback.Inc()
+		}
+		var sentBytes int64
+		for i := 0; i < sent; i++ {
+			m := &batch.msgs[i]
+			if s.Capture != nil {
+				s.Capture.WriteUDP(time.Now(), s.localAddrPort(), m.Addr, m.Buf[:m.N])
+			}
+			sentBytes += int64(m.N)
+		}
+		if sent > 0 {
+			mu.Lock()
+			stats.ProbesSent += sent
+			stats.BytesSent += sentBytes
+			mu.Unlock()
+			mBatchProbes.Add(uint64(sent))
+			mProbesSent.Add(uint64(sent))
+			mProbeBytes.Add(uint64(sentBytes))
+		}
+		pending = 0
+	}
 
 sendLoop:
 	for {
-		select {
-		case <-ctx.Done():
-			break sendLoop
-		case addr, ok := <-targets:
-			if !ok {
+		var addr netip.Addr
+		if pending == 0 {
+			select {
+			case <-ctx.Done():
 				break sendLoop
+			case a, ok := <-targets:
+				if !ok {
+					break sendLoop
+				}
+				addr = a
 			}
-			if s.Blocklist.Blocked(addr) {
-				mu.Lock()
-				stats.Blocked++
-				mu.Unlock()
-				mBlocked.Inc()
+		} else {
+			// With probes buffered, never block while holding them: if
+			// no target is immediately ready, flush first.
+			select {
+			case <-ctx.Done():
+				break sendLoop
+			case a, ok := <-targets:
+				if !ok {
+					break sendLoop
+				}
+				addr = a
+			default:
+				flush()
 				continue
 			}
+		}
+		if s.Blocklist.Blocked(addr) {
+			mu.Lock()
+			stats.Blocked++
+			mu.Unlock()
+			mBlocked.Inc()
+			continue
+		}
+		if !limiter.tryWait() {
+			// Out of tokens: flush what is buffered so pacing gaps never
+			// sit on already-admitted probes, then block for the next
+			// token.
+			flush()
 			if err := limiter.wait(ctx); err != nil {
 				break sendLoop
 			}
-			probe := s.patchProbe(probeBuf, addr)
-			dstAP := netip.AddrPortFrom(addr, s.port())
-			if a := addr.Unmap(); a.Is4() {
-				a4 := a.As4()
-				dst.IP = append(dst.IP[:0], a4[:]...)
-			} else {
-				a16 := a.As16()
-				dst.IP = append(dst.IP[:0], a16[:]...)
-			}
-			if _, err := s.Conn.WriteTo(probe, dst); err != nil {
-				continue
-			}
-			if s.Capture != nil {
-				s.Capture.WriteUDP(time.Now(), s.localAddrPort(), dstAP, probe)
-			}
-			mu.Lock()
-			stats.ProbesSent++
-			stats.BytesSent += int64(len(probe))
-			mu.Unlock()
-			mProbesSent.Inc()
-			mProbeBytes.Add(uint64(len(probe)))
+		}
+		m := &batch.msgs[pending]
+		s.patchProbe(m.Buf[:m.N], addr)
+		m.Addr = netip.AddrPortFrom(addr, s.port())
+		pending++
+		if pending == SendBatchSize {
+			flush()
 		}
 	}
+	// Targets buffered at loop exit consumed rate tokens; send them.
+	flush()
 
 	// Cooldown, then stop the receiver by deadline.
 	select {
@@ -522,8 +719,12 @@ func (s *Scanner) ScanAddrs(ctx context.Context, addrs []netip.Addr) ([]Result, 
 }
 
 // addrChan feeds a slice into a channel, stopping on ctx cancellation.
+// The channel is buffered well ahead of one send batch so the batched
+// send loop sees a backlog and fills whole batches, instead of
+// flushing one or two probes every time the producer goroutine gets
+// descheduled between sends.
 func addrChan(ctx context.Context, addrs []netip.Addr) <-chan netip.Addr {
-	ch := make(chan netip.Addr)
+	ch := make(chan netip.Addr, 4*SendBatchSize)
 	go func() {
 		defer close(ch)
 		for _, a := range addrs {
@@ -553,6 +754,14 @@ func toAddrPort(addr net.Addr) (netip.AddrPort, error) {
 }
 
 // rateLimiter is a token bucket paced at rate/sec with small bursts.
+// Refill is computed from the wall clock rather than by counting fixed
+// per-tick quanta: an integer tokens-per-tick refill truncates (1999/s
+// over 1ms ticks became 1 token/tick = 1000/s, off by half), while the
+// owed count below paces fractional per-tick rates exactly and is
+// immune to delayed or coalesced ticker deliveries. The bucket holds
+// at most min(rate/10+1, 2*SendBatchSize) tokens: enough burst to ride
+// out a brief consumer stall, never more than two full send batches in
+// one go.
 type rateLimiter struct {
 	ticker *time.Ticker
 	tokens chan struct{}
@@ -563,34 +772,60 @@ func newRateLimiter(rate int) *rateLimiter {
 	if rate <= 0 {
 		return &rateLimiter{}
 	}
-	// Refill in 1ms quanta to keep pacing smooth at high rates.
-	perTick := rate / 1000
+	burst := rate/10 + 1
+	if m := 2 * SendBatchSize; burst > m {
+		burst = m
+	}
+	// 1ms refill quanta keep pacing smooth at high rates; below
+	// 1000/s the tick stretches to one expected token per tick.
 	interval := time.Millisecond
-	if perTick == 0 {
-		perTick = 1
+	if rate < 1000 {
 		interval = time.Second / time.Duration(rate)
 	}
 	rl := &rateLimiter{
 		ticker: time.NewTicker(interval),
-		tokens: make(chan struct{}, rate/10+1),
+		tokens: make(chan struct{}, burst),
 		done:   make(chan struct{}),
 	}
 	go func() {
+		start := time.Now()
+		var issued uint64
 		for {
 			select {
 			case <-rl.done:
 				return
 			case <-rl.ticker.C:
-				for i := 0; i < perTick; i++ {
+				// The 1e-6 nudge keeps a token due exactly at a tick
+				// boundary from being deferred a whole tick by float
+				// truncation (interval is 1/rate rounded down to 1ns).
+				owed := uint64(time.Since(start).Seconds()*float64(rate) + 1e-6)
+				for ; issued < owed; issued++ {
 					select {
 					case rl.tokens <- struct{}{}:
 					default:
+						// Bucket full: the token is forfeited, capping
+						// what a stalled consumer can bank.
 					}
 				}
 			}
 		}
 	}()
 	return rl
+}
+
+// tryWait takes a token if one is immediately available. The batched
+// send loop uses it to distinguish "keep filling the batch" from
+// "pacing-limited: flush, then block in wait".
+func (rl *rateLimiter) tryWait() bool {
+	if rl.tokens == nil {
+		return true
+	}
+	select {
+	case <-rl.tokens:
+		return true
+	default:
+		return false
+	}
 }
 
 func (rl *rateLimiter) wait(ctx context.Context) error {

@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> cross-build (darwin: exercises the portable netbatch fallback)"
+# The batched-I/O layer has a Linux syscall path and a portable
+# fallback; building for darwin (and the portable tag on linux) keeps
+# the non-Linux half of the build matrix from rotting.
+GOOS=darwin GOARCH=arm64 go build ./...
+go build -tags portable ./...
+
 echo "==> go test -race ./..."
 go test -race ./...
 
@@ -20,7 +27,7 @@ echo "==> bench regression gate"
 # in ns/op or allocs/op fails the build. Results land in a throwaway
 # file so `make check` never dirties the committed numbers.
 benchout=$(mktemp)
-BENCH='ScanSocketChurn|ZmapSweep|CampaignSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
+BENCH='ScanSocketChurn|ZmapSweep|BatchSweep|CampaignSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
 rm -f "$benchout"
 
 echo "check: OK"
