@@ -28,12 +28,14 @@ func main() {
 		quick   = flag.Bool("quick", false, "skip the weekly series, only the headline week")
 		out     = flag.String("out", "", "write the report to a file instead of stdout")
 		tsvDir  = flag.String("tsv", "", "also export machine-readable TSV datasets to this directory")
+		fprint  = flag.Bool("fingerprint", false, "also run the behavioral fingerprinting suite over active deployments (FINGERPRINT artifact)")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{
-		Spec:       internet.Spec{Seed: *seed, Scale: *scale, ASScale: *asScale},
-		SkipWeekly: *quick,
+		Spec:        internet.Spec{Seed: *seed, Scale: *scale, ASScale: *asScale},
+		SkipWeekly:  *quick,
+		Fingerprint: *fprint,
 	}
 	if *weeks != "" {
 		for _, w := range strings.Split(*weeks, ",") {

@@ -17,14 +17,17 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/netip"
 	"os"
 	"strings"
 	"time"
 
 	"quicscan/internal/core"
+	"quicscan/internal/fingerprint"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/telemetry"
 )
@@ -45,6 +48,7 @@ func main() {
 		retryWait   = flag.Duration("retry-backoff", 200*time.Millisecond, "initial pause before a re-probe (doubles per attempt)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address (e.g. 127.0.0.1:9090)")
 		qlogDir     = flag.String("qlog-dir", "", "write one qlog-style JSON-seq trace file per connection into this directory")
+		fprint      = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts instead of scanning")
 	)
 	flag.Parse()
 
@@ -73,6 +77,11 @@ func main() {
 		}
 	default:
 		fatal("one of -addr or -targets is required")
+	}
+
+	if *fprint {
+		runFingerprint(targets, *workers, *output)
+		return
 	}
 
 	scanner := &core.Scanner{
@@ -118,6 +127,61 @@ func main() {
 
 	sum := core.Summarize(results)
 	fmt.Fprintf(os.Stderr, "qscanner: %s\n", sum)
+}
+
+// runFingerprint runs the behavioral scenario suite against every
+// target and emits one JSON verdict per line: observed response
+// matrix, classified implementation, and match distance.
+func runFingerprint(targets []core.Target, workers int, output string) {
+	p := &fingerprint.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    workers,
+	}
+	fpTargets := make([]fingerprint.Target, len(targets))
+	for i, t := range targets {
+		port := t.Port
+		if port == 0 {
+			port = 443
+		}
+		fpTargets[i] = fingerprint.Target{
+			Addr: netip.AddrPortFrom(t.Addr, port),
+			SNI:  t.SNI,
+		}
+	}
+	results := p.FingerprintAll(context.Background(), fpTargets)
+
+	out := os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	exact := 0
+	for _, r := range results {
+		if r.Verdict.Exact {
+			exact++
+		}
+		enc.Encode(struct {
+			Addr     string `json:"addr"`
+			SNI      string `json:"sni,omitempty"`
+			Matrix   string `json:"matrix"`
+			Verdict  string `json:"verdict"`
+			Distance int    `json:"distance"`
+			Exact    bool   `json:"exact"`
+		}{
+			Addr:     r.Target.Addr.Addr().String(),
+			SNI:      r.Target.SNI,
+			Matrix:   r.Matrix.String(),
+			Verdict:  r.Verdict.Name,
+			Distance: r.Verdict.Distance,
+			Exact:    r.Verdict.Exact,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "qscanner: fingerprinted %d targets, %d exact matches\n", len(results), exact)
 }
 
 func readTargets(path string, port uint16) ([]core.Target, error) {

@@ -26,7 +26,6 @@ import (
 	"quicscan/internal/h3"
 	"quicscan/internal/internet"
 	"quicscan/internal/quic"
-	"quicscan/internal/quicwire"
 	"quicscan/internal/telemetry"
 )
 
@@ -85,7 +84,7 @@ func main() {
 		if len(d.Domains) > 0 {
 			sni = d.Domains[0]
 		}
-		if err := serveDeployment(ca, d, port, sni, tracer); err != nil {
+		if err := serveDeployment(ca, d, port, sni, u.Spec.Week, tracer); err != nil {
 			fatal("serving %s on port %d: %v", d.Provider, port, err)
 		}
 		versions := ""
@@ -106,7 +105,7 @@ func main() {
 	<-sig
 }
 
-func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni string, tracer *telemetry.Tracer) error {
+func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni string, week int, tracer *telemetry.Tracer) error {
 	names := []string{"localhost"}
 	if sni != "" {
 		names = append(names, sni)
@@ -116,27 +115,19 @@ func serveDeployment(ca *certgen.CA, d *internet.Deployment, port int, sni strin
 		return err
 	}
 
-	// QUIC + HTTP/3.
+	// QUIC + HTTP/3. ListenerSetup realizes the full profile —
+	// version sets, SNI policy, and the implementation quirks the
+	// fingerprint engine classifies — so `qscanner -fingerprint`
+	// works against quicsim exactly as against the in-memory universe.
 	pc, err := net.ListenPacket("udp", fmt.Sprintf("127.0.0.1:%d", port))
 	if err != nil {
 		return err
 	}
-	cfg := &quic.Config{
-		TLS: &tls.Config{
-			Certificates: []tls.Certificate{cert},
-			NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29"},
-		},
-		TransportParams: d.TPConfig,
-		Versions:        []quicwire.Version{quicwire.VersionDraft29, quicwire.Version1},
-		Tracer:          tracer,
-	}
-	policy := quic.ServerPolicy{
-		AdvertisedVersions: d.Profile.VersionSet(18),
-	}
-	if d.Behavior == internet.BehaviorRequireSNI {
-		policy.RequireSNI = func(s string) bool { return s != "" }
-		policy.CloseCode = quicwire.CryptoError0x128
-	}
+	cfg, policy := d.ListenerSetup(week, &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29"},
+	})
+	cfg.Tracer = tracer
 	l, err := quic.Listen(pc, cfg, policy)
 	if err != nil {
 		return err

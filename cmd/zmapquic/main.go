@@ -23,6 +23,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"quicscan/internal/campaign"
+	"quicscan/internal/fingerprint"
 	"quicscan/internal/netbatch"
 	"quicscan/internal/pcap"
 	"quicscan/internal/telemetry"
@@ -54,6 +56,7 @@ func main() {
 		blockfile = flag.String("blocklist", "", "file with excluded prefixes, one per line")
 		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
 		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
+		fprint    = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts (-hitlist only)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
 
 		shards     = flag.Int("shards", 1, "total shard count of the campaign (-prefixes only)")
@@ -158,6 +161,11 @@ func main() {
 		if rerr != nil {
 			fatal("%v", rerr)
 		}
+		if *fprint {
+			runFingerprint(ctx, addrs, uint16(*port))
+			printSummary(scanStart)
+			return
+		}
 		results, _, err := scanner.ScanAddrs(ctx, addrs)
 		if err != nil {
 			fatal("scan: %v", err)
@@ -174,6 +182,37 @@ func main() {
 	}
 
 	printSummary(scanStart)
+}
+
+// runFingerprint runs the behavioral scenario suite against every
+// hitlist address and prints one JSON verdict per line: the observed
+// response matrix, the classified implementation, and the match
+// distance.
+func runFingerprint(ctx context.Context, addrs []netip.Addr, port uint16) {
+	p := &fingerprint.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    32,
+	}
+	targets := make([]fingerprint.Target, len(addrs))
+	for i, a := range addrs {
+		targets[i] = fingerprint.Target{Addr: netip.AddrPortFrom(a, port)}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range p.FingerprintAll(ctx, targets) {
+		enc.Encode(struct {
+			Addr     string `json:"addr"`
+			Matrix   string `json:"matrix"`
+			Verdict  string `json:"verdict"`
+			Distance int    `json:"distance"`
+			Exact    bool   `json:"exact"`
+		}{
+			Addr:     r.Target.Addr.Addr().String(),
+			Matrix:   r.Matrix.String(),
+			Verdict:  r.Verdict.Name,
+			Distance: r.Verdict.Distance,
+			Exact:    r.Verdict.Exact,
+		})
+	}
 }
 
 // campaignFlags carries the sweep-mode flag values.

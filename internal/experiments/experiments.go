@@ -19,6 +19,7 @@ import (
 	"quicscan/internal/core"
 	"quicscan/internal/dnsclient"
 	"quicscan/internal/dnswire"
+	"quicscan/internal/fingerprint"
 	"quicscan/internal/internet"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/tlsscan"
@@ -41,6 +42,10 @@ type Options struct {
 	// SkipWeekly skips the weekly stateless series (Figures 3,5,6,7),
 	// keeping only week 18.
 	SkipWeekly bool
+	// Fingerprint runs the behavioral implementation-fingerprinting
+	// scenario suite over every active deployment of the headline week
+	// and records the resulting confusion matrix.
+	Fingerprint bool
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +109,10 @@ type Report struct {
 	PaddedResponses, UnpaddedResponses int
 	UnpaddedTopASShare                 float64
 
+	// Behavioral fingerprinting confusion matrix (ground truth x
+	// verdict), nil unless Options.Fingerprint was set.
+	FingerprintConfusion *fingerprint.ConfusionMatrix
+
 	// Universe of the headline week (kept for AS lookups).
 	Universe *internet.Universe
 }
@@ -145,6 +154,12 @@ func Run(opts Options) (*Report, error) {
 			if err := report.runPaddingAblation(u, wd); err != nil {
 				u.Stop()
 				return nil, err
+			}
+			if opts.Fingerprint {
+				if err := report.runFingerprint(u); err != nil {
+					u.Stop()
+					return nil, err
+				}
 			}
 			report.Universe = u
 			// Keep the headline universe running until Close.

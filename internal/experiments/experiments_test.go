@@ -19,9 +19,10 @@ func smallCampaign(t *testing.T) *Report {
 		return cachedReport
 	}
 	opts := Options{
-		Spec:    internet.Spec{Seed: 7, Scale: 8192, ASScale: 48, DomainScale: 32768},
-		Weeks:   []int{9, 18},
-		Workers: 64,
+		Spec:        internet.Spec{Seed: 7, Scale: 8192, ASScale: 48, DomainScale: 32768},
+		Weeks:       []int{9, 18},
+		Workers:     64,
+		Fingerprint: true,
 	}
 	rep, err := Run(opts)
 	if err != nil {
@@ -184,6 +185,31 @@ func TestCampaignTable6EdgePOPs(t *testing.T) {
 	out := r.Render("T6")
 	if !strings.Contains(out, "proxygen-bolt") {
 		t.Errorf("Table 6 lacks proxygen-bolt:\n%s", out)
+	}
+}
+
+func TestCampaignFingerprintConfusion(t *testing.T) {
+	r := smallCampaign(t)
+	cm := r.FingerprintConfusion
+	if cm == nil {
+		t.Fatal("Options.Fingerprint set but FingerprintConfusion is nil")
+	}
+	if cm.Total() < 20 {
+		t.Fatalf("only %d active deployments fingerprinted", cm.Total())
+	}
+	if n := cm.Misclassified(); n != 0 {
+		t.Errorf("%d deployments misclassified:\n%s", n, cm.Render())
+	}
+	if acc := cm.Accuracy(); acc < 0.95 {
+		t.Errorf("accuracy %.3f below 0.95:\n%s", acc, cm.Render())
+	}
+	out := r.Render("FINGERPRINT")
+	if !strings.Contains(out, "truth \\ verdict") {
+		t.Errorf("FINGERPRINT render lacks confusion table:\n%s", out)
+	}
+	nilRender := (&Report{}).Render("FINGERPRINT")
+	if len(nilRender) < 20 {
+		t.Errorf("nil-matrix FINGERPRINT render too short: %q", nilRender)
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 var ExperimentIDs = []string{
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"F3", "F4", "F5", "F6", "F7", "F8", "F9",
-	"OVERLAP", "PADDING", "DIVERSITY",
+	"OVERLAP", "PADDING", "DIVERSITY", "FINGERPRINT",
 }
 
 // Render produces the text artifact for one experiment ID.
@@ -55,6 +55,8 @@ func (r *Report) Render(id string) string {
 		return r.RenderPadding()
 	case "DIVERSITY":
 		return r.RenderDiversity()
+	case "FINGERPRINT":
+		return r.RenderFingerprint()
 	}
 	return fmt.Sprintf("unknown experiment %q (known: %s)\n", id, strings.Join(ExperimentIDs, ", "))
 }

@@ -1,0 +1,185 @@
+package fingerprint
+
+import (
+	"strings"
+	"testing"
+
+	"quicscan/internal/internet"
+)
+
+func TestMatrixStringParseRoundTrip(t *testing.T) {
+	for _, sig := range DefaultDB() {
+		enc := sig.M.String()
+		got, err := ParseMatrix(enc)
+		if err != nil {
+			t.Fatalf("%s: parse(%q): %v", sig.Name, enc, err)
+		}
+		if got != sig.M {
+			t.Errorf("%s: round trip changed %q -> %q", sig.Name, enc, got.String())
+		}
+	}
+}
+
+func TestParseMatrixCells(t *testing.T) {
+	m, err := ParseMatrix("vn=vn-grease|ku=close-0xe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[ScenarioVN] != CellVNGrease || m[ScenarioKeyUpdate] != CellClose(0xe) {
+		t.Errorf("cells: %q", m.String())
+	}
+	if m[ScenarioIdle] != "" {
+		t.Errorf("unprobed cell filled: %q", m[ScenarioIdle])
+	}
+}
+
+func TestParseMatrixErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"missing equals", "vn"},
+		{"unknown key", "bogus=vn"},
+		{"duplicate key", "vn=vn|vn=vn"},
+		{"empty value", "vn="},
+		{"bad character", "vn=V N"},
+		{"uppercase", "vn=VN"},
+		{"too long value", "vn=" + strings.Repeat("a", maxCellLen+1)},
+		{"too long encoding", strings.Repeat("x", int(NumScenarios)*(maxCellLen+8)+1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseMatrix(c.in); err == nil {
+				t.Errorf("ParseMatrix(%q) accepted", c.in)
+			}
+		})
+	}
+	if _, err := ParseMatrix(""); err != nil {
+		t.Errorf("empty encoding rejected: %v", err)
+	}
+}
+
+func TestMatchExactAndRadius(t *testing.T) {
+	db := DefaultDB()
+	for _, sig := range db {
+		v := db.Match(sig.M)
+		if !v.Exact || v.Name != sig.Name || v.Distance != 0 {
+			t.Errorf("%s: self-match = %+v", sig.Name, v)
+		}
+	}
+	// One corrupted cell still classifies (distance 1, not exact).
+	m := db[0].M
+	m[ScenarioVN] = CellSilent
+	v := db.Match(m)
+	if v.Name != db[0].Name || v.Distance != 1 || v.Exact {
+		t.Errorf("one-cell corruption: %+v", v)
+	}
+	// A matrix far from everything is unknown.
+	var far Matrix
+	for i := range far {
+		far[i] = "zz" // not in any signature's alphabet of outcomes
+	}
+	if v := db.Match(far); v.Name != VerdictUnknown {
+		t.Errorf("far matrix classified as %+v", v)
+	}
+	if v := (DB)(nil).Match(m); v.Name != VerdictUnknown {
+		t.Errorf("empty db classified as %+v", v)
+	}
+}
+
+func TestMatchTieAbstains(t *testing.T) {
+	a := deviate(map[Scenario]string{ScenarioVN: CellVNGrease})
+	b := deviate(map[Scenario]string{ScenarioReset: CellSilent})
+	db := DB{{Name: "first", M: a}, {Name: "second", M: b}}
+	// The baseline is distance 1 from both: ambiguous, so Match must
+	// abstain rather than guess by database order.
+	if v := db.Match(baseline()); v.Name != VerdictUnknown {
+		t.Errorf("tie classified as %+v", v)
+	}
+	// A strictly closer row still wins over a farther one.
+	if v := db.Match(a); v.Name != "first" || !v.Exact {
+		t.Errorf("exact match: %+v", v)
+	}
+}
+
+// TestSingleCellCorruptionNeverMisclassifies is the matcher's safety
+// theorem: corrupt any one cell of any signature to any value another
+// signature uses there (or to garbage), and Match returns either the
+// true row or unknown — never a different implementation. This is
+// what pairwise separation ≥2 plus tie-abstention buy.
+func TestSingleCellCorruptionNeverMisclassifies(t *testing.T) {
+	db := DefaultDB()
+	for _, sig := range db {
+		for _, s := range Scenarios() {
+			values := map[string]bool{"zz-bogus": true, CellSilent: true}
+			for _, other := range db {
+				values[other.M[s]] = true
+			}
+			for val := range values {
+				if val == sig.M[s] {
+					continue
+				}
+				m := sig.M
+				m[s] = val
+				v := db.Match(m)
+				if v.Name != sig.Name && v.Name != VerdictUnknown {
+					t.Errorf("%s with %s=%s classified as %s",
+						sig.Name, s, val, v.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultDBPairwiseSeparation proves the error-correcting design:
+// every two signatures differ in at least two cells, so a single
+// corrupted observation can never turn one implementation into
+// another.
+func TestDefaultDBPairwiseSeparation(t *testing.T) {
+	db := DefaultDB()
+	for i := range db {
+		for j := i + 1; j < len(db); j++ {
+			if d := db[i].M.Distance(db[j].M); d < 2 {
+				t.Errorf("signatures %s and %s differ in only %d cell(s)",
+					db[i].Name, db[j].Name, d)
+			}
+		}
+	}
+}
+
+// TestDefaultDBCoversProfiles pins the database to the simulated
+// Internet's ground truth: every implementation blueprint has exactly
+// one signature and vice versa.
+func TestDefaultDBCoversProfiles(t *testing.T) {
+	sigs := map[string]int{}
+	for _, s := range DefaultDB() {
+		sigs[s.Name]++
+	}
+	for _, p := range internet.AllProfiles() {
+		if p.Impl == "" {
+			t.Errorf("profile %s has no Impl label", p.Name)
+			continue
+		}
+		if sigs[p.Impl] != 1 {
+			t.Errorf("profile %s: %d signatures named %q", p.Name, sigs[p.Impl], p.Impl)
+		}
+		delete(sigs, p.Impl)
+	}
+	for name := range sigs {
+		t.Errorf("signature %q matches no profile", name)
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	if got := len(Scenarios()); got != int(NumScenarios) {
+		t.Fatalf("Scenarios() = %d entries", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range Scenarios() {
+		name := s.String()
+		if name == "" || strings.HasPrefix(name, "Scenario(") || seen[name] {
+			t.Errorf("scenario %d name %q", int(s), name)
+		}
+		seen[name] = true
+	}
+	if Scenario(99).String() != "Scenario(99)" {
+		t.Errorf("out-of-range String: %q", Scenario(99).String())
+	}
+}

@@ -1,0 +1,493 @@
+package fingerprint
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/tls"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"quicscan/internal/quic"
+	"quicscan/internal/quicwire"
+	"quicscan/internal/transportparams"
+)
+
+// ProbeVersion is the reserved version the raw VN and padding probes
+// offer. It is deliberately distinct from the ZMap module's
+// ForcedNegotiationVersion so that grease-version quirks (which key on
+// "some reserved version other than the classic scanner's") are
+// exercised without perturbing the ZMap sweep's calibrated answers.
+const ProbeVersion quicwire.Version = 0x2a3a4a5a
+
+// greaseTPID is a reserved transport parameter identifier of the form
+// 31*N+27 (RFC 9000, Section 18.1; N=173), which a conforming peer
+// must ignore.
+const greaseTPID = 31*173 + 27
+
+// probeSizePadded / probeSizeUnpadded are the raw probe datagram
+// sizes: the RFC 9000 Section 14.1 client Initial minimum, and a
+// deliberately undersized variant only non-conforming stacks answer.
+const (
+	probeSizePadded   = 1200
+	probeSizeUnpadded = 64
+)
+
+// resetProbeSize is the orphan short-header datagram length for the
+// stateless reset scenario: large enough that a conforming peer may
+// answer (its reset must be strictly shorter), small enough to be
+// cheap.
+const resetProbeSize = 50
+
+// Target is one endpoint to fingerprint.
+type Target struct {
+	// Addr is the UDP endpoint.
+	Addr netip.AddrPort
+	// SNI is the server name for handshake scenarios; may be empty
+	// for targets that do not require SNI.
+	SNI string
+}
+
+// Result is the outcome of fingerprinting one target.
+type Result struct {
+	Target  Target
+	Matrix  Matrix
+	Verdict Verdict
+}
+
+// Prober runs the scenario engine. The zero value is not usable:
+// DialPacket must be set (everything else has defaults). One Prober is
+// safe for concurrent use.
+type Prober struct {
+	// DialPacket opens a fresh client socket per scenario
+	// connection — net.ListenUDP on the real Internet,
+	// simnet.Network.DialUDP inside the simulation.
+	DialPacket func() (net.PacketConn, error)
+
+	// DB is the signature database; nil means DefaultDB.
+	DB DB
+
+	// TLS, when non-nil, is cloned per handshake. The default skips
+	// certificate verification (the prober measures transport
+	// behaviour, not authenticity) and offers the scanner's h3 ALPN
+	// ladder.
+	TLS *tls.Config
+
+	// Versions are the QUIC versions offered in handshake scenarios
+	// (default quic.ScannerVersions).
+	Versions []quicwire.Version
+
+	// ProbeWait bounds the raw-probe response wait (default 250ms).
+	ProbeWait time.Duration
+
+	// HandshakeTimeout bounds each handshake attempt (default 1.5s).
+	HandshakeTimeout time.Duration
+
+	// PTO and MaxPTOs tune the retransmission schedule; the defaults
+	// (60ms, 3) fail fast on deliberately dropped packets, which is
+	// what turns "forged token silently dropped" into a bounded
+	// observation.
+	PTO     time.Duration
+	MaxPTOs int
+
+	// PingWait bounds the post-key-update round trip (default 500ms).
+	PingWait time.Duration
+
+	// IdleAdvertiseMs is the tiny max_idle_timeout the idle scenario
+	// advertises, in milliseconds (default 200).
+	IdleAdvertiseMs uint64
+
+	// IdleWait is how long to watch for an announced idle teardown
+	// (default 8x the advertised idle period).
+	IdleWait time.Duration
+
+	// Workers bounds FingerprintAll's concurrency (default 8).
+	Workers int
+}
+
+func (p *Prober) database() DB {
+	if p.DB != nil {
+		return p.DB
+	}
+	return DefaultDB()
+}
+
+func (p *Prober) probeWait() time.Duration {
+	if p.ProbeWait > 0 {
+		return p.ProbeWait
+	}
+	return 250 * time.Millisecond
+}
+
+func (p *Prober) handshakeTimeout() time.Duration {
+	if p.HandshakeTimeout > 0 {
+		return p.HandshakeTimeout
+	}
+	return 1500 * time.Millisecond
+}
+
+func (p *Prober) pto() time.Duration {
+	if p.PTO > 0 {
+		return p.PTO
+	}
+	return 60 * time.Millisecond
+}
+
+func (p *Prober) maxPTOs() int {
+	if p.MaxPTOs != 0 {
+		return p.MaxPTOs
+	}
+	return 3
+}
+
+func (p *Prober) pingWait() time.Duration {
+	if p.PingWait > 0 {
+		return p.PingWait
+	}
+	return 500 * time.Millisecond
+}
+
+func (p *Prober) idleAdvertiseMs() uint64 {
+	if p.IdleAdvertiseMs > 0 {
+		return p.IdleAdvertiseMs
+	}
+	return 200
+}
+
+func (p *Prober) idleWait() time.Duration {
+	if p.IdleWait > 0 {
+		return p.IdleWait
+	}
+	return 8 * time.Duration(p.idleAdvertiseMs()) * time.Millisecond
+}
+
+func (p *Prober) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return 8
+}
+
+// Fingerprint runs every scenario against one target and classifies
+// the observed matrix. Scenarios run concurrently: each uses its own
+// socket (and, for handshake scenarios, its own connection), so they
+// cannot contaminate one another.
+func (p *Prober) Fingerprint(ctx context.Context, t Target) Result {
+	mTargets.Inc()
+	var m Matrix
+	var wg sync.WaitGroup
+	run := func(s Scenario, f func(context.Context, Target) string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mScenarioRuns[s].Inc()
+			m[s] = f(ctx, t)
+		}()
+	}
+	run(ScenarioVN, p.probeVN)
+	run(ScenarioPadding, p.probePadding)
+	run(ScenarioRetry, p.probeRetry)
+	run(ScenarioReset, p.probeReset)
+	run(ScenarioKeyUpdate, p.probeKeyUpdate)
+	run(ScenarioGreaseTP, p.probeGreaseTP)
+	run(ScenarioIdle, p.probeIdle)
+	wg.Wait()
+	v := p.database().Match(m)
+	verdictCounter(v.Name).Inc()
+	switch {
+	case v.Name == VerdictUnknown:
+		mUnknown.Inc()
+	case v.Exact:
+		mExact.Inc()
+	}
+	return Result{Target: t, Matrix: m, Verdict: v}
+}
+
+// FingerprintAll fingerprints every target with a bounded worker
+// pool, preserving input order in the result slice.
+func (p *Prober) FingerprintAll(ctx context.Context, targets []Target) []Result {
+	out := make([]Result, len(targets))
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = p.Fingerprint(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}
+
+// buildRawProbe assembles a ZMap-style forced-VN Initial at
+// ProbeVersion: valid long header, unencrypted padding body. Servers
+// must answer the unknown version (or not) before parsing further.
+func buildRawProbe(size int, dcid, scid []byte) []byte {
+	b := make([]byte, 0, size)
+	b = append(b, 0xc0|0x40) // long header, fixed bit, type Initial
+	v := uint32(ProbeVersion)
+	b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	b = append(b, byte(len(dcid)))
+	b = append(b, dcid...)
+	b = append(b, byte(len(scid)))
+	b = append(b, scid...)
+	b = append(b, 0) // empty token
+	rest := size - len(b) - 2
+	b = quicwire.AppendVarintWithLen(b, uint64(rest), 2)
+	b = append(b, make([]byte, size-len(b))...)
+	return b
+}
+
+// rawVNExchange sends one raw probe of the given size and classifies
+// the answer: CellVNGrease for a VN listing any reserved version,
+// CellVN for a plain VN, CellSilent on timeout or socket failure.
+func (p *Prober) rawVNExchange(ctx context.Context, t Target, size int) string {
+	pc, err := p.DialPacket()
+	if err != nil {
+		return CellSilent
+	}
+	defer pc.Close()
+	dcid := quicwire.NewRandomConnID(8)
+	scid := quicwire.NewRandomConnID(8)
+	probe := buildRawProbe(size, dcid, scid)
+	remote := net.UDPAddrFromAddrPort(t.Addr)
+	if _, err := pc.WriteTo(probe, remote); err != nil {
+		return CellSilent
+	}
+	deadline := time.Now().Add(p.probeWait())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	buf := make([]byte, 2048)
+	for {
+		if err := pc.SetReadDeadline(deadline); err != nil {
+			return CellSilent
+		}
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return CellSilent
+		}
+		hdr, _, err := quicwire.ParseLongHeader(buf[:n])
+		if err != nil || hdr.Type != quicwire.PacketVersionNegotiation {
+			continue
+		}
+		// The VN answer must echo our IDs swapped (RFC 9000,
+		// Section 6.1); anything else is stray traffic.
+		if !bytes.Equal(hdr.DstID, scid) || !bytes.Equal(hdr.SrcID, dcid) {
+			continue
+		}
+		for _, v := range hdr.SupportedVersions {
+			if v.IsForcedNegotiation() {
+				return CellVNGrease
+			}
+		}
+		return CellVN
+	}
+}
+
+func (p *Prober) probeVN(ctx context.Context, t Target) string {
+	return p.rawVNExchange(ctx, t, probeSizePadded)
+}
+
+func (p *Prober) probePadding(ctx context.Context, t Target) string {
+	return p.rawVNExchange(ctx, t, probeSizeUnpadded)
+}
+
+// probeReset sends an orphan 1-RTT-shaped datagram (fixed bit set,
+// random connection ID) and watches for a stateless-reset-shaped
+// answer: a short-header datagram of at least 21 bytes.
+func (p *Prober) probeReset(ctx context.Context, t Target) string {
+	pc, err := p.DialPacket()
+	if err != nil {
+		return CellSilent
+	}
+	defer pc.Close()
+	probe := make([]byte, resetProbeSize)
+	if _, err := rand.Read(probe[1:]); err != nil {
+		return CellSilent
+	}
+	probe[0] = 0x40 | (probe[1] & 0x3f)
+	remote := net.UDPAddrFromAddrPort(t.Addr)
+	if _, err := pc.WriteTo(probe, remote); err != nil {
+		return CellSilent
+	}
+	deadline := time.Now().Add(p.probeWait())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	buf := make([]byte, 2048)
+	for {
+		if err := pc.SetReadDeadline(deadline); err != nil {
+			return CellSilent
+		}
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			return CellSilent
+		}
+		if n >= 21 && buf[0]&0xc0 == 0x40 {
+			return CellReset
+		}
+	}
+}
+
+// dial runs one handshake attempt with the prober's fast-fail tuning;
+// mut, when non-nil, adjusts the config before dialing.
+func (p *Prober) dial(ctx context.Context, t Target, mut func(*quic.Config)) (*quic.Conn, error) {
+	pc, err := p.DialPacket()
+	if err != nil {
+		return nil, err
+	}
+	cfg := &quic.Config{
+		TLS:              p.tlsFor(t),
+		Versions:         p.Versions,
+		HandshakeTimeout: p.handshakeTimeout(),
+		PTO:              p.pto(),
+		MaxPTOs:          p.maxPTOs(),
+		MaxPTOBackoff:    4 * p.pto(),
+		TransportParams:  quic.DefaultClientParams(),
+	}
+	if mut != nil {
+		mut(cfg)
+	}
+	dctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout+time.Second)
+	defer cancel()
+	return quic.Dial(dctx, pc, net.UDPAddrFromAddrPort(t.Addr), cfg)
+}
+
+func (p *Prober) tlsFor(t Target) *tls.Config {
+	var cfg *tls.Config
+	if p.TLS != nil {
+		cfg = p.TLS.Clone()
+	} else {
+		cfg = &tls.Config{InsecureSkipVerify: true}
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = t.SNI
+	}
+	if len(cfg.NextProtos) == 0 {
+		cfg.NextProtos = []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"}
+	}
+	return cfg
+}
+
+// forgedToken is the deliberately invalid address validation token the
+// Retry scenario replays. Constant so the cell is reproducible.
+func forgedToken() []byte {
+	tok := make([]byte, 32)
+	for i := range tok {
+		tok[i] = 0x5a
+	}
+	return tok
+}
+
+// probeRetry dials twice: the first handshake learns whether the
+// target performs Retry at all; the second replays a forged token and
+// classifies the validator — accepted (lax), explicit INVALID_TOKEN
+// close (close), or silent drop until the retransmission budget runs
+// out (drop).
+func (p *Prober) probeRetry(ctx context.Context, t Target) string {
+	conn, err := p.dial(ctx, t, nil)
+	if err != nil {
+		return CellSilent
+	}
+	retried := conn.Stats().Retried
+	conn.Close()
+	if !retried {
+		return CellRetryNone
+	}
+	conn2, err := p.dial(ctx, t, func(cfg *quic.Config) {
+		cfg.InitialToken = forgedToken()
+	})
+	if err == nil {
+		conn2.Close()
+		return CellRetryLax
+	}
+	var terr *quicwire.TransportErrorError
+	if errors.As(err, &terr) && terr.Remote {
+		return CellRetryClose
+	}
+	return CellRetryDrop
+}
+
+// probeKeyUpdate completes a handshake, initiates an RFC 9001
+// Section 6 key update, and forces a round trip in the new generation.
+func (p *Prober) probeKeyUpdate(ctx context.Context, t Target) string {
+	conn, err := p.dial(ctx, t, nil)
+	if err != nil {
+		return CellSilent
+	}
+	defer conn.Close()
+	if err := conn.UpdateKeys(); err != nil {
+		return CellSilent
+	}
+	pctx, cancel := context.WithTimeout(ctx, p.pingWait())
+	defer cancel()
+	if err := conn.Ping(pctx); err == nil {
+		return CellOK
+	}
+	var terr *quicwire.TransportErrorError
+	if errors.As(conn.Err(), &terr) && terr.Remote {
+		return CellClose(uint64(terr.Code))
+	}
+	return CellSilent
+}
+
+// probeGreaseTP offers a reserved transport parameter the peer must
+// ignore (RFC 9000, Section 7.4.2) and records whether the handshake
+// still completes.
+func (p *Prober) probeGreaseTP(ctx context.Context, t Target) string {
+	conn, err := p.dial(ctx, t, func(cfg *quic.Config) {
+		tp := quic.DefaultClientParams()
+		tp.Unknown = append(tp.Unknown, transportparams.RawParameter{
+			ID: greaseTPID, Value: []byte{0x2a, 0x2a},
+		})
+		cfg.TransportParams = tp
+	})
+	if err == nil {
+		conn.Close()
+		return CellOK
+	}
+	var terr *quicwire.TransportErrorError
+	if errors.As(err, &terr) && terr.Remote {
+		return CellClose(uint64(terr.Code))
+	}
+	return CellSilent
+}
+
+// probeIdle advertises a tiny max_idle_timeout, goes quiet after the
+// handshake, and watches whether the peer announces the teardown
+// (CONNECTION_CLOSE) or vanishes silently. The local idle limit is
+// kept huge so only the peer's timer is under observation.
+func (p *Prober) probeIdle(ctx context.Context, t Target) string {
+	conn, err := p.dial(ctx, t, func(cfg *quic.Config) {
+		tp := quic.DefaultClientParams()
+		tp.MaxIdleTimeout = p.idleAdvertiseMs()
+		cfg.TransportParams = tp
+		cfg.MaxIdleTimeout = time.Hour
+	})
+	if err != nil {
+		return CellSilent
+	}
+	timer := time.NewTimer(p.idleWait())
+	defer timer.Stop()
+	select {
+	case <-conn.Closed():
+		var terr *quicwire.TransportErrorError
+		if errors.As(conn.Err(), &terr) && terr.Remote {
+			return CellClose(uint64(terr.Code))
+		}
+		return CellSilent
+	case <-timer.C:
+		conn.Close()
+		return CellSilent
+	case <-ctx.Done():
+		conn.Close()
+		return CellSilent
+	}
+}

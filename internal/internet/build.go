@@ -10,6 +10,7 @@ import (
 	"quicscan/internal/asdb"
 	"quicscan/internal/dnsserver"
 	"quicscan/internal/dnswire"
+	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/simnet"
 )
@@ -350,9 +351,7 @@ func (u *Universe) buildTail() {
 	// Section 3.1: 11.3% of padded-probe responders also answer
 	// unpadded probes and 95.4% of those sit in one AS, which implies
 	// a population of roughly 240k addresses there.
-	unpadded := genericProfile()
-	unpadded.Name = "unpadded-responder"
-	unpadded.RespondToUnpadded = true
+	unpadded := unpaddedProfile()
 	asn := asdb.ASN(paperUnpaddedASN)
 	n := max(4, u.scaled(paperUnpaddedAddrs))
 	p := u.alloc.v4Prefix(n)
@@ -386,6 +385,8 @@ func min2(a, b int) int {
 func fbEdgeProfile() *Profile {
 	return &Profile{
 		Name:       "facebook-edge",
+		Impl:       "mvfst-edge",
+		Quirks:     Quirks{Retry: RetryStrictClose, RejectGreaseTP: true},
 		VersionSet: vFacebook,
 		ALPNSet:    aFacebook,
 		Mix:        BehaviorMix{{B: BehaviorActive, W: 1}},
@@ -402,6 +403,8 @@ func fbEdgeProfile() *Profile {
 func gvsEdgeProfile() *Profile {
 	return &Profile{
 		Name:           "google-edge",
+		Impl:           "gvs",
+		Quirks:         Quirks{KeyUpdate: quic.KeyUpdateIgnore, RejectGreaseTP: true},
 		VersionSet:     vGoogle,
 		ALPNSet:        aGoogle,
 		Mix:            BehaviorMix{{B: BehaviorActive, W: 1}},
@@ -413,6 +416,8 @@ func gvsEdgeProfile() *Profile {
 func liteSpeedProfile() *Profile {
 	return &Profile{
 		Name:       "litespeed",
+		Impl:       "litespeed",
+		Quirks:     Quirks{GreaseVN: true, DisableStatelessReset: true},
 		VersionSet: vIETF,
 		ALPNSet:    aLiteSpeed,
 		HTTPSRR:    true,
@@ -433,6 +438,8 @@ func liteSpeedProfile() *Profile {
 func nginxProfile() *Profile {
 	return &Profile{
 		Name:       "nginx",
+		Impl:       "nginx-quic",
+		Quirks:     Quirks{DisableStatelessReset: true, RejectGreaseTP: true},
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		Mix: BehaviorMix{
@@ -453,6 +460,8 @@ func nginxProfile() *Profile {
 func caddyProfile() *Profile {
 	return &Profile{
 		Name:           "caddy",
+		Impl:           "caddy-quicgo",
+		Quirks:         Quirks{GreaseVN: true, Retry: RetryLax},
 		VersionSet:     vIETF,
 		ALPNSet:        aIETF,
 		HTTPSRR:        true,
@@ -465,6 +474,7 @@ func caddyProfile() *Profile {
 func genericProfile() *Profile {
 	return &Profile{
 		Name:       "individual",
+		Impl:       "individual",
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		Mix: BehaviorMix{
@@ -480,6 +490,32 @@ func genericProfile() *Profile {
 			headers := []string{"nginx", "h2o", "Apache", "openresty", "quiche", ""}
 			return headers[i%len(headers)]
 		},
+	}
+}
+
+// unpaddedProfile is the Section 3.1 anomaly: the single AS whose
+// deployments answer forced version negotiation even for unpadded
+// probes. Its padding cell is what distinguishes it, so it carries
+// only one further quirk.
+func unpaddedProfile() *Profile {
+	p := genericProfile()
+	p.Name = "unpadded-responder"
+	p.Impl = "unpadded-responder"
+	p.RespondToUnpadded = true
+	p.Quirks = Quirks{IdleCloseNotify: true}
+	return p
+}
+
+// AllProfiles returns one instance of every distinct profile blueprint
+// in the model — the ground-truth classes of the fingerprint signature
+// database. Conformance tests iterate it to prove each blueprint's
+// observable response matrix.
+func AllProfiles() []*Profile {
+	return []*Profile{
+		cloudflareProfile(), googleProfile(), akamaiProfile(), fastlyProfile(),
+		facebookProfile(), hostingProfile(), cloudProfile(),
+		fbEdgeProfile(), gvsEdgeProfile(), liteSpeedProfile(), nginxProfile(),
+		caddyProfile(), genericProfile(), unpaddedProfile(),
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"quicscan/internal/asdb"
+	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/transportparams"
 )
@@ -64,10 +65,63 @@ type BehaviorMix []struct {
 	W float64
 }
 
+// RetryQuirk selects a profile's Retry/address-validation behaviour.
+type RetryQuirk int
+
+const (
+	// RetryOff performs no Retry unless Profile.UseRetry is set (in
+	// which case invalid tokens are silently dropped, like
+	// RetryStrictDrop).
+	RetryOff RetryQuirk = iota
+	// RetryStrictDrop validates tokens and silently drops Initials
+	// carrying invalid ones.
+	RetryStrictDrop
+	// RetryStrictClose validates tokens and refuses invalid ones with
+	// an immediate INVALID_TOKEN (0x0b) close.
+	RetryStrictClose
+	// RetryLax demands a token but accepts any non-empty value.
+	RetryLax
+)
+
+// Quirks are small implementation-level behavioural deviations, wired
+// through quic.ServerPolicy for this profile's stateful listeners.
+// Each simulated implementation enables a distinct pair, so the
+// fingerprint scenario engine (internal/fingerprint) can classify
+// deployments with pairwise signature distances of at least two cells.
+type Quirks struct {
+	// GreaseVN appends a reserved version to VN responses for
+	// non-standard reserved probe versions (quic.ServerPolicy.GreaseVN).
+	GreaseVN bool
+	// Retry selects address-validation behaviour.
+	Retry RetryQuirk
+	// DisableStatelessReset keeps the deployment silent instead of
+	// answering orphan 1-RTT packets with a stateless reset.
+	DisableStatelessReset bool
+	// KeyUpdate is the reaction to client-initiated key updates.
+	KeyUpdate quic.KeyUpdatePolicy
+	// RejectGreaseTP closes on unknown (GREASE) transport parameters
+	// with TRANSPORT_PARAMETER_ERROR instead of ignoring them.
+	RejectGreaseTP bool
+	// IdleCloseNotify announces idle teardown with
+	// CONNECTION_CLOSE(NO_ERROR) instead of going silent.
+	IdleCloseNotify bool
+}
+
 // Profile describes one provider's deployment blueprint.
 type Profile struct {
 	Name string
 	ASN  asdb.ASN
+
+	// Impl names the QUIC implementation blueprint this profile
+	// models. Several providers can share a Name-distinct copy of the
+	// same blueprint (the hosting resellers); Impl is what behavioral
+	// fingerprinting can actually recover, so it is the ground-truth
+	// label for classification.
+	Impl string
+
+	// Quirks are the implementation-distinguishing edge-case behaviours
+	// of this profile's stateful deployments.
+	Quirks Quirks
 
 	// VersionSet returns the versions advertised in version
 	// negotiation for a calendar week; nil disables VN responses

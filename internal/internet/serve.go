@@ -179,6 +179,43 @@ func (d *Deployment) acceptedVersions(week int) []quicwire.Version {
 	return out
 }
 
+// ListenerSetup builds the quic listener Config and ServerPolicy that
+// realize this deployment's profile — version sets, SNI policy, and
+// the implementation quirks the fingerprint engine classifies. The
+// caller supplies the TLS config (certificates differ between the
+// universe and standalone conformance harnesses).
+func (d *Deployment) ListenerSetup(week int, tlsCfg *tls.Config) (*quic.Config, quic.ServerPolicy) {
+	cfg := &quic.Config{
+		TLS:             tlsCfg,
+		Versions:        d.acceptedVersions(week),
+		TransportParams: d.TPConfig,
+	}
+	q := d.Profile.Quirks
+	policy := quic.ServerPolicy{
+		AdvertisedVersions:    d.quicVersionsForWeek(week),
+		AcceptVersions:        d.acceptedVersions(week),
+		RespondToUnpadded:     d.Profile.RespondToUnpadded,
+		UseRetry:              d.Profile.UseRetry || q.Retry != RetryOff,
+		GreaseVN:              q.GreaseVN,
+		InvalidTokenClose:     q.Retry == RetryStrictClose,
+		AcceptAnyToken:        q.Retry == RetryLax,
+		KeyUpdate:             q.KeyUpdate,
+		RejectUnknownTP:       q.RejectGreaseTP,
+		DisableStatelessReset: q.DisableStatelessReset,
+		IdleCloseNotify:       q.IdleCloseNotify,
+	}
+	if !d.ZMapVisible {
+		// Alt-Svc-only deployments stay invisible to forced VN.
+		policy.AdvertisedVersions = []quicwire.Version{}
+	}
+	if d.Behavior == BehaviorRequireSNI {
+		policy.RequireSNI = func(sni string) bool { return sni != "" }
+		policy.CloseCode = quicwire.CryptoError0x128
+		policy.CloseReason = closeReasonFor(d.Provider)
+	}
+	return cfg, policy
+}
+
 func (u *Universe) startQUICServer(d *Deployment) error {
 	cert, err := u.certFor(d, u.Spec.Week)
 	if err != nil {
@@ -188,33 +225,10 @@ func (u *Universe) startQUICServer(d *Deployment) error {
 	if err != nil {
 		return err
 	}
-	params := d.TPConfig
-	cfg := &quic.Config{
-		TLS: &tls.Config{
-			Certificates: []tls.Certificate{cert},
-			NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"},
-		},
-		Versions:        d.acceptedVersions(u.Spec.Week),
-		TransportParams: params,
-	}
-	policy := quic.ServerPolicy{
-		AdvertisedVersions: d.quicVersionsForWeek(u.Spec.Week),
-		AcceptVersions:     d.acceptedVersions(u.Spec.Week),
-		RespondToUnpadded:  d.Profile.RespondToUnpadded,
-		UseRetry:           d.Profile.UseRetry,
-	}
-	if policy.AdvertisedVersions == nil && !d.ZMapVisible {
-		// Alt-Svc-only deployments stay invisible to forced VN.
-		policy.AdvertisedVersions = []quicwire.Version{}
-	}
-	if !d.ZMapVisible {
-		policy.AdvertisedVersions = []quicwire.Version{}
-	}
-	if d.Behavior == BehaviorRequireSNI {
-		policy.RequireSNI = func(sni string) bool { return sni != "" }
-		policy.CloseCode = quicwire.CryptoError0x128
-		policy.CloseReason = closeReasonFor(d.Provider)
-	}
+	cfg, policy := d.ListenerSetup(u.Spec.Week, &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"},
+	})
 	l, err := quic.Listen(pc, cfg, policy)
 	if err != nil {
 		pc.Close()

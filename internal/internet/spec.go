@@ -2,6 +2,7 @@ package internet
 
 import (
 	"quicscan/internal/asdb"
+	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
 )
 
@@ -260,6 +261,8 @@ const (
 func cloudflareProfile() *Profile {
 	return &Profile{
 		Name:       "cloudflare",
+		Impl:       "cloudflare-quiche",
+		Quirks:     Quirks{GreaseVN: true, IdleCloseNotify: true},
 		VersionSet: vCloudflare,
 		ALPNSet:    aCloudflare,
 		HTTPSRR:    true,
@@ -276,6 +279,8 @@ func cloudflareProfile() *Profile {
 func googleProfile() *Profile {
 	return &Profile{
 		Name:           "google",
+		Impl:           "google-quic",
+		Quirks:         Quirks{DisableStatelessReset: true, KeyUpdate: quic.KeyUpdateRefuse},
 		VersionSet:     vGoogle,
 		AcceptVersions: []quicwire.Version{quicwire.VersionGoogleQ050}, // IETF versions advertised but not accepted: the roll-out anomaly
 		ALPNSet:        aGoogle,
@@ -295,6 +300,8 @@ func googleProfile() *Profile {
 func akamaiProfile() *Profile {
 	return &Profile{
 		Name:       "akamai",
+		Impl:       "akamai-quic",
+		Quirks:     Quirks{GreaseVN: true, KeyUpdate: quic.KeyUpdateRefuse},
 		VersionSet: vAkamai,
 		ALPNSet:    aQuicOnly,
 		Mix: BehaviorMix{
@@ -309,6 +316,8 @@ func akamaiProfile() *Profile {
 func fastlyProfile() *Profile {
 	return &Profile{
 		Name:       "fastly",
+		Impl:       "fastly-quicly",
+		Quirks:     Quirks{Retry: RetryStrictClose, DisableStatelessReset: true},
 		VersionSet: vFastly,
 		ALPNSet:    aIETF,
 		Mix: BehaviorMix{
@@ -323,6 +332,8 @@ func fastlyProfile() *Profile {
 func facebookProfile() *Profile {
 	return &Profile{
 		Name:       "facebook",
+		Impl:       "mvfst-origin",
+		Quirks:     Quirks{Retry: RetryStrictDrop, IdleCloseNotify: true},
 		VersionSet: vFacebook,
 		ALPNSet:    aFacebook,
 		Mix:        BehaviorMix{{B: BehaviorActive, W: 1}},
@@ -340,6 +351,8 @@ func facebookProfile() *Profile {
 func hostingProfile() *Profile {
 	return &Profile{
 		Name:       "hosting",
+		Impl:       "hosting-lsws",
+		Quirks:     Quirks{RejectGreaseTP: true, IdleCloseNotify: true},
 		VersionSet: vIETF,
 		ALPNSet:    aLiteSpeed,
 		HTTPSRR:    true,
@@ -366,6 +379,8 @@ func hostingProfile() *Profile {
 func cloudProfile() *Profile {
 	return &Profile{
 		Name:       "cloud",
+		Impl:       "cloud-mixed",
+		Quirks:     Quirks{KeyUpdate: quic.KeyUpdateIgnore, IdleCloseNotify: true},
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		HTTPSRR:    true,

@@ -112,6 +112,11 @@ func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote 
 	if err := c.setupInitialKeys(); err != nil {
 		return fail(err)
 	}
+	if len(cfg.InitialToken) > 0 {
+		// A caller-supplied address validation token rides on the first
+		// flight, as if obtained from an earlier Retry or NEW_TOKEN.
+		c.retryToken = append([]byte(nil), cfg.InitialToken...)
+	}
 
 	tlsCfg := cfg.TLS
 	if tlsCfg == nil {

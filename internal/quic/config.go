@@ -66,6 +66,14 @@ type Config struct {
 	// MaxDatagramSize caps outgoing UDP payloads (default 1350).
 	MaxDatagramSize int
 
+	// InitialToken, when non-empty, is attached to the client's first
+	// Initial packets as an address validation token (RFC 9000,
+	// Section 8.1), as though it had been obtained from an earlier
+	// Retry or NEW_TOKEN. The fingerprint prober uses a bogus token to
+	// observe how a Retry-performing server treats replayed or forged
+	// tokens.
+	InitialToken []byte
+
 	// Tracer, when non-nil, records a qlog-style JSON-seq event trace
 	// for every connection (one file per connection under the tracer's
 	// directory — the -qlog-dir flag). Packet sends/receives, version

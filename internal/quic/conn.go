@@ -177,6 +177,12 @@ type Conn struct {
 	// behaviour (HANDSHAKE_DONE frame).
 	onHandshakeDone func()
 
+	// Server-side quirk knobs, copied from ServerPolicy at accept time
+	// (immutable afterwards; see that type for semantics).
+	keyUpdatePolicy KeyUpdatePolicy
+	rejectUnknownTP bool
+	idleCloseNotify bool
+
 	// forceCloseCode, when non-zero, overrides the CONNECTION_CLOSE
 	// error code chosen for TLS failures. The simulated deployments
 	// use it to reproduce provider-specific close behaviour such as
@@ -328,6 +334,16 @@ func (c *Conn) drainTLSEvents() error {
 			if err != nil {
 				return &quicwire.TransportErrorError{Code: quicwire.TransportParameterError, Reason: err.Error()}
 			}
+			if c.rejectUnknownTP && len(params.Unknown) > 0 {
+				// Quirk: RFC 9000 Section 7.4.2 says unknown transport
+				// parameters MUST be ignored; this endpoint instead
+				// refuses them with the exact 0x8 code on the wire, so
+				// the close is sent here rather than surfaced as a TLS
+				// failure (which would map to a crypto error).
+				c.closeWithTransportErrorLocked(quicwire.TransportParameterError,
+					"unsupported transport parameter")
+				return nil
+			}
 			c.peerParams = params
 			c.havePeerParams = true
 			if c.trace != nil {
@@ -421,9 +437,27 @@ func (c *Conn) armIdleTimerLocked() {
 	if d <= 0 {
 		return
 	}
-	c.idleTimer = time.AfterFunc(d, func() {
+	c.idleTimer = time.AfterFunc(d, c.onIdleTimeout)
+}
+
+// onIdleTimeout tears the connection down when the idle period
+// expires. RFC 9000 Section 10.1 closes silently; the IdleCloseNotify
+// quirk announces the teardown with CONNECTION_CLOSE(NO_ERROR) first.
+func (c *Conn) onIdleTimeout() {
+	if !c.idleCloseNotify {
 		c.abort(ErrIdleTimeout)
-	})
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{
+		ErrorCode: uint64(quicwire.NoError), ReasonPhrase: "idle timeout"})
+	c.closeLocked(ErrIdleTimeout)
 }
 
 // handleDatagram processes one received UDP payload, which may contain
@@ -578,6 +612,16 @@ func (c *Conn) tryNextKeysLocked(sp *pnSpace, raw []byte, pnOff int) ([]byte, ui
 	cp := c.keyScratch
 	payload, pn, _, err := sp.nextRecv.OpenPacket(cp, pnOff, sp.largestRx)
 	if err != nil {
+		return nil, 0, false
+	}
+	// The packet provably carries the next key generation; quirk
+	// policies react now, after authentication, so garbage can never
+	// trigger them.
+	switch c.keyUpdatePolicy {
+	case KeyUpdateRefuse:
+		c.closeWithTransportErrorLocked(quicwire.KeyUpdateError, "key update not supported")
+		return nil, 0, false
+	case KeyUpdateIgnore:
 		return nil, 0, false
 	}
 	// Commit the update: rotate read keys. If the peer initiated, the
@@ -998,6 +1042,64 @@ func (c *Conn) closeLocked(err error) {
 // Closed returns a channel closed when the connection dies.
 func (c *Conn) Closed() <-chan struct{} { return c.closed }
 
+// Err returns the reason the connection closed, or nil while it is
+// still alive. After Closed() is done this is stable; a peer-sent
+// CONNECTION_CLOSE surfaces as *quicwire.TransportErrorError with
+// Remote set.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeErr
+}
+
+// RetryToken returns the address validation token received in a Retry
+// packet, if any.
+func (c *Conn) RetryToken() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.retryToken...)
+}
+
+// Ping sends a PING frame and blocks until it (and everything else in
+// flight) is acknowledged, the connection dies, or ctx expires. The
+// fingerprint prober uses it to force a round trip after a key update.
+func (c *Conn) Ping(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.handshakeDone {
+		c.mu.Unlock()
+		return errors.New("quic: ping before handshake completion")
+	}
+	select {
+	case <-c.closed:
+		err := c.closeErr
+		c.mu.Unlock()
+		return err
+	default:
+	}
+	sp := &c.spaces[spaceApp]
+	sp.outFrames = append(sp.outFrames, &quicwire.PingFrame{})
+	c.sendPendingLocked()
+	c.mu.Unlock()
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return c.Err()
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			c.mu.Lock()
+			unacked := c.anyUnackedLocked()
+			c.mu.Unlock()
+			if !unacked {
+				return nil
+			}
+		}
+	}
+}
+
 // schedulePTOLocked arms the retransmission timer with exponential
 // backoff, capped at MaxPTOBackoff.
 func (c *Conn) schedulePTOLocked() {
@@ -1029,6 +1131,11 @@ func (c *Conn) schedulePTOLocked() {
 
 func (c *Conn) anyUnackedLocked() bool {
 	for i := range c.spaces {
+		// A dropped space's keys are gone on both sides: its
+		// stragglers can never be acknowledged and must not count.
+		if c.spaces[i].dropped {
+			continue
+		}
 		if len(c.spaces[i].loss.sent) > 0 {
 			return true
 		}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"quicscan/internal/quiccrypto"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/transportparams"
 )
@@ -59,7 +60,65 @@ type ServerPolicy struct {
 	// UseRetry performs address validation: token-less Initials are
 	// answered with a Retry packet (RFC 9000, Section 8.1).
 	UseRetry bool
+
+	// The remaining knobs model implementation quirks: small, legal (or
+	// borderline) behavioural deviations that differ between QUIC
+	// stacks. The fingerprint scenario engine (internal/fingerprint)
+	// classifies implementations by observing them, so each simulated
+	// provider profile enables a distinct combination.
+
+	// GreaseVN appends GreaseVersion to Version Negotiation responses,
+	// but only when the client offered a reserved 0x?a?a?a?a version
+	// other than ForcedNegotiationVersion. The standard ZMap probe
+	// (which always offers ForcedNegotiationVersion) therefore sees the
+	// plain advertised set, keeping the discovery figures calibrated,
+	// while the fingerprint prober's distinct reserved version elicits
+	// the grease entry.
+	GreaseVN bool
+
+	// InvalidTokenClose answers an Initial carrying an invalid or
+	// expired Retry token with an immediate INVALID_TOKEN (0x0b)
+	// CONNECTION_CLOSE instead of silently dropping it (RFC 9000,
+	// Section 8.1.3 permits either).
+	InvalidTokenClose bool
+
+	// AcceptAnyToken skips Retry token validation entirely: any
+	// non-empty token passes. A lax address validator.
+	AcceptAnyToken bool
+
+	// KeyUpdate selects how server connections respond to a
+	// client-initiated key update (RFC 9001, Section 6).
+	KeyUpdate KeyUpdatePolicy
+
+	// RejectUnknownTP closes connections whose client advertised any
+	// unknown (e.g. GREASE) transport parameter with
+	// TRANSPORT_PARAMETER_ERROR (0x8). RFC 9000 Section 7.4.2 requires
+	// ignoring unknown parameters, but early stacks got this wrong.
+	RejectUnknownTP bool
+
+	// DisableStatelessReset suppresses stateless resets for orphan
+	// short-header datagrams; the deployment stays silent instead.
+	DisableStatelessReset bool
+
+	// IdleCloseNotify sends CONNECTION_CLOSE(NO_ERROR) when the idle
+	// timer fires instead of tearing the connection down silently.
+	IdleCloseNotify bool
 }
+
+// KeyUpdatePolicy selects a server's reaction to a peer-initiated key
+// update (RFC 9001, Section 6).
+type KeyUpdatePolicy int
+
+const (
+	// KeyUpdateAccept completes the update normally (the default).
+	KeyUpdateAccept KeyUpdatePolicy = iota
+	// KeyUpdateRefuse closes the connection with KEY_UPDATE_ERROR
+	// (0x0e) when the peer flips the key phase.
+	KeyUpdateRefuse
+	// KeyUpdateIgnore silently drops packets protected with the next
+	// key generation, as if they never decrypted.
+	KeyUpdateIgnore
+)
 
 // Listener accepts QUIC connections on a PacketConn, demultiplexing by
 // connection ID.
@@ -204,7 +263,9 @@ func (l *Listener) handleDatagram(data []byte, from net.Addr) {
 	}
 	// 1-RTT packet for a connection this endpoint has no state for:
 	// answer with a stateless reset so the peer can stop retrying.
-	l.sendStatelessReset(dcid, from, len(data))
+	if !l.policy.DisableStatelessReset {
+		l.sendStatelessReset(dcid, from, len(data))
+	}
 }
 
 func (l *Listener) lookup(id quicwire.ConnID) *Conn {
@@ -258,11 +319,20 @@ func (l *Listener) handleNewConn(hdr *quicwire.Header, data []byte, from net.Add
 			l.sendRetry(hdr, from)
 			return
 		}
-		odcid, ok := l.retry.validate(from, hdr.Token)
-		if !ok {
-			return // invalid or expired token: drop
+		if !l.policy.AcceptAnyToken {
+			odcid, ok := l.retry.validate(from, hdr.Token)
+			if !ok {
+				if l.policy.InvalidTokenClose {
+					l.sendInitialClose(hdr, from, quicwire.InvalidToken, "invalid address validation token")
+				}
+				return // invalid or expired token: drop or refuse
+			}
+			retryODCID = odcid
 		}
-		retryODCID = odcid
+		// AcceptAnyToken: the token is taken at face value and the
+		// original destination ID is unknown, so the handshake proceeds
+		// without the Retry transport-parameter authentication (the
+		// client did not see a Retry from us in this exchange).
 	}
 
 	conn := l.newServerConn(hdr, from, retryODCID)
@@ -303,8 +373,39 @@ func (l *Listener) maybeSendVersionNegotiation(hdr *quicwire.Header, datagramLen
 	if datagramLen < quicwire.MinInitialSize && !l.policy.RespondToUnpadded {
 		return
 	}
+	if l.policy.GreaseVN && hdr.Version.IsForcedNegotiation() &&
+		hdr.Version != quicwire.ForcedNegotiationVersion {
+		versions = append(append([]quicwire.Version(nil), versions...), quicwire.GreaseVersion)
+	}
 	pkt := quicwire.AppendVersionNegotiation(nil, hdr.SrcID, hdr.DstID, byte(datagramLen), versions)
 	l.pconn.WriteTo(pkt, from)
+}
+
+// sendInitialClose refuses a connection attempt with a server Initial
+// carrying only CONNECTION_CLOSE, derived from the client's header
+// alone so no connection state is created (the stateless refusal
+// pattern of RFC 9000, Section 10.3).
+func (l *Listener) sendInitialClose(hdr *quicwire.Header, from net.Addr, code quicwire.TransportError, reason string) {
+	ik, err := quiccrypto.NewInitialKeys(hdr.Version, hdr.DstID)
+	if err != nil {
+		return
+	}
+	var payload []byte
+	payload = (&quicwire.ConnectionCloseFrame{ErrorCode: uint64(code), ReasonPhrase: reason}).Append(payload)
+	for len(payload) < 3 {
+		payload = append(payload, 0)
+	}
+	respHdr := &quicwire.Header{
+		Type:            quicwire.PacketInitial,
+		Version:         hdr.Version,
+		DstID:           hdr.SrcID,
+		SrcID:           quicwire.NewRandomConnID(8),
+		PacketNumber:    0,
+		PacketNumberLen: 1,
+	}
+	pkt, pnOff := quicwire.AppendLongHeader(nil, respHdr, len(payload)+16)
+	pkt = append(pkt, payload...)
+	l.pconn.WriteTo(ik.Server.SealPacket(pkt, pnOff, 1, 0), from)
 }
 
 // newServerConn creates the per-connection state. retryODCID is the
@@ -313,6 +414,9 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 	c := newConn(l.cfg, false)
 	c.remote = from
 	c.version = hdr.Version
+	c.keyUpdatePolicy = l.policy.KeyUpdate
+	c.rejectUnknownTP = l.policy.RejectUnknownTP
+	c.idleCloseNotify = l.policy.IdleCloseNotify
 	c.origDcid = append(quicwire.ConnID(nil), hdr.DstID...)
 	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
 	c.scid = quicwire.NewRandomConnID(8)

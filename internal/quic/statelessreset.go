@@ -4,6 +4,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"errors"
 	"net"
 	"sync"
@@ -78,17 +79,27 @@ var ErrStatelessReset = errors.New("quic: received stateless reset")
 // isStatelessResetLocked checks an undecryptable datagram against
 // every reset token the peer announced: the handshake transport
 // parameter and tokens carried in NEW_CONNECTION_ID frames.
+//
+// Token comparison must be constant-time (RFC 9000, Section 10.3.1):
+// an attacker who can time the comparison of guessed tokens against a
+// connection's real one could forge a reset. subtle.ConstantTimeCompare
+// provides that; every token check below goes through it, never
+// bytes.Equal.
 func (c *Conn) isStatelessResetLocked(data []byte) bool {
+	// A stateless reset is at least 21 bytes on the wire (RFC 9000,
+	// Section 10.3: 5 bytes of short-header-shaped randomness plus the
+	// 16-byte token); anything shorter cannot carry a token and is
+	// ignored outright.
 	if len(data) < 21 {
 		return false
 	}
 	tail := data[len(data)-statelessResetTokenLen:]
 	if c.havePeerParams && len(c.peerParams.StatelessResetToken) == statelessResetTokenLen &&
-		hmac.Equal(tail, c.peerParams.StatelessResetToken) {
+		subtle.ConstantTimeCompare(tail, c.peerParams.StatelessResetToken) == 1 {
 		return true
 	}
 	for _, p := range c.peerConnIDs {
-		if hmac.Equal(tail, p.token[:]) {
+		if subtle.ConstantTimeCompare(tail, p.token[:]) == 1 {
 			return true
 		}
 	}

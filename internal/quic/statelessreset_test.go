@@ -1,6 +1,7 @@
 package quic
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"testing"
@@ -79,6 +80,52 @@ func TestStatelessResetEndToEnd(t *testing.T) {
 	conn.mu.Unlock()
 	if !errors.Is(err, ErrStatelessReset) {
 		t.Errorf("close error = %v, want stateless reset", err)
+	}
+}
+
+// TestResetDetectionBounds pins down the receiver-side acceptance
+// rules audited for RFC 9000 Section 10.3.1: a datagram shorter than
+// 21 bytes can never be a stateless reset even if it ends in the
+// peer's exact token, the 21-byte minimum with an exact token is
+// detected, and a token that differs in a single bit is rejected (the
+// comparison is constant-time, so near-misses must behave exactly
+// like random tails).
+func TestResetDetectionBounds(t *testing.T) {
+	c := newConn(&Config{}, true)
+	token := bytes.Repeat([]byte{0xA5}, statelessResetTokenLen)
+	c.havePeerParams = true
+	c.peerParams.StatelessResetToken = token
+
+	mk := func(size int, tok []byte) []byte {
+		d := make([]byte, size)
+		d[0] = 0x41
+		copy(d[size-len(tok):], tok)
+		return d
+	}
+
+	if c.isStatelessResetLocked(mk(20, token)) {
+		t.Error("20-byte datagram accepted as stateless reset")
+	}
+	if !c.isStatelessResetLocked(mk(21, token)) {
+		t.Error("21-byte reset with exact token not detected")
+	}
+	near := append([]byte(nil), token...)
+	near[len(near)-1] ^= 0x01
+	if c.isStatelessResetLocked(mk(41, near)) {
+		t.Error("near-miss token (one bit off) accepted")
+	}
+
+	// Tokens learned from NEW_CONNECTION_ID frames follow the same
+	// rules.
+	var altTok [16]byte
+	copy(altTok[:], bytes.Repeat([]byte{0x3C}, 16))
+	c.peerConnIDs = append(c.peerConnIDs, peerConnID{seq: 1, token: altTok})
+	if !c.isStatelessResetLocked(mk(30, altTok[:])) {
+		t.Error("reset with NEW_CONNECTION_ID token not detected")
+	}
+	altTok[0] ^= 0x80
+	if c.isStatelessResetLocked(mk(30, altTok[:])) {
+		t.Error("near-miss NEW_CONNECTION_ID token accepted")
 	}
 }
 

@@ -42,6 +42,12 @@ const (
 // ZMap module discovers QUIC-capable hosts.
 const ForcedNegotiationVersion Version = 0x1a2a3a4a
 
+// GreaseVersion is a second reserved 0x?a?a?a?a version. Greasing
+// servers (ServerPolicy.GreaseVN) append it to their Version
+// Negotiation lists to keep clients honest about ignoring unknown
+// versions; the fingerprint scenario engine detects the habit.
+const GreaseVersion Version = 0x6a7a8a9a
+
 // IsForcedNegotiation reports whether v matches the reserved
 // 0x?a?a?a?a pattern used to exercise version negotiation.
 func (v Version) IsForcedNegotiation() bool {

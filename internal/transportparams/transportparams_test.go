@@ -89,6 +89,38 @@ func TestUnknownParametersPreserved(t *testing.T) {
 	}
 }
 
+// TestGreaseParametersIgnored: reserved transport parameters of the
+// form 31*N+27 (RFC 9000, Section 18.1) must be ignored — the decoder
+// accepts them without error, keeps every known parameter intact, and
+// surfaces the reserved entries only in Unknown. The fingerprint
+// prober's GREASE scenario depends on this being the conforming
+// baseline behaviour.
+func TestGreaseParametersIgnored(t *testing.T) {
+	p := Default()
+	p.InitialMaxData = 1 << 20
+	for _, n := range []uint64{0, 1, 173, 9999} {
+		id := 31*n + 27
+		q := p
+		q.Unknown = []RawParameter{{ID: id, Value: []byte{0x5a, 0x5a}}}
+		got, err := Unmarshal(q.Marshal())
+		if err != nil {
+			t.Fatalf("grease ID %#x rejected: %v", id, err)
+		}
+		if got.InitialMaxData != p.InitialMaxData {
+			t.Errorf("grease ID %#x corrupted known parameters", id)
+		}
+		if len(got.Unknown) != 1 || got.Unknown[0].ID != id {
+			t.Errorf("grease ID %#x not preserved as unknown: %+v", id, got.Unknown)
+		}
+	}
+	// An empty-valued grease parameter is also legal.
+	q := p
+	q.Unknown = []RawParameter{{ID: 27, Value: nil}}
+	if _, err := Unmarshal(q.Marshal()); err != nil {
+		t.Errorf("empty-valued grease parameter rejected: %v", err)
+	}
+}
+
 func TestDuplicateParameterRejected(t *testing.T) {
 	var b []byte
 	b = appendIntParam(b, IDInitialMaxData, 100)

@@ -84,6 +84,43 @@ func TestValidateResponse(t *testing.T) {
 	}
 }
 
+// TestValidateReservedOnlyVersions: a VN reply whose list contains
+// only reserved (grease) versions is still a valid answer — the
+// target counts as ZMap-visible, the versions come back unfiltered
+// for the analysis layer to bucket, and nothing panics. Greasing
+// servers (quiche-style) produce such lists.
+func TestValidateReservedOnlyVersions(t *testing.T) {
+	s := &Scanner{}
+	addr := netip.MustParseAddr("192.0.2.1")
+	dcid, scid := s.probeIDs(addr)
+	reserved := []quicwire.Version{0x0a0a0a0a, 0xfafafafa}
+
+	pkt := quicwire.AppendVersionNegotiation(nil, scid, dcid, 0x11, reserved)
+	got, ok := s.ValidateResponse(addr, pkt)
+	if !ok {
+		t.Fatal("reserved-only VN reply rejected")
+	}
+	if len(got) != 2 || got[0] != 0x0a0a0a0a || got[1] != 0xfafafafa {
+		t.Fatalf("versions = %v", got)
+	}
+	for _, v := range got {
+		if !v.IsForcedNegotiation() {
+			t.Errorf("version %v not classified as reserved", v)
+		}
+	}
+
+	// An empty version list parses as a VN packet with no versions;
+	// the scanner must tolerate it, not crash.
+	pkt = quicwire.AppendVersionNegotiation(nil, scid, dcid, 0x11, nil)
+	got, ok = s.ValidateResponse(addr, pkt)
+	if !ok {
+		t.Fatal("empty VN reply rejected")
+	}
+	if len(got) != 0 {
+		t.Fatalf("versions = %v", got)
+	}
+}
+
 // TestScanOverSimnet runs the scanner against a synthetic responder
 // population: addresses ending in even octets answer with a version
 // set, odd ones are silent.

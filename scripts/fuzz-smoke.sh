@@ -24,5 +24,7 @@ run_target ./internal/altsvc FuzzParse
 run_target ./internal/telemetry FuzzMetricName
 run_target ./internal/telemetry FuzzParseTrace
 run_target ./internal/campaign FuzzCheckpointParse
+run_target ./internal/fingerprint FuzzScenarioResponse
+run_target ./internal/fingerprint FuzzSignatureMatch
 
 echo "fuzz smoke: OK"
