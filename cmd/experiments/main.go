@@ -29,6 +29,7 @@ func main() {
 		out     = flag.String("out", "", "write the report to a file instead of stdout")
 		tsvDir  = flag.String("tsv", "", "also export machine-readable TSV datasets to this directory")
 		fprint  = flag.Bool("fingerprint", false, "also run the behavioral fingerprinting suite over active deployments (FINGERPRINT artifact)")
+		migrate = flag.Bool("migration", false, "also classify connection-migration support over active deployments (MIGRATION artifact)")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		Spec:        internet.Spec{Seed: *seed, Scale: *scale, ASScale: *asScale},
 		SkipWeekly:  *quick,
 		Fingerprint: *fprint,
+		Migration:   *migrate,
 	}
 	if *weeks != "" {
 		for _, w := range strings.Split(*weeks, ",") {

@@ -28,6 +28,7 @@ import (
 
 	"quicscan/internal/core"
 	"quicscan/internal/fingerprint"
+	"quicscan/internal/migration"
 	"quicscan/internal/quicwire"
 	"quicscan/internal/telemetry"
 )
@@ -49,6 +50,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address (e.g. 127.0.0.1:9090)")
 		qlogDir     = flag.String("qlog-dir", "", "write one qlog-style JSON-seq trace file per connection into this directory")
 		fprint      = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts instead of scanning")
+		migrate     = flag.Bool("migration", false, "classify connection-migration support per target (NAT-rebind probe where the socket allows it, transport-parameter fallback otherwise) instead of scanning")
 	)
 	flag.Parse()
 
@@ -81,6 +83,10 @@ func main() {
 
 	if *fprint {
 		runFingerprint(targets, *workers, *output)
+		return
+	}
+	if *migrate {
+		runMigration(targets, *workers, *output)
 		return
 	}
 
@@ -182,6 +188,62 @@ func runFingerprint(targets []core.Target, workers int, output string) {
 		})
 	}
 	fmt.Fprintf(os.Stderr, "qscanner: fingerprinted %d targets, %d exact matches\n", len(results), exact)
+}
+
+// runMigration classifies connection-migration support per target and
+// emits one JSON verdict per line. Kernel UDP sockets cannot rebind
+// mid-connection, so outside the simulation the verdicts degrade to
+// the advertised transport parameter (tp-allows / tp-disabled).
+func runMigration(targets []core.Target, workers int, output string) {
+	p := &migration.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    workers,
+	}
+	mTargets := make([]migration.Target, len(targets))
+	for i, t := range targets {
+		port := t.Port
+		if port == 0 {
+			port = 443
+		}
+		mTargets[i] = migration.Target{
+			Addr: netip.AddrPortFrom(t.Addr, port),
+			SNI:  t.SNI,
+		}
+	}
+	results := p.ProbeAll(context.Background(), mTargets)
+
+	out := os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	counts := make(map[string]int)
+	for _, r := range results {
+		counts[r.Verdict]++
+		enc.Encode(struct {
+			Addr       string `json:"addr"`
+			SNI        string `json:"sni,omitempty"`
+			Verdict    string `json:"verdict"`
+			TPDisabled bool   `json:"tp_disabled"`
+			Challenges int    `json:"challenges"`
+			Honest     bool   `json:"honest"`
+			Err        string `json:"err,omitempty"`
+		}{
+			Addr:       r.Target.Addr.Addr().String(),
+			SNI:        r.Target.SNI,
+			Verdict:    r.Verdict,
+			TPDisabled: r.TPDisabled,
+			Challenges: r.Challenges,
+			Honest:     r.Honest,
+			Err:        r.Err,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "qscanner: migration-probed %d targets: %v\n", len(results), counts)
 }
 
 func readTargets(path string, port uint16) ([]core.Target, error) {

@@ -38,6 +38,7 @@ import (
 
 	"quicscan/internal/campaign"
 	"quicscan/internal/fingerprint"
+	"quicscan/internal/migration"
 	"quicscan/internal/netbatch"
 	"quicscan/internal/pcap"
 	"quicscan/internal/telemetry"
@@ -57,6 +58,7 @@ func main() {
 		pcapFile  = flag.String("pcap", "", "write raw probe/response traffic to a pcap file")
 		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
 		fprint    = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts (-hitlist only)")
+		migrate   = flag.Bool("migration", false, "classify connection-migration support per target and emit verdicts (-hitlist only)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
 
 		shards     = flag.Int("shards", 1, "total shard count of the campaign (-prefixes only)")
@@ -166,6 +168,11 @@ func main() {
 			printSummary(scanStart)
 			return
 		}
+		if *migrate {
+			runMigration(ctx, addrs, uint16(*port))
+			printSummary(scanStart)
+			return
+		}
 		results, _, err := scanner.ScanAddrs(ctx, addrs)
 		if err != nil {
 			fatal("scan: %v", err)
@@ -211,6 +218,41 @@ func runFingerprint(ctx context.Context, addrs []netip.Addr, port uint16) {
 			Verdict:  r.Verdict.Name,
 			Distance: r.Verdict.Distance,
 			Exact:    r.Verdict.Exact,
+		})
+	}
+}
+
+// runMigration classifies connection-migration support for every
+// hitlist address and prints one JSON verdict per line. Kernel UDP
+// sockets cannot rebind mid-connection, so real-Internet verdicts
+// degrade to the advertised transport parameter (tp-allows /
+// tp-disabled); the full behavioral classes come from rebind-capable
+// sockets (the simulation harness).
+func runMigration(ctx context.Context, addrs []netip.Addr, port uint16) {
+	p := &migration.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    32,
+	}
+	targets := make([]migration.Target, len(addrs))
+	for i, a := range addrs {
+		targets[i] = migration.Target{Addr: netip.AddrPortFrom(a, port)}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range p.ProbeAll(ctx, targets) {
+		enc.Encode(struct {
+			Addr       string `json:"addr"`
+			Verdict    string `json:"verdict"`
+			TPDisabled bool   `json:"tp_disabled"`
+			Challenges int    `json:"challenges"`
+			Honest     bool   `json:"honest"`
+			Err        string `json:"err,omitempty"`
+		}{
+			Addr:       r.Target.Addr.Addr().String(),
+			Verdict:    r.Verdict,
+			TPDisabled: r.TPDisabled,
+			Challenges: r.Challenges,
+			Honest:     r.Honest,
+			Err:        r.Err,
 		})
 	}
 }

@@ -51,6 +51,7 @@ type World struct {
 	Targets []core.Target
 
 	listeners []*quic.Listener
+	policy    quic.ServerPolicy
 }
 
 // NewWorld builds n servers on an impaired simnet. Servers are spread
@@ -58,7 +59,14 @@ type World struct {
 // CA-signed certificate for ServerDomain and answering HTTP/3 HEAD
 // requests.
 func NewWorld(n int, cfg simnet.Config) (*World, error) {
-	w := &World{Net: simnet.New(cfg), Pool: x509.NewCertPool()}
+	return NewWorldPolicy(n, cfg, quic.ServerPolicy{})
+}
+
+// NewWorldPolicy is NewWorld with a shared server policy, letting
+// chaos scenarios run against quirked populations (e.g. servers that
+// refuse connection migration).
+func NewWorldPolicy(n int, cfg simnet.Config, policy quic.ServerPolicy) (*World, error) {
+	w := &World{Net: simnet.New(cfg), Pool: x509.NewCertPool(), policy: policy}
 	ca, err := certgen.NewCA("chaos-ca")
 	if err != nil {
 		w.Close()
@@ -97,7 +105,7 @@ func (w *World) addServer(addr netip.Addr, cert tls.Certificate, params transpor
 			NextProtos:   []string{"h3", "h3-34", "h3-32", "h3-29"},
 		},
 		TransportParams: params,
-	}, quic.ServerPolicy{})
+	}, w.policy)
 	if err != nil {
 		pc.Close()
 		return err

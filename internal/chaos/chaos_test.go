@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"quicscan/internal/core"
+	"quicscan/internal/quic"
 	"quicscan/internal/simnet"
+	"quicscan/internal/telemetry"
 )
 
 // chaosScanConfig is the per-attempt budget used by the acceptance
@@ -78,6 +80,76 @@ func TestChaosScanRecovers(t *testing.T) {
 	}
 	if recovered == 0 {
 		t.Error("no target was recovered by a retry; the no-retry gap is unexplained")
+	}
+}
+
+// TestChaosRebindSurvival: flows whose socket moves mid-handshake or
+// mid-transfer on the default adversarial link (5% loss, jitter,
+// reordering) must still complete end to end with whole-flow retries:
+// the server's path validation promotes the moved client, and PTO
+// retransmission carries both sides across the loss. The >=99% bar
+// matches the scan-recovery acceptance run.
+func TestChaosRebindSurvival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier skipped in -short mode")
+	}
+	before := telemetry.Default().Snapshot().Counters["quic_migrations_total"]
+	w, err := NewWorld(50, simnet.Config{Seed: 42, Profile: DefaultProfile()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rep := w.RebindRun(context.Background(), RebindConfig{
+		Flows:    200,
+		Attempts: 4,
+		Timeout:  4 * chaosTimeout,
+		PTO:      chaosPTO,
+		MaxPTOs:  6,
+		Workers:  32,
+	})
+	t.Logf("rebind survival: %+v", rep)
+	if rate := 100 * float64(rep.Completions) / float64(rep.Flows); rate < 99 {
+		t.Errorf("completions = %.2f%% (%d/%d), want >= 99%%", rate, rep.Completions, rep.Flows)
+	}
+	if rep.HandshakeRebinds == 0 {
+		t.Error("no flow rebound mid-handshake; the scenario split is broken")
+	}
+	after := telemetry.Default().Snapshot().Counters["quic_migrations_total"]
+	if after <= before {
+		t.Errorf("no server promoted a migrated path (quic_migrations_total %d -> %d)", before, after)
+	}
+}
+
+// TestChaosRebindForcedAgainstDisabled: against a population that
+// refuses migration, a client that rebinds and then forces the new
+// path must never complete — the server ignores off-path challenges,
+// path validation fails, and traffic stays pointed at the dead
+// address.
+func TestChaosRebindForcedAgainstDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos tier skipped in -short mode")
+	}
+	w, err := NewWorldPolicy(20, simnet.Config{Seed: 43, Profile: DefaultProfile()},
+		quic.ServerPolicy{DisableMigration: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rep := w.RebindRun(context.Background(), RebindConfig{
+		Flows:    40,
+		Attempts: 2,
+		Timeout:  4 * chaosTimeout,
+		PTO:      chaosPTO,
+		MaxPTOs:  6,
+		Workers:  32,
+		Force:    true,
+	})
+	t.Logf("forced against disabled: %+v", rep)
+	if rep.Completions != 0 {
+		t.Errorf("%d flows completed against a migration-disabled population, want 0", rep.Completions)
+	}
+	if rep.ForcedRejected < rep.Flows*3/4 {
+		t.Errorf("only %d/%d forced migrations were explicitly rejected", rep.ForcedRejected, rep.Flows)
 	}
 }
 

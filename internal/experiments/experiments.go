@@ -46,6 +46,9 @@ type Options struct {
 	// scenario suite over every active deployment of the headline week
 	// and records the resulting confusion matrix.
 	Fingerprint bool
+	// Migration classifies connection-migration support (NAT-rebind
+	// probe) for every active deployment of the headline week.
+	Migration bool
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +116,10 @@ type Report struct {
 	// verdict), nil unless Options.Fingerprint was set.
 	FingerprintConfusion *fingerprint.ConfusionMatrix
 
+	// Per-profile migration-support classification, nil unless
+	// Options.Migration was set.
+	MigrationTable []MigrationRow
+
 	// Universe of the headline week (kept for AS lookups).
 	Universe *internet.Universe
 }
@@ -157,6 +164,12 @@ func Run(opts Options) (*Report, error) {
 			}
 			if opts.Fingerprint {
 				if err := report.runFingerprint(u); err != nil {
+					u.Stop()
+					return nil, err
+				}
+			}
+			if opts.Migration {
+				if err := report.runMigration(u); err != nil {
 					u.Stop()
 					return nil, err
 				}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"quicscan/internal/analysis"
+	"quicscan/internal/internet"
+	"quicscan/internal/migration"
+)
+
+// MigrationRow summarizes migration classification for one profile:
+// how many of its active deployments advertise
+// disable_active_migration, how the behavioral probe classified them,
+// and the ground-truth quirk the universe configured.
+type MigrationRow struct {
+	Profile    string
+	Truth      string
+	Targets    int
+	TPDisabled int
+	Verdicts   map[string]int
+}
+
+// Correct counts deployments whose verdict matched the ground truth.
+func (m MigrationRow) Correct() int { return m.Verdicts[m.Truth] }
+
+// runMigration classifies every BehaviorActive deployment of the
+// headline universe with the NAT-rebind probe and tabulates the
+// verdicts per profile against the configured migration quirk.
+func (r *Report) runMigration(u *internet.Universe) error {
+	var targets []migration.Target
+	var deps []*internet.Deployment
+	for _, d := range u.Deployments {
+		if d.Behavior != internet.BehaviorActive {
+			continue
+		}
+		sni := ""
+		if len(d.Domains) > 0 {
+			sni = d.Domains[0]
+		}
+		targets = append(targets, migration.Target{
+			Addr: netip.AddrPortFrom(d.Addr, 443),
+			SNI:  sni,
+		})
+		deps = append(deps, d)
+	}
+	p := &migration.Prober{
+		DialPacket:       func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		Workers:          16,
+		HandshakeTimeout: 4 * time.Second,
+		MigrateWait:      4 * time.Second,
+	}
+	results := p.ProbeAll(context.Background(), targets)
+
+	rows := make(map[string]*MigrationRow)
+	for i, res := range results {
+		d := deps[i]
+		row := rows[d.Profile.Name]
+		if row == nil {
+			row = &MigrationRow{
+				Profile:  d.Profile.Name,
+				Truth:    d.Profile.Quirks.Migration.String(),
+				Verdicts: make(map[string]int),
+			}
+			rows[d.Profile.Name] = row
+		}
+		row.Targets++
+		if res.TPDisabled {
+			row.TPDisabled++
+		}
+		row.Verdicts[res.Verdict]++
+	}
+	r.MigrationTable = make([]MigrationRow, 0, len(rows))
+	for _, row := range rows {
+		r.MigrationTable = append(r.MigrationTable, *row)
+	}
+	sort.Slice(r.MigrationTable, func(i, j int) bool {
+		return r.MigrationTable[i].Profile < r.MigrationTable[j].Profile
+	})
+	return nil
+}
+
+// RenderMigration emits the migration-support classification table:
+// per profile, the advertised transport parameter versus the
+// behaviorally observed class. The split exposes deployments whose
+// advertisement and behavior disagree (e.g. stacks that advertise
+// migration support but silently ignore a moved peer).
+func (r *Report) RenderMigration() string {
+	if r.MigrationTable == nil {
+		return "Migration scan disabled: enable Options.Migration (experiments -migration) to classify active deployments.\n"
+	}
+	var b strings.Builder
+	b.WriteString("Migration support: NAT-rebind probe over every BehaviorActive deployment.\n")
+	b.WriteString("tp-disabled counts deployments advertising disable_active_migration;\n")
+	b.WriteString("supported / disabled / validate-break are the behaviorally observed\n")
+	b.WriteString("classes; truth is the configured ground-truth quirk.\n\n")
+	var rows [][]string
+	total, correct := 0, 0
+	for _, row := range r.MigrationTable {
+		total += row.Targets
+		correct += row.Correct()
+		rows = append(rows, []string{
+			row.Profile,
+			fmt.Sprint(row.Targets),
+			fmt.Sprint(row.TPDisabled),
+			fmt.Sprint(row.Verdicts[migration.VerdictSupported]),
+			fmt.Sprint(row.Verdicts[migration.VerdictDisabled]),
+			fmt.Sprint(row.Verdicts[migration.VerdictValidateBreak]),
+			row.Truth,
+		})
+	}
+	b.WriteString(analysis.RenderTable(
+		[]string{"Profile", "Targets", "TP-disabled", "Supported", "Disabled", "Validate-break", "Truth"}, rows))
+	fmt.Fprintf(&b, "\nClassified %d/%d deployments correctly.\n", correct, total)
+	return b.String()
+}

@@ -404,7 +404,7 @@ func gvsEdgeProfile() *Profile {
 	return &Profile{
 		Name:           "google-edge",
 		Impl:           "gvs",
-		Quirks:         Quirks{KeyUpdate: quic.KeyUpdateIgnore, RejectGreaseTP: true},
+		Quirks:         Quirks{KeyUpdate: quic.KeyUpdateIgnore, RejectGreaseTP: true, Migration: MigrationValidateBreak},
 		VersionSet:     vGoogle,
 		ALPNSet:        aGoogle,
 		Mix:            BehaviorMix{{B: BehaviorActive, W: 1}},
@@ -439,7 +439,7 @@ func nginxProfile() *Profile {
 	return &Profile{
 		Name:       "nginx",
 		Impl:       "nginx-quic",
-		Quirks:     Quirks{DisableStatelessReset: true, RejectGreaseTP: true},
+		Quirks:     Quirks{DisableStatelessReset: true, RejectGreaseTP: true, Migration: MigrationDisabled},
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		Mix: BehaviorMix{
@@ -502,7 +502,7 @@ func unpaddedProfile() *Profile {
 	p.Name = "unpadded-responder"
 	p.Impl = "unpadded-responder"
 	p.RespondToUnpadded = true
-	p.Quirks = Quirks{IdleCloseNotify: true}
+	p.Quirks = Quirks{IdleCloseNotify: true, Migration: MigrationDisabled}
 	return p
 }
 

@@ -83,6 +83,39 @@ const (
 	RetryLax
 )
 
+// MigrationQuirk selects a profile's connection-migration behaviour —
+// what its deployments do when an established client's address changes
+// (NAT rebinding or deliberate migration, RFC 9000, Section 9).
+type MigrationQuirk int
+
+const (
+	// MigrationSupported validates the new path with PATH_CHALLENGE and
+	// migrates to it — the RFC-conforming default.
+	MigrationSupported MigrationQuirk = iota
+	// MigrationDisabled ignores peer address changes entirely: no
+	// PATH_CHALLENGE is sent and traffic keeps targeting the old
+	// address, so a rebound client goes dark (stateless load balancers
+	// that hash on the 4-tuple).
+	MigrationDisabled
+	// MigrationValidateBreak walks the validation handshake correctly
+	// and then closes the connection instead of switching paths — the
+	// half-implemented middle ground the migration scan mode exists to
+	// expose.
+	MigrationValidateBreak
+)
+
+func (m MigrationQuirk) String() string {
+	switch m {
+	case MigrationSupported:
+		return "supported"
+	case MigrationDisabled:
+		return "disabled"
+	case MigrationValidateBreak:
+		return "validate-break"
+	}
+	return fmt.Sprintf("MigrationQuirk(%d)", int(m))
+}
+
 // Quirks are small implementation-level behavioural deviations, wired
 // through quic.ServerPolicy for this profile's stateful listeners.
 // Each simulated implementation enables a distinct pair, so the
@@ -105,6 +138,8 @@ type Quirks struct {
 	// IdleCloseNotify announces idle teardown with
 	// CONNECTION_CLOSE(NO_ERROR) instead of going silent.
 	IdleCloseNotify bool
+	// Migration is the deployment's reaction to peer address changes.
+	Migration MigrationQuirk
 }
 
 // Profile describes one provider's deployment blueprint.

@@ -192,17 +192,19 @@ func (d *Deployment) ListenerSetup(week int, tlsCfg *tls.Config) (*quic.Config, 
 	}
 	q := d.Profile.Quirks
 	policy := quic.ServerPolicy{
-		AdvertisedVersions:    d.quicVersionsForWeek(week),
-		AcceptVersions:        d.acceptedVersions(week),
-		RespondToUnpadded:     d.Profile.RespondToUnpadded,
-		UseRetry:              d.Profile.UseRetry || q.Retry != RetryOff,
-		GreaseVN:              q.GreaseVN,
-		InvalidTokenClose:     q.Retry == RetryStrictClose,
-		AcceptAnyToken:        q.Retry == RetryLax,
-		KeyUpdate:             q.KeyUpdate,
-		RejectUnknownTP:       q.RejectGreaseTP,
-		DisableStatelessReset: q.DisableStatelessReset,
-		IdleCloseNotify:       q.IdleCloseNotify,
+		AdvertisedVersions:     d.quicVersionsForWeek(week),
+		AcceptVersions:         d.acceptedVersions(week),
+		RespondToUnpadded:      d.Profile.RespondToUnpadded,
+		UseRetry:               d.Profile.UseRetry || q.Retry != RetryOff,
+		GreaseVN:               q.GreaseVN,
+		InvalidTokenClose:      q.Retry == RetryStrictClose,
+		AcceptAnyToken:         q.Retry == RetryLax,
+		KeyUpdate:              q.KeyUpdate,
+		RejectUnknownTP:        q.RejectGreaseTP,
+		DisableStatelessReset:  q.DisableStatelessReset,
+		IdleCloseNotify:        q.IdleCloseNotify,
+		DisableMigration:       q.Migration == MigrationDisabled,
+		MigrationValidateBreak: q.Migration == MigrationValidateBreak,
 	}
 	if !d.ZMapVisible {
 		// Alt-Svc-only deployments stay invisible to forced VN.

@@ -262,7 +262,7 @@ func cloudflareProfile() *Profile {
 	return &Profile{
 		Name:       "cloudflare",
 		Impl:       "cloudflare-quiche",
-		Quirks:     Quirks{GreaseVN: true, IdleCloseNotify: true},
+		Quirks:     Quirks{GreaseVN: true, IdleCloseNotify: true, Migration: MigrationDisabled},
 		VersionSet: vCloudflare,
 		ALPNSet:    aCloudflare,
 		HTTPSRR:    true,
@@ -301,7 +301,7 @@ func akamaiProfile() *Profile {
 	return &Profile{
 		Name:       "akamai",
 		Impl:       "akamai-quic",
-		Quirks:     Quirks{GreaseVN: true, KeyUpdate: quic.KeyUpdateRefuse},
+		Quirks:     Quirks{GreaseVN: true, KeyUpdate: quic.KeyUpdateRefuse, Migration: MigrationDisabled},
 		VersionSet: vAkamai,
 		ALPNSet:    aQuicOnly,
 		Mix: BehaviorMix{
@@ -317,7 +317,7 @@ func fastlyProfile() *Profile {
 	return &Profile{
 		Name:       "fastly",
 		Impl:       "fastly-quicly",
-		Quirks:     Quirks{Retry: RetryStrictClose, DisableStatelessReset: true},
+		Quirks:     Quirks{Retry: RetryStrictClose, DisableStatelessReset: true, Migration: MigrationValidateBreak},
 		VersionSet: vFastly,
 		ALPNSet:    aIETF,
 		Mix: BehaviorMix{
@@ -380,7 +380,7 @@ func cloudProfile() *Profile {
 	return &Profile{
 		Name:       "cloud",
 		Impl:       "cloud-mixed",
-		Quirks:     Quirks{KeyUpdate: quic.KeyUpdateIgnore, IdleCloseNotify: true},
+		Quirks:     Quirks{KeyUpdate: quic.KeyUpdateIgnore, IdleCloseNotify: true, Migration: MigrationValidateBreak},
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		HTTPSRR:    true,

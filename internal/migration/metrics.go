@@ -1,0 +1,28 @@
+package migration
+
+import (
+	"sync"
+
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics for the migration scan (the migration_* family),
+// resolved once at init per the package-wide convention.
+var (
+	mTargets    = telemetry.Default().Counter("migration_targets_total")
+	mRebinds    = telemetry.Default().Counter("migration_rebinds_total")
+	mVerdicts   = telemetry.Default().CounterVec("migration_verdicts_total", "verdict")
+	mTPMismatch = telemetry.Default().Counter("migration_tp_mismatch_total")
+)
+
+// verdictCounters caches mVerdicts children; the verdict set is a
+// small compile-time constant.
+var verdictCounters sync.Map // string -> *telemetry.Counter
+
+func verdictCounter(name string) *telemetry.Counter {
+	if c, ok := verdictCounters.Load(name); ok {
+		return c.(*telemetry.Counter)
+	}
+	c, _ := verdictCounters.LoadOrStore(name, mVerdicts.With(name))
+	return c.(*telemetry.Counter)
+}

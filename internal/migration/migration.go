@@ -1,0 +1,275 @@
+// Package migration implements the migration-support scan mode: it
+// classifies how a QUIC deployment behaves when its peer's address
+// changes mid-connection. The paper's passive angle — reading
+// disable_active_migration out of the transport parameters — only
+// reveals what a deployment advertises; this prober additionally
+// rebinds the client socket mid-connection (a simulated NAT rebind)
+// and watches whether the server validates the new path
+// (PATH_CHALLENGE), resumes traffic to it, ignores it, or validates
+// it and then tears the connection down.
+package migration
+
+import (
+	"context"
+	"crypto/tls"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"quicscan/internal/quic"
+	"quicscan/internal/quicwire"
+)
+
+// Verdict names. The behavioral classes mirror
+// internet.MigrationQuirk.String() so simulated ground truth and scan
+// output compare directly; the tp-* classes are the low-confidence
+// fallback when the socket cannot rebind (plain kernel sockets) and
+// only the advertised transport parameter is observable.
+const (
+	VerdictSupported     = "supported"
+	VerdictDisabled      = "disabled"
+	VerdictValidateBreak = "validate-break"
+	VerdictUnreachable   = "unreachable"
+	VerdictTPAllows      = "tp-allows"
+	VerdictTPDisabled    = "tp-disabled"
+)
+
+// Rebinder is the optional capability the behavioral probe needs: a
+// socket that can atomically move to a fresh source address while
+// keeping its receive path (simnet.PacketConn implements it; kernel
+// UDP sockets do not, and such targets fall back to a tp-* verdict).
+type Rebinder interface {
+	Rebind() (netip.AddrPort, error)
+}
+
+// Target is one endpoint to classify.
+type Target struct {
+	Addr netip.AddrPort
+	SNI  string
+}
+
+// Result is the outcome for one target.
+type Result struct {
+	Target  Target
+	Verdict string
+	// TPDisabled records the advertised disable_active_migration
+	// transport parameter (false when the handshake failed).
+	TPDisabled bool
+	// Challenges counts PATH_CHALLENGE frames the client received
+	// after the rebind: >0 means the server at least started path
+	// validation toward the new address.
+	Challenges int
+	// Honest is false when the advertised transport parameter
+	// contradicts observed behavior (e.g. nginx-style deployments
+	// that advertise migration support but silently ignore moved
+	// peers). Only meaningful for behavioral verdicts.
+	Honest bool
+	// Err carries the terminal error for unreachable targets.
+	Err string
+}
+
+// Prober runs the migration scan. DialPacket must be set; everything
+// else has defaults. One Prober is safe for concurrent use.
+type Prober struct {
+	// DialPacket opens a fresh client socket per target. When the
+	// returned conn implements Rebinder the full behavioral probe
+	// runs; otherwise only the transport parameter is read.
+	DialPacket func() (net.PacketConn, error)
+
+	// TLS, Versions, HandshakeTimeout, PTO, MaxPTOs mirror the
+	// fingerprint prober's dial tuning. A nil TLS skips certificate
+	// verification (the prober measures transport behavior, not
+	// authenticity).
+	TLS              *tls.Config
+	Versions         []quicwire.Version
+	HandshakeTimeout time.Duration
+	PTO              time.Duration
+	MaxPTOs          int
+
+	// MigrateWait bounds the post-rebind round trip: how long the
+	// prober waits for traffic to resume on the new path before
+	// declaring the deployment migration-hostile (default 3s).
+	MigrateWait time.Duration
+
+	// Workers bounds ProbeAll's concurrency (default 8).
+	Workers int
+}
+
+func (p *Prober) handshakeTimeout() time.Duration {
+	if p.HandshakeTimeout > 0 {
+		return p.HandshakeTimeout
+	}
+	return 1500 * time.Millisecond
+}
+
+func (p *Prober) pto() time.Duration {
+	if p.PTO > 0 {
+		return p.PTO
+	}
+	return 100 * time.Millisecond
+}
+
+func (p *Prober) maxPTOs() int {
+	if p.MaxPTOs != 0 {
+		return p.MaxPTOs
+	}
+	return 6
+}
+
+func (p *Prober) migrateWait() time.Duration {
+	if p.MigrateWait > 0 {
+		return p.MigrateWait
+	}
+	return 3 * time.Second
+}
+
+func (p *Prober) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return 8
+}
+
+// Probe classifies one target.
+func (p *Prober) Probe(ctx context.Context, t Target) Result {
+	mTargets.Inc()
+	res := p.probe(ctx, t)
+	verdictCounter(res.Verdict).Inc()
+	if !res.Honest {
+		mTPMismatch.Inc()
+	}
+	return res
+}
+
+func (p *Prober) probe(ctx context.Context, t Target) Result {
+	res := Result{Target: t, Honest: true}
+	pc, err := p.DialPacket()
+	if err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	cfg := &quic.Config{
+		TLS:              p.tlsFor(t),
+		Versions:         p.Versions,
+		HandshakeTimeout: p.handshakeTimeout(),
+		PTO:              p.pto(),
+		MaxPTOs:          p.maxPTOs(),
+		MaxPTOBackoff:    4 * p.pto(),
+		TransportParams:  quic.DefaultClientParams(),
+	}
+	dctx, cancel := context.WithTimeout(ctx, cfg.HandshakeTimeout+time.Second)
+	conn, err := quic.Dial(dctx, pc, net.UDPAddrFromAddrPort(t.Addr), cfg)
+	cancel()
+	if err != nil {
+		pc.Close()
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	defer conn.Close()
+	if tp, ok := conn.PeerTransportParameters(); ok {
+		res.TPDisabled = tp.DisableActiveMigration
+	}
+
+	rb, ok := pc.(Rebinder)
+	if !ok {
+		// Kernel sockets cannot move mid-connection; the advertised
+		// transport parameter is the only signal.
+		if res.TPDisabled {
+			res.Verdict = VerdictTPDisabled
+		} else {
+			res.Verdict = VerdictTPAllows
+		}
+		return res
+	}
+
+	// A confirmed round trip first: the rebind must be unambiguously
+	// post-handshake on the server, or address adoption (legal during
+	// the handshake, RFC 9000 Section 8.1) masquerades as migration
+	// support.
+	pctx, cancel := context.WithTimeout(ctx, p.migrateWait())
+	err = conn.Ping(pctx)
+	cancel()
+	if err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+
+	before := conn.Stats().PathChallengesReceived
+	if _, err := rb.Rebind(); err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	mRebinds.Inc()
+
+	// The ping now leaves from the fresh address. Its ACK initially
+	// flows to the dead old path, so success requires the server to
+	// validate and promote the new one; the PTO schedule resends the
+	// ping until that happens or the wait expires.
+	pctx, cancel = context.WithTimeout(ctx, p.migrateWait())
+	err = conn.Ping(pctx)
+	if err == nil {
+		// A teardown can race the final ACK out of the server: the
+		// flight that validates the path may acknowledge the ping
+		// right before the CONNECTION_CLOSE lands. A confirmation
+		// round trip on the promoted path separates survived from
+		// validated-then-dropped.
+		err = conn.Ping(pctx)
+	}
+	cancel()
+	res.Challenges = conn.Stats().PathChallengesReceived - before
+
+	switch {
+	case err == nil:
+		res.Verdict = VerdictSupported
+		res.Honest = !res.TPDisabled
+	case res.Challenges > 0:
+		// The server began path validation, yet traffic never
+		// resumed: it validates the client and then drops it.
+		res.Verdict = VerdictValidateBreak
+		res.Honest = !res.TPDisabled
+	default:
+		res.Verdict = VerdictDisabled
+		res.Honest = res.TPDisabled
+	}
+	return res
+}
+
+func (p *Prober) tlsFor(t Target) *tls.Config {
+	var cfg *tls.Config
+	if p.TLS != nil {
+		cfg = p.TLS.Clone()
+	} else {
+		cfg = &tls.Config{InsecureSkipVerify: true}
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = t.SNI
+	}
+	if len(cfg.NextProtos) == 0 {
+		cfg.NextProtos = []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"}
+	}
+	return cfg
+}
+
+// ProbeAll classifies every target with a bounded worker pool,
+// preserving input order.
+func (p *Prober) ProbeAll(ctx context.Context, targets []Target) []Result {
+	out := make([]Result, len(targets))
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = p.Probe(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}

@@ -75,8 +75,8 @@ func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote 
 	c.dcid = quicwire.ConnID(ids[:clientCIDLen:clientCIDLen])
 	c.origDcid = c.dcid
 	sock := t.sockFor()
-	c.sendFunc = func(b []byte) error {
-		n, err := sock.WriteTo(b, remote)
+	c.sendFunc = func(b []byte, to net.Addr) error {
+		n, err := sock.WriteTo(b, to)
 		t.cDatagramsOut.Add(1)
 		t.cBytesOut.Add(uint64(n))
 		mDatagramsOut.Inc()
@@ -84,6 +84,16 @@ func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote 
 		return err
 	}
 	c.onClose = func() { t.retire(c) }
+	c.initPathLocked(remote)
+	// Path-management hooks: alternate connection IDs route through the
+	// transport's demux table, and a validated migration re-keys the
+	// address fallback route.
+	c.registerCID = func(id quicwire.ConnID) ([16]byte, bool) { return t.addConnID(c, id) }
+	c.unregisterCID = func(id quicwire.ConnID) { t.removeConnID(c, id) }
+	c.onPathChange = func(old, new net.Addr) { t.rebindAddr(c, new) }
+	// Give the server spare client connection IDs so it can rotate on
+	// its side of a migration (RFC 9000, Section 5.1.1).
+	c.onHandshakeDone = func() { c.issueConnIDsLocked(2) }
 
 	t.cDials.Add(1)
 	mDials.Inc()

@@ -208,4 +208,16 @@ type Stats struct {
 	HandshakeDuration time.Duration
 	// BytesSent and BytesReceived count UDP payload bytes.
 	BytesSent, BytesReceived int
+	// PathChallengesSent and PathChallengesReceived count PATH_CHALLENGE
+	// frames in each direction; the migration scan mode reads the
+	// received count to distinguish a deployment that validated a new
+	// path from one that never reacted.
+	PathChallengesSent, PathChallengesReceived int
+	// PathValidations counts successful PATH_CHALLENGE/PATH_RESPONSE
+	// round trips; PathValidationFailures counts probes abandoned after
+	// their retry budget.
+	PathValidations, PathValidationFailures int
+	// Migrations counts active-path switches (both deliberate Migrate
+	// calls and server-side promotions after a peer address change).
+	Migrations int
 }

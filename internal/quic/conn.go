@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quicscan/internal/quiccrypto"
@@ -92,8 +94,9 @@ type Conn struct {
 	remote net.Addr
 	// sendFunc abstracts the transmit path: client connections send
 	// through their Transport's socket pool, server connections through
-	// the listener's socket.
-	sendFunc func(b []byte) error
+	// the listener's socket. The destination is passed per call because
+	// connection migration can change it mid-connection.
+	sendFunc func(b []byte, to net.Addr) error
 
 	mu     sync.Mutex
 	spaces [numSpaces]pnSpace
@@ -122,6 +125,45 @@ type Conn struct {
 	retryToken  []byte
 	dcidUpdated bool // client switched to the server-chosen DCID
 	peerConnIDs []peerConnID
+
+	// Path validation and migration state (path.go). activeAP is the
+	// canonical form of remote; activePub its lock-free mirror for the
+	// Transport's address-mismatch accounting. rxFromAP/rxDCID/rxDgramLen
+	// are per-datagram receive scratch, valid only inside handleDatagram.
+	activeAP   netip.AddrPort
+	activePub  atomic.Value // netip.AddrPort
+	paths      []*pathState
+	rxFromAP   netip.AddrPort
+	rxDCID     []byte
+	rxDgramLen int
+	dcidSeq    uint64 // sequence number of the peer CID in c.dcid
+
+	// Client-initiated migration (Migrate): the outstanding challenge
+	// rides the normal send queue, so it needs no pathState.
+	migrChallenge        [8]byte
+	migrChallengePending bool
+	migrValidated        bool
+
+	// Connection IDs this endpoint issued (sequence 0 is scid;
+	// sequence 1 the preferred-address CID when offered).
+	localCIDs       []localConnID
+	nextLocalCIDSeq uint64
+	prefAddrCID     quicwire.ConnID
+
+	// registerCID/unregisterCID hook alternate local connection IDs
+	// into the owning demultiplexer's routing table; onPathChange
+	// re-keys its address route after a migration. All are invoked with
+	// c.mu held, so hook bodies must not call back into Conn methods.
+	registerCID   func(id quicwire.ConnID) (token [16]byte, ok bool)
+	unregisterCID func(id quicwire.ConnID)
+	onPathChange  func(old, new net.Addr)
+
+	// Migration quirk knobs, copied from ServerPolicy at accept time:
+	// disableMigration ignores peer address changes outright;
+	// migrateBreak validates the new path and then closes the
+	// connection.
+	disableMigration bool
+	migrateBreak     bool
 
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -169,9 +211,12 @@ type Conn struct {
 
 	// remoteKey and scidKey cache the transport routing-map keys so
 	// register/retire do not re-stringify the remote address and
-	// source ID.
+	// source ID. altKeys are the alternate-ID route keys issued via
+	// NEW_CONNECTION_ID; all three are touched only by the owning
+	// Transport under its own mutex (after registration).
 	remoteKey string
 	scidKey   string
+	altKeys   []string
 
 	// onHandshakeDone, used by the server to install post-handshake
 	// behaviour (HANDSHAKE_DONE frame).
@@ -466,9 +511,14 @@ func (c *Conn) onIdleTimeout() {
 // duration of the call: all processing happens synchronously under
 // c.mu, and every value retained past return — crypto stream data,
 // stream segments, connection IDs, tokens — is copied out first.
-func (c *Conn) handleDatagram(data []byte) {
+// from is the datagram's source address (nil when the caller has no
+// address context, which disables migration detection for the call);
+// like data it is only valid for the duration of the call.
+func (c *Conn) handleDatagram(data []byte, from net.Addr) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.rxFromAP = addrPortOf(from)
+	c.rxDgramLen = len(data)
 	c.stats.BytesReceived += len(data)
 	if c.handshakeDone {
 		c.armIdleTimerLocked()
@@ -542,6 +592,9 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 		c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
 		c.dcidUpdated = true
 	}
+	c.rxDCID = hdr.DstID
+	c.notePeerAddressLocked(c.rxDgramLen)
+	c.rxDgramLen = 0 // amplification credit is per datagram, not per packet
 	c.processPayloadLocked(spIdx, pn, payload)
 
 	// Once Handshake packets flow, Initial keys are discarded on both
@@ -572,6 +625,10 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 		}
 		return
 	}
+	// All connection IDs this endpoint issues share scid's length, so
+	// the destination ID is the same slice regardless of which one the
+	// peer used (raw is the pristine copy; OpenPacket mutates data).
+	c.rxDCID = raw[1 : 1+len(c.scid)]
 	payload, pn, _, err := sp.recvKeys.OpenPacket(data, pnOff, sp.largestRx)
 	if err != nil {
 		// The peer may have initiated a key update (flipped key phase
@@ -581,6 +638,8 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 			if c.trace != nil {
 				c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn2, "size", len(raw))
 			}
+			c.notePeerAddressLocked(c.rxDgramLen)
+			c.rxDgramLen = 0
 			c.processPayloadLocked(spaceApp, pn2, payload2)
 			return
 		}
@@ -592,6 +651,8 @@ func (c *Conn) handleShortPacketLocked(data []byte) {
 	if c.trace != nil {
 		c.trace.Event("packet_received", "space", spaceNames[spaceApp], "pn", pn, "size", len(raw))
 	}
+	c.notePeerAddressLocked(c.rxDgramLen)
+	c.rxDgramLen = 0
 	c.processPayloadLocked(spaceApp, pn, payload)
 }
 
@@ -803,22 +864,22 @@ func (c *Conn) handleFrameLocked(spIdx int, f quicwire.Frame) {
 		}
 		c.closeLocked(err)
 	case *quicwire.PathChallengeFrame:
-		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
-			&quicwire.PathResponseFrame{Data: fr.Data})
+		c.handlePathChallengeLocked(fr.Data)
+	case *quicwire.PathResponseFrame:
+		c.handlePathResponseLocked(fr.Data)
 	case *quicwire.NewConnectionIDFrame:
-		// Store alternate IDs the peer issued; a future sender may
-		// switch to them (connection migration is out of scope, but
-		// the inventory is part of the connection state).
+		// Store alternate IDs the peer issued; migration reserves them
+		// per path so a new path never reuses a linkable ID.
 		c.peerConnIDs = append(c.peerConnIDs, peerConnID{
 			seq:   fr.SequenceNumber,
 			id:    append(quicwire.ConnID(nil), fr.ConnectionID...),
 			token: fr.StatelessResetToken,
 		})
-	case *quicwire.RetireConnectionIDFrame,
-		*quicwire.NewTokenFrame, *quicwire.MaxDataFrame, *quicwire.MaxStreamDataFrame,
+	case *quicwire.RetireConnectionIDFrame:
+		c.handleRetireConnIDLocked(fr)
+	case *quicwire.NewTokenFrame, *quicwire.MaxDataFrame, *quicwire.MaxStreamDataFrame,
 		*quicwire.MaxStreamsFrame, *quicwire.DataBlockedFrame,
-		*quicwire.StreamDataBlockedFrame, *quicwire.StreamsBlockedFrame,
-		*quicwire.PathResponseFrame:
+		*quicwire.StreamDataBlockedFrame, *quicwire.StreamsBlockedFrame:
 		// Accepted and ignored: the scanner transfers too little data
 		// for these to matter.
 	}
@@ -1026,6 +1087,7 @@ func (c *Conn) closeLocked(err error) {
 		if c.idleTimer != nil {
 			c.idleTimer.Stop()
 		}
+		c.stopPathTimersLocked()
 		close(c.closed)
 		for _, s := range c.streams {
 			s.connClosed(err)

@@ -33,6 +33,18 @@ var (
 	mVNByVersion = telemetry.Default().CounterVec("quic_vn_server_versions_total", "version")
 	// mHandshakeMs is the handshake completion latency histogram.
 	mHandshakeMs = telemetry.Default().Histogram("quic_handshake_ms", telemetry.LatencyBucketsMs())
+
+	// Path validation and connection migration (path.go).
+	mPathChallengesSent     = telemetry.Default().Counter("quic_path_challenges_sent_total")
+	mPathChallengesReceived = telemetry.Default().Counter("quic_path_challenges_received_total")
+	mPathValidated          = telemetry.Default().Counter("quic_path_validations_total")
+	mPathValidationFail     = telemetry.Default().Counter("quic_path_validation_failures_total")
+	mMigrations             = telemetry.Default().Counter("quic_migrations_total")
+	// mRouteAddrMiss counts short-header datagrams that routed by
+	// connection ID but arrived from an address other than the
+	// connection's active path — the observable shadow of NAT rebinding
+	// and migration (Transport.route).
+	mRouteAddrMiss = telemetry.Default().Counter("quic_route_addr_miss_total")
 )
 
 // Fixed-label children of the vecs above, resolved once so the dial

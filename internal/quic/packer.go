@@ -24,7 +24,7 @@ func (c *Conn) sendPendingLocked() {
 			break
 		}
 		c.stats.BytesSent += len(datagram)
-		if err := c.sendFunc(datagram); err != nil {
+		if err := c.sendFunc(datagram, c.remote); err != nil {
 			c.closeLocked(err)
 			return
 		}

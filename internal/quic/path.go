@@ -1,0 +1,773 @@
+package quic
+
+import (
+	"context"
+	crand "crypto/rand"
+	"errors"
+	"net"
+	"net/netip"
+	"time"
+
+	"quicscan/internal/quiccrypto"
+	"quicscan/internal/quicwire"
+)
+
+// Path validation and connection migration (RFC 9000, Sections 8.2 and
+// 9). A connection has one active path — the (local, peer) address
+// pair traffic currently flows on — plus up to maxPaths alternates in
+// various states of validation. Servers react to a peer address change
+// by validating the new path with PATH_CHALLENGE before redirecting
+// traffic to it; clients change paths only deliberately, via Migrate
+// or FollowPreferredAddress, because a server's packets may
+// legitimately arrive from addresses the client never sent to (a
+// preferred-address socket, a load balancer's egress).
+
+// maxPaths bounds the per-connection alternate path set; an attacker
+// spraying spoofed source addresses must not grow connection state
+// without bound (RFC 9000, Section 9.3.2).
+const maxPaths = 4
+
+// maxPathProbes is how many times one PATH_CHALLENGE is retried before
+// the path is declared unreachable.
+const maxPathProbes = 3
+
+// pathStatus is the validation state of one network path.
+type pathStatus int
+
+const (
+	pathUnvalidated pathStatus = iota
+	pathValidating
+	pathValidated
+	pathFailed
+)
+
+// pathState tracks one peer address and its validation progress. All
+// fields are guarded by Conn.mu.
+type pathState struct {
+	remote net.Addr       // materialized peer address (never aliases read-loop scratch)
+	ap     netip.AddrPort // canonical (unmapped) form of remote
+	status pathStatus
+
+	challenge [8]byte // outstanding PATH_CHALLENGE data
+	retries   int
+	timer     *time.Timer
+
+	// Anti-amplification accounting (RFC 9000, Section 8): until the
+	// path is validated a server may send at most three times the bytes
+	// it received from the address.
+	bytesIn  int
+	bytesOut int
+
+	// dcid is the peer-issued connection ID reserved for this path, so
+	// migrating rotates connection IDs and defeats cross-path linkage
+	// (RFC 9000, Section 9.5). Zero dcidSeq with nil dcid means the
+	// path falls back to the connection's current destination ID.
+	dcid    quicwire.ConnID
+	dcidSeq uint64
+
+	// respPending holds a PATH_RESPONSE the amplification limit blocked:
+	// an off-path PATH_CHALLENGE can arrive when the 3x budget is already
+	// spent (e.g. on this side's own challenge probe), and the datagram
+	// that carried it was ACKed, so the peer will not loss-retransmit.
+	// The response is retried as soon as the path earns more credit.
+	respPending bool
+	respData    [8]byte
+}
+
+// localConnID is a connection ID this endpoint issued for itself via
+// NEW_CONNECTION_ID (sequence 0 is the handshake source ID).
+type localConnID struct {
+	seq uint64
+	id  quicwire.ConnID
+}
+
+// ErrMigrationDisabled is returned by Migrate when the peer forbade
+// active migration via the disable_active_migration transport
+// parameter. MigrateForce ignores the parameter deliberately, to
+// measure how deployments treat clients that migrate anyway.
+var ErrMigrationDisabled = errors.New("quic: peer disabled active migration")
+
+// ErrPathValidationFailed is returned when a probed path never
+// answered the PATH_CHALLENGE retries.
+var ErrPathValidationFailed = errors.New("quic: path validation failed")
+
+// errNoPreferredAddress is returned by FollowPreferredAddress when the
+// server offered none (or none of a usable family).
+var errNoPreferredAddress = errors.New("quic: server offered no preferred address")
+
+// addrPortOf canonicalizes a net.Addr to an unmapped netip.AddrPort.
+// The *net.UDPAddr fast path is allocation-free, which matters because
+// every received datagram passes through here.
+func addrPortOf(a net.Addr) netip.AddrPort {
+	var ap netip.AddrPort
+	switch v := a.(type) {
+	case *net.UDPAddr:
+		ap = v.AddrPort()
+	case interface{ AddrPort() netip.AddrPort }:
+		ap = v.AddrPort()
+	default:
+		if a == nil {
+			return netip.AddrPort{}
+		}
+		ap, _ = netip.ParseAddrPort(a.String())
+	}
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}
+
+// publishActiveLocked mirrors the active peer address into the
+// lock-free copy Transport.route reads for the address-mismatch
+// counter.
+func (c *Conn) publishActiveLocked() {
+	c.activePub.Store(c.activeAP)
+}
+
+// publishedAddr returns the lock-free copy of the active peer address
+// (zero before the connection initialized it).
+func (c *Conn) publishedAddr() netip.AddrPort {
+	ap, _ := c.activePub.Load().(netip.AddrPort)
+	return ap
+}
+
+// initPathLocked records the handshake peer address as the active
+// path. Called once at connection setup.
+func (c *Conn) initPathLocked(remote net.Addr) {
+	c.activeAP = addrPortOf(remote)
+	c.publishActiveLocked()
+}
+
+// findPathLocked returns the alternate path for ap, or nil.
+func (c *Conn) findPathLocked(ap netip.AddrPort) *pathState {
+	for _, p := range c.paths {
+		if p.ap == ap {
+			return p
+		}
+	}
+	return nil
+}
+
+// notePeerAddressLocked inspects the source address of a successfully
+// decrypted packet (recorded in c.rxFromAP by handleDatagram) and
+// drives the migration state machine when it differs from the active
+// path. dgramLen credits the anti-amplification budget of the path.
+func (c *Conn) notePeerAddressLocked(dgramLen int) {
+	ap := c.rxFromAP
+	if !ap.IsValid() || !c.activeAP.IsValid() || ap == c.activeAP {
+		return
+	}
+	if c.isClient {
+		// A server may legitimately send from addresses the client
+		// never targeted (preferred-address sockets, load balancer
+		// egress); clients change paths only via Migrate or
+		// FollowPreferredAddress.
+		return
+	}
+	if !c.handshakeDone {
+		// Pre-handshake rebind: adopt the new address directly. The
+		// handshake itself proves the peer owns it (RFC 9000, Section
+		// 8.1), and a challenge exchange here would deadlock the very
+		// handshake that carries it.
+		c.adoptPeerAddressLocked(ap)
+		return
+	}
+	p := c.findPathLocked(ap)
+	if p == nil {
+		if len(c.paths) >= maxPaths {
+			return
+		}
+		p = &pathState{remote: net.UDPAddrFromAddrPort(ap), ap: ap}
+		c.reservePathCIDLocked(p)
+		c.paths = append(c.paths, p)
+	}
+	p.bytesIn += dgramLen
+	c.flushPathResponseLocked(p)
+	switch p.status {
+	case pathValidated:
+		// Seen before and already proven — a NAT flapping between two
+		// bindings. Promote without a fresh round trip.
+		c.promotePathLocked(p)
+	case pathUnvalidated:
+		if c.disableMigration {
+			// Policy quirk: the deployment advertises (or just enforces)
+			// disable_active_migration by pretending not to notice the
+			// move. Traffic keeps flowing to the old, now-dead address.
+			return
+		}
+		c.startPathValidationLocked(p)
+	case pathValidating, pathFailed:
+		// Probe in flight, or given up: nothing to do per packet.
+	}
+}
+
+// adoptPeerAddressLocked switches the active path without validation
+// (pre-handshake only).
+func (c *Conn) adoptPeerAddressLocked(ap netip.AddrPort) {
+	c.remote = net.UDPAddrFromAddrPort(ap)
+	old := c.activeAP
+	c.activeAP = ap
+	c.publishActiveLocked()
+	if c.trace != nil {
+		c.trace.Event("path_adopted", "old", old.String(), "new", ap.String())
+	}
+}
+
+// reservePathCIDLocked assigns an unused peer-issued connection ID to
+// the path so packets on it are unlinkable to the old path. Without a
+// spare ID the path reuses the connection's current destination ID.
+func (c *Conn) reservePathCIDLocked(p *pathState) {
+	for _, pc := range c.peerConnIDs {
+		if pc.seq <= c.dcidSeq {
+			continue
+		}
+		inUse := false
+		for _, other := range c.paths {
+			if other.dcid != nil && other.dcidSeq == pc.seq {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			p.dcid = pc.id
+			p.dcidSeq = pc.seq
+			return
+		}
+	}
+}
+
+// startPathValidationLocked issues a fresh PATH_CHALLENGE on the path
+// and arms the probe-timeout retry timer.
+func (c *Conn) startPathValidationLocked(p *pathState) {
+	if _, err := crand.Read(p.challenge[:]); err != nil {
+		return
+	}
+	p.status = pathValidating
+	p.retries = 0
+	c.stats.PathChallengesSent++
+	mPathChallengesSent.Inc()
+	if c.trace != nil {
+		c.trace.Event("path_challenge_sent", "path", p.ap.String())
+	}
+	c.sendPathProbeLocked(p, true, &quicwire.PathChallengeFrame{Data: p.challenge})
+	c.armPathTimerLocked(p)
+}
+
+// armPathTimerLocked schedules the next PATH_CHALLENGE retransmission
+// with per-retry doubling of the configured PTO.
+func (c *Conn) armPathTimerLocked(p *pathState) {
+	d := c.cfg.PTO << p.retries
+	if c.cfg.MaxPTOBackoff > 0 && d > c.cfg.MaxPTOBackoff {
+		d = c.cfg.MaxPTOBackoff
+	}
+	if p.timer == nil {
+		p.timer = time.AfterFunc(d, func() { c.onPathTimeout(p) })
+	} else {
+		p.timer.Reset(d)
+	}
+}
+
+// onPathTimeout retries or abandons an unanswered PATH_CHALLENGE.
+func (c *Conn) onPathTimeout(p *pathState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return
+	default:
+	}
+	if p.status != pathValidating {
+		return
+	}
+	if p.retries >= maxPathProbes {
+		p.status = pathFailed
+		c.stats.PathValidationFailures++
+		mPathValidationFail.Inc()
+		if c.trace != nil {
+			c.trace.Event("path_validation_failed", "path", p.ap.String())
+		}
+		return
+	}
+	p.retries++
+	c.stats.PathChallengesSent++
+	mPathChallengesSent.Inc()
+	c.sendPathProbeLocked(p, true, &quicwire.PathChallengeFrame{Data: p.challenge})
+	c.armPathTimerLocked(p)
+}
+
+// sendPathProbeLocked builds and transmits one 1-RTT probe datagram on
+// an alternate path, outside the normal send pipeline: it uses the
+// path's own destination connection ID, is not loss-tracked (the path
+// timer owns retransmission), and respects the 3x anti-amplification
+// limit while the path is unvalidated. pad expands PATH_CHALLENGE
+// datagrams toward 1200 bytes to also probe the path MTU, as far as
+// the amplification budget allows. Reports whether the datagram was
+// actually sent — the budget can block it entirely.
+func (c *Conn) sendPathProbeLocked(p *pathState, pad bool, frames ...quicwire.Frame) bool {
+	sp := &c.spaces[spaceApp]
+	if sp.sendKeys == nil || sp.dropped {
+		return false
+	}
+	dcid := p.dcid
+	if dcid == nil {
+		dcid = c.dcid
+	}
+	var payload []byte
+	for _, f := range frames {
+		payload = f.Append(payload)
+	}
+	pn := sp.nextPN
+	sp.nextPN++
+	pnLen := 2
+	for len(payload)+pnLen < 4 {
+		payload = append(payload, 0)
+	}
+	// Size budget: the sealed datagram must stay within the
+	// amplification limit on server-unvalidated paths.
+	budget := c.cfg.MaxDatagramSize
+	if !c.isClient && p.status != pathValidated {
+		if allowed := 3*p.bytesIn - p.bytesOut; allowed < budget {
+			budget = allowed
+		}
+	}
+	overhead := 1 + len(dcid) + pnLen + quiccrypto.SealOverhead
+	if len(payload)+overhead > budget {
+		return false // amplification budget exhausted; the retry timer tries again
+	}
+	if pad {
+		target := quicwire.MinInitialSize
+		if target > budget {
+			target = budget
+		}
+		if n := target - overhead - len(payload); n > 0 {
+			payload = append(payload, zeroPad[:n]...)
+		}
+	}
+	pkt, pnOff := quicwire.AppendShortHeader(nil, dcid, pn, pnLen, sp.sendPhase)
+	pkt = append(pkt, payload...)
+	pkt = sp.sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
+	p.bytesOut += len(pkt)
+	c.stats.BytesSent += len(pkt)
+	if c.trace != nil {
+		c.trace.Event("packet_sent", "space", spaceNames[spaceApp], "pn", pn, "size", len(pkt), "path", p.ap.String())
+	}
+	c.sendFunc(pkt, p.remote)
+	return true
+}
+
+// flushPathResponseLocked retries a PATH_RESPONSE the amplification
+// limit previously blocked. Called whenever the path earns credit (a
+// new datagram arrived on it) or stops being budget-limited (it was
+// promoted to the active path).
+func (c *Conn) flushPathResponseLocked(p *pathState) {
+	if !p.respPending {
+		return
+	}
+	if p.ap == c.activeAP {
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.PathResponseFrame{Data: p.respData})
+		p.respPending = false
+		return
+	}
+	if c.sendPathProbeLocked(p, false, &quicwire.PathResponseFrame{Data: p.respData}) {
+		p.respPending = false
+	}
+}
+
+// handlePathChallengeLocked answers a peer's PATH_CHALLENGE. The
+// response must travel on the path the challenge arrived on (RFC 9000,
+// Section 8.2.2): for the active path it rides the normal send queue,
+// for an alternate address it goes out as an immediate probe datagram.
+func (c *Conn) handlePathChallengeLocked(data [8]byte) {
+	c.stats.PathChallengesReceived++
+	mPathChallengesReceived.Inc()
+	ap := c.rxFromAP
+	if !ap.IsValid() || !c.activeAP.IsValid() || ap == c.activeAP {
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.PathResponseFrame{Data: data})
+		return
+	}
+	if c.disableMigration && !c.isClient {
+		return // the migration-hostile quirk stays silent off-path
+	}
+	p := c.findPathLocked(ap)
+	if p == nil {
+		if len(c.paths) >= maxPaths {
+			return
+		}
+		p = &pathState{remote: net.UDPAddrFromAddrPort(ap), ap: ap}
+		c.reservePathCIDLocked(p)
+		c.paths = append(c.paths, p)
+	}
+	if !c.sendPathProbeLocked(p, false, &quicwire.PathResponseFrame{Data: data}) {
+		p.respData = data
+		p.respPending = true
+	}
+}
+
+// handlePathResponseLocked matches a PATH_RESPONSE against outstanding
+// challenges. Matching is by the echoed 8 bytes alone — the response
+// may arrive from a different address than the challenge probed
+// (RFC 9000, Section 8.2.3).
+func (c *Conn) handlePathResponseLocked(data [8]byte) {
+	if c.migrChallengePending && c.migrChallenge == data {
+		c.migrChallengePending = false
+		c.migrValidated = true
+		c.stats.PathValidations++
+		mPathValidated.Inc()
+		return
+	}
+	for _, p := range c.paths {
+		if p.status == pathValidating && p.challenge == data {
+			p.status = pathValidated
+			p.retries = 0
+			if p.timer != nil {
+				p.timer.Stop()
+			}
+			c.stats.PathValidations++
+			mPathValidated.Inc()
+			if c.trace != nil {
+				c.trace.Event("path_validated", "path", p.ap.String())
+			}
+			c.promotePathLocked(p)
+			return
+		}
+	}
+	// Unmatched responses are ignored (late duplicates, or off-path
+	// spoofing attempts).
+}
+
+// promotePathLocked redirects the connection to a validated path:
+// future sends target its address, the destination connection ID
+// rotates to the path's reserved ID (retiring the old one), and the
+// owning Transport/Listener re-keys its address route.
+func (c *Conn) promotePathLocked(p *pathState) {
+	if p.ap == c.activeAP {
+		return
+	}
+	if p.respPending {
+		// A response owed on this path is no longer budget-limited once
+		// the path is active; it rides the normal send queue from here.
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.PathResponseFrame{Data: p.respData})
+		p.respPending = false
+	}
+	old := c.remote
+	oldAP := c.activeAP
+	c.remote = p.remote
+	c.activeAP = p.ap
+	c.publishActiveLocked()
+	if p.dcid != nil {
+		retired := c.dcidSeq
+		c.dcid = p.dcid
+		c.dcidSeq = p.dcidSeq
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.RetireConnectionIDFrame{SequenceNumber: retired})
+	}
+	// The old active address remains a known, validated path (NAT
+	// bindings flap back); remember it in place of the promoted one.
+	p.remote = old
+	p.ap = oldAP
+	p.status = pathValidated
+	p.dcid = nil
+	p.dcidSeq = 0
+	c.stats.Migrations++
+	mMigrations.Inc()
+	if c.trace != nil {
+		c.trace.Event("path_migrated", "old", oldAP.String(), "new", c.activeAP.String())
+	}
+	if c.onPathChange != nil {
+		c.onPathChange(old, c.remote)
+	}
+	if c.migrateBreak {
+		// The validates-then-breaks quirk: the deployment walks the
+		// whole validation dance, then slams the door.
+		c.closeWithTransportErrorLocked(quicwire.NoError, "migration disabled")
+	}
+}
+
+// stopPathTimersLocked halts outstanding probe timers at teardown.
+func (c *Conn) stopPathTimersLocked() {
+	for _, p := range c.paths {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+}
+
+// ensureLocalCIDsLocked seeds the issued-connection-ID table with the
+// handshake source ID (sequence 0) and, when the server advertised a
+// preferred address, its connection ID (sequence 1, RFC 9000, Section
+// 5.1.1).
+func (c *Conn) ensureLocalCIDsLocked() {
+	if len(c.localCIDs) > 0 {
+		return
+	}
+	c.localCIDs = append(c.localCIDs, localConnID{seq: 0, id: c.scid})
+	c.nextLocalCIDSeq = 1
+	if c.prefAddrCID != nil {
+		c.localCIDs = append(c.localCIDs, localConnID{seq: 1, id: c.prefAddrCID})
+		c.nextLocalCIDSeq = 2
+	}
+}
+
+// issueConnIDsLocked mints n alternate connection IDs, registers them
+// with the owning demultiplexer via the registerCID hook, and queues
+// the NEW_CONNECTION_ID frames.
+func (c *Conn) issueConnIDsLocked(n int) {
+	if c.registerCID == nil {
+		return
+	}
+	c.ensureLocalCIDsLocked()
+	for i := 0; i < n; i++ {
+		altID := quicwire.NewRandomConnID(len(c.scid))
+		token, ok := c.registerCID(altID)
+		if !ok {
+			return
+		}
+		seq := c.nextLocalCIDSeq
+		c.nextLocalCIDSeq++
+		c.localCIDs = append(c.localCIDs, localConnID{seq: seq, id: altID})
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.NewConnectionIDFrame{
+				SequenceNumber:      seq,
+				ConnectionID:        altID,
+				StatelessResetToken: token,
+			})
+	}
+}
+
+// handleRetireConnIDLocked processes a peer's RETIRE_CONNECTION_ID:
+// retiring a never-issued sequence number or the very connection ID
+// the frame arrived on is a PROTOCOL_VIOLATION (RFC 9000, Section
+// 19.16); otherwise the ID is unregistered and a replacement issued.
+func (c *Conn) handleRetireConnIDLocked(fr *quicwire.RetireConnectionIDFrame) {
+	c.ensureLocalCIDsLocked()
+	if fr.SequenceNumber >= c.nextLocalCIDSeq {
+		c.closeWithTransportErrorLocked(quicwire.ProtocolViolation,
+			"retired connection ID sequence number never issued")
+		return
+	}
+	idx := -1
+	for i, lc := range c.localCIDs {
+		if lc.seq == fr.SequenceNumber {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return // already retired
+	}
+	retired := c.localCIDs[idx]
+	if c.rxDCID != nil && string(retired.id) == string(c.rxDCID) {
+		c.closeWithTransportErrorLocked(quicwire.ProtocolViolation,
+			"retired the connection ID the frame arrived on")
+		return
+	}
+	c.localCIDs = append(c.localCIDs[:idx], c.localCIDs[idx+1:]...)
+	// Sequence 0 is the route the owning demultiplexer tears down
+	// itself at close; everything else unregisters now.
+	if retired.seq != 0 && c.unregisterCID != nil {
+		c.unregisterCID(retired.id)
+	}
+	c.issueConnIDsLocked(1)
+}
+
+// nextPeerConnIDLocked picks the lowest-sequence peer-issued
+// connection ID newer than the one in use and not reserved by a path.
+func (c *Conn) nextPeerConnIDLocked() (peerConnID, bool) {
+	best := peerConnID{}
+	found := false
+	for _, pc := range c.peerConnIDs {
+		if pc.seq <= c.dcidSeq {
+			continue
+		}
+		reserved := false
+		for _, p := range c.paths {
+			if p.dcid != nil && p.dcidSeq == pc.seq {
+				reserved = true
+				break
+			}
+		}
+		if reserved {
+			continue
+		}
+		if !found || pc.seq < best.seq {
+			best = pc
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Migrate performs client-initiated active migration on the current
+// socket: it rotates to a fresh peer-issued destination connection ID,
+// retires the old one, and validates the (possibly rebound) path with
+// a PATH_CHALLENGE, blocking until the peer's PATH_RESPONSE arrives,
+// the connection dies, or ctx expires. It fails fast with
+// ErrMigrationDisabled when the peer's transport parameters forbid
+// active migration.
+func (c *Conn) Migrate(ctx context.Context) error { return c.migrate(ctx, false) }
+
+// MigrateForce is Migrate without the disable_active_migration check:
+// the scan mode uses it to observe how deployments that forbid
+// migration treat clients that migrate anyway.
+func (c *Conn) MigrateForce(ctx context.Context) error { return c.migrate(ctx, true) }
+
+func (c *Conn) migrate(ctx context.Context, force bool) error {
+	c.mu.Lock()
+	if !c.handshakeDone {
+		c.mu.Unlock()
+		return errors.New("quic: migrate before handshake completion")
+	}
+	select {
+	case <-c.closed:
+		err := c.closeErr
+		c.mu.Unlock()
+		return err
+	default:
+	}
+	if !force && c.havePeerParams && c.peerParams.DisableActiveMigration {
+		c.mu.Unlock()
+		return ErrMigrationDisabled
+	}
+	// Rotate the destination connection ID so the new path is not
+	// linkable to the old one (RFC 9000, Section 9.5).
+	if next, ok := c.nextPeerConnIDLocked(); ok {
+		retired := c.dcidSeq
+		c.dcid = append(quicwire.ConnID(nil), next.id...)
+		c.dcidSeq = next.seq
+		c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+			&quicwire.RetireConnectionIDFrame{SequenceNumber: retired})
+	}
+	if _, err := crand.Read(c.migrChallenge[:]); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.migrChallengePending = true
+	c.migrValidated = false
+	c.stats.PathChallengesSent++
+	mPathChallengesSent.Inc()
+	// The challenge rides the normal send queue: it must leave from the
+	// (already rebound) local socket toward the active peer address, and
+	// queueing it makes it loss-tracked, so PTO retransmission covers
+	// probe loss.
+	c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+		&quicwire.PathChallengeFrame{Data: c.migrChallenge})
+	c.sendPendingLocked()
+	c.mu.Unlock()
+
+	// Retransmit the challenge on our own PTO schedule: the datagram
+	// that carried it may be ACKed (loss recovery will never resend it)
+	// while the peer's PATH_RESPONSE is still blocked behind its
+	// anti-amplification budget, so only fresh challenges — which credit
+	// that budget — break the deadlock (RFC 9000, Section 8.2.1).
+	pto := c.cfg.PTO
+	resend := time.Now().Add(pto)
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return c.Err()
+		case <-ctx.Done():
+			c.mu.Lock()
+			c.migrChallengePending = false
+			c.stats.PathValidationFailures++
+			c.mu.Unlock()
+			mPathValidationFail.Inc()
+			return ErrPathValidationFailed
+		case <-ticker.C:
+			c.mu.Lock()
+			ok := c.migrValidated
+			if ok {
+				c.stats.Migrations++
+			} else if time.Now().After(resend) {
+				c.stats.PathChallengesSent++
+				mPathChallengesSent.Inc()
+				c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+					&quicwire.PathChallengeFrame{Data: c.migrChallenge})
+				c.sendPendingLocked()
+				if pto *= 2; c.cfg.MaxPTOBackoff > 0 && pto > c.cfg.MaxPTOBackoff {
+					pto = c.cfg.MaxPTOBackoff
+				}
+				resend = time.Now().Add(pto)
+			}
+			c.mu.Unlock()
+			if ok {
+				mMigrations.Inc()
+				return nil
+			}
+		}
+	}
+}
+
+// FollowPreferredAddress migrates to the server's preferred_address
+// (RFC 9000, Section 9.6): it probes the offered endpoint of the
+// active path's family with a PATH_CHALLENGE using the server-supplied
+// connection ID, and on validation promotes it to the active path
+// (retiring the handshake destination ID). Blocks until validation
+// succeeds, fails, the connection dies, or ctx expires; on failure the
+// connection stays on its original path.
+func (c *Conn) FollowPreferredAddress(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.handshakeDone {
+		c.mu.Unlock()
+		return errors.New("quic: preferred address before handshake completion")
+	}
+	pa := c.peerParams.PreferredAddress
+	if !c.havePeerParams || pa == nil {
+		c.mu.Unlock()
+		return errNoPreferredAddress
+	}
+	target := pa.V4
+	if c.activeAP.Addr().Is6() && pa.V6.IsValid() || !target.IsValid() {
+		target = pa.V6
+	}
+	if !target.IsValid() {
+		c.mu.Unlock()
+		return errNoPreferredAddress
+	}
+	target = netip.AddrPortFrom(target.Addr().Unmap(), target.Port())
+	if target == c.activeAP {
+		c.mu.Unlock()
+		return nil // already there
+	}
+	p := c.findPathLocked(target)
+	if p == nil {
+		p = &pathState{remote: net.UDPAddrFromAddrPort(target), ap: target}
+		c.paths = append(c.paths, p)
+	}
+	if p.status == pathValidated {
+		c.promotePathLocked(p)
+		c.mu.Unlock()
+		return nil
+	}
+	// The preferred-address connection ID has sequence number 1
+	// (RFC 9000, Section 5.1.1).
+	p.dcid = append(quicwire.ConnID(nil), pa.ConnID...)
+	p.dcidSeq = 1
+	if p.status != pathValidating {
+		c.startPathValidationLocked(p)
+	}
+	c.mu.Unlock()
+
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return c.Err()
+		case <-ctx.Done():
+			return ErrPathValidationFailed
+		case <-ticker.C:
+			c.mu.Lock()
+			st := p.status
+			active := c.activeAP == p.ap || !c.migrChallengePending && c.activeAP == target
+			c.mu.Unlock()
+			switch {
+			case active, st == pathValidated:
+				return nil
+			case st == pathFailed:
+				return ErrPathValidationFailed
+			}
+		}
+	}
+}

@@ -103,6 +103,30 @@ type ServerPolicy struct {
 	// IdleCloseNotify sends CONNECTION_CLOSE(NO_ERROR) when the idle
 	// timer fires instead of tearing the connection down silently.
 	IdleCloseNotify bool
+
+	// DisableMigration models a deployment that does not support
+	// connection migration at all: peer address changes after the
+	// handshake are ignored (no PATH_CHALLENGE, traffic keeps targeting
+	// the old address) and off-path PATH_CHALLENGEs go unanswered.
+	// Deployments pairing this with DisableActiveMigration in their
+	// transport parameters are honest; pairing it with a permissive
+	// parameter set reproduces load balancers that advertise support
+	// they do not have.
+	DisableMigration bool
+
+	// MigrationValidateBreak models the half-broken middle ground the
+	// migration scan mode exists to find: the server performs path
+	// validation correctly (PATH_CHALLENGE out, PATH_RESPONSE verified)
+	// and then closes the connection the moment it would switch to the
+	// new path.
+	MigrationValidateBreak bool
+
+	// PreferredAddress, when non-nil, is advertised to clients via the
+	// preferred_address transport parameter (RFC 9000, Section 9.6).
+	// Only the V4/V6 endpoints are read; the per-connection ID and
+	// reset token are minted at accept time. The endpoints should be
+	// served by this listener — register their sockets with ServeAlso.
+	PreferredAddress *transportparams.PreferredAddress
 }
 
 // KeyUpdatePolicy selects a server's reaction to a peer-initiated key
@@ -129,6 +153,7 @@ type Listener struct {
 
 	mu     sync.Mutex
 	conns  map[string]*Conn // by our SCID and by original DCID
+	alt    []net.PacketConn // extra sockets (ServeAlso), e.g. the preferred address
 	closed bool
 	retry  retryMinter
 	reset  resetKeys
@@ -154,8 +179,28 @@ func Listen(pconn net.PacketConn, config *Config, policy ServerPolicy) (*Listene
 		acceptCh: make(chan *Conn, 64),
 		done:     make(chan struct{}),
 	}
-	go l.readLoop()
+	go l.readLoopOn(l.pconn, true)
 	return l, nil
+}
+
+// ServeAlso makes the listener accept datagrams on an additional
+// socket — the serving side of a preferred_address advertisement.
+// Routing is by connection ID, exactly as on the primary socket, so a
+// migrated client's packets reach their connection regardless of which
+// socket they arrive on. The listener takes ownership of pconn and
+// closes it with Close. Replies still leave through the primary socket
+// (legal: peers match PATH_RESPONSE by its echoed data, and route all
+// short-header packets by connection ID).
+func (l *Listener) ServeAlso(pconn net.PacketConn) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrConnectionClosed
+	}
+	l.alt = append(l.alt, pconn)
+	l.mu.Unlock()
+	go l.readLoopOn(pconn, false)
+	return nil
 }
 
 // DefaultServerParams mirrors a common web deployment configuration.
@@ -200,29 +245,36 @@ func (l *Listener) Close() error {
 	for _, c := range l.conns {
 		conns = append(conns, c)
 	}
+	alt := l.alt
 	l.mu.Unlock()
 	close(l.done)
 	for _, c := range conns {
 		c.abort(ErrConnectionClosed)
 	}
+	for _, pc := range alt {
+		pc.Close()
+	}
 	return l.pconn.Close()
 }
 
-// readLoop leases a single read buffer for its lifetime:
+// readLoopOn leases a single read buffer for its lifetime:
 // handleDatagram processes synchronously and must not retain the
 // datagram, so the buffer is refilled immediately — no per-packet
-// allocation or copy.
-func (l *Listener) readLoop() {
+// allocation or copy. A failing primary socket tears the listener
+// down; a failing ServeAlso socket only ends its own loop.
+func (l *Listener) readLoopOn(pconn net.PacketConn, primary bool) {
 	bp := leaseReadBuf()
 	defer releaseReadBuf(bp)
 	buf := *bp
 	for {
-		n, from, err := l.pconn.ReadFrom(buf)
+		n, from, err := pconn.ReadFrom(buf)
 		if err != nil {
-			select {
-			case <-l.done:
-			default:
-				l.Close()
+			if primary {
+				select {
+				case <-l.done:
+				default:
+					l.Close()
+				}
 			}
 			return
 		}
@@ -246,7 +298,7 @@ func (l *Listener) handleDatagram(data []byte, from net.Addr) {
 		}
 		dcid = hdr.DstID
 		if conn := l.lookup(dcid); conn != nil {
-			conn.handleDatagram(data)
+			conn.handleDatagram(data, from)
 			return
 		}
 		l.handleNewConn(hdr, data, from)
@@ -258,7 +310,7 @@ func (l *Listener) handleDatagram(data []byte, from net.Addr) {
 	}
 	dcid = quicwire.ConnID(data[1:9])
 	if conn := l.lookup(dcid); conn != nil {
-		conn.handleDatagram(data)
+		conn.handleDatagram(data, from)
 		return
 	}
 	// 1-RTT packet for a connection this endpoint has no state for:
@@ -272,6 +324,31 @@ func (l *Listener) lookup(id quicwire.ConnID) *Conn {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.conns[string(id)]
+}
+
+// addConnID routes an additional server connection ID to c, returning
+// the stateless reset token to advertise with it.
+func (l *Listener) addConnID(c *Conn, id quicwire.ConnID) ([16]byte, bool) {
+	key := string(id)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return [16]byte{}, false
+	}
+	if _, dup := l.conns[key]; dup {
+		return [16]byte{}, false
+	}
+	l.conns[key] = c
+	return l.reset.tokenFor(id), true
+}
+
+// removeConnID drops one connection ID route (the client retired it).
+func (l *Listener) removeConnID(c *Conn, id quicwire.ConnID) {
+	l.mu.Lock()
+	if l.conns[string(id)] == c {
+		delete(l.conns, string(id))
+	}
+	l.mu.Unlock()
 }
 
 // acceptsVersion reports whether the server completes handshakes with v.
@@ -358,7 +435,7 @@ func (l *Listener) handleNewConn(hdr *quicwire.Header, data []byte, from net.Add
 	case l.acceptCh <- conn:
 	default:
 	}
-	conn.handleDatagram(data)
+	conn.handleDatagram(data, from)
 }
 
 // maybeSendVersionNegotiation emits a VN packet per policy.
@@ -417,13 +494,18 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 	c.keyUpdatePolicy = l.policy.KeyUpdate
 	c.rejectUnknownTP = l.policy.RejectUnknownTP
 	c.idleCloseNotify = l.policy.IdleCloseNotify
+	c.disableMigration = l.policy.DisableMigration
+	c.migrateBreak = l.policy.MigrationValidateBreak
 	c.origDcid = append(quicwire.ConnID(nil), hdr.DstID...)
 	c.dcid = append(quicwire.ConnID(nil), hdr.SrcID...)
 	c.scid = quicwire.NewRandomConnID(8)
-	c.sendFunc = func(b []byte) error {
-		_, err := l.pconn.WriteTo(b, from)
+	c.sendFunc = func(b []byte, to net.Addr) error {
+		_, err := l.pconn.WriteTo(b, to)
 		return err
 	}
+	c.initPathLocked(from)
+	c.registerCID = func(id quicwire.ConnID) ([16]byte, bool) { return l.addConnID(c, id) }
+	c.unregisterCID = func(id quicwire.ConnID) { l.removeConnID(c, id) }
 	if err := c.setupInitialKeys(); err != nil {
 		return nil
 	}
@@ -473,6 +555,21 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 	}
 	params.InitialSourceConnectionID = c.scid
 	params.HasInitialSourceConnectionID = true
+	if pa := l.policy.PreferredAddress; pa != nil {
+		// The preferred-address connection ID is per connection,
+		// sequence number 1 (RFC 9000, Section 5.1.1), registered up
+		// front so a client probing the offered endpoint routes here.
+		paCID := quicwire.NewRandomConnID(8)
+		if token, ok := l.addConnID(c, paCID); ok {
+			c.prefAddrCID = paCID
+			params.PreferredAddress = &transportparams.PreferredAddress{
+				V4:                  pa.V4,
+				V6:                  pa.V6,
+				ConnID:              paCID,
+				StatelessResetToken: token,
+			}
+		}
+	}
 	c.tls.SetTransportParameters(params.Marshal())
 
 	c.onHandshakeDone = func() {
@@ -484,20 +581,7 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 		// Issue alternate connection IDs (RFC 9000, Section 5.1.1),
 		// registered with the listener so packets using them route to
 		// this connection; each carries its stateless reset token.
-		for seq := uint64(1); seq <= 2; seq++ {
-			altID := quicwire.NewRandomConnID(8)
-			l.mu.Lock()
-			if !l.closed {
-				l.conns[string(altID)] = c
-			}
-			l.mu.Unlock()
-			f := &quicwire.NewConnectionIDFrame{
-				SequenceNumber:      seq,
-				ConnectionID:        altID,
-				StatelessResetToken: l.reset.tokenFor(altID),
-			}
-			c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames, f)
-		}
+		c.issueConnIDsLocked(2)
 	}
 
 	c.mu.Lock()

@@ -2,6 +2,7 @@ package quic
 
 import (
 	"context"
+	crand "crypto/rand"
 	"errors"
 	"net"
 	"sync"
@@ -273,7 +274,77 @@ func (t *Transport) retire(c *Conn) {
 	mActiveConns.Add(-1)
 	t.draining[key] = now
 	t.drainQ = append(t.drainQ, drainEntry{key: key, at: now})
+	// Alternate IDs issued via NEW_CONNECTION_ID drain alongside the
+	// primary: late packets on any of them are tail traffic, not drops.
+	for _, alt := range c.altKeys {
+		if t.conns[alt] != c {
+			continue
+		}
+		delete(t.conns, alt)
+		t.draining[alt] = now
+		t.drainQ = append(t.drainQ, drainEntry{key: alt, at: now})
+	}
+	c.altKeys = nil
 	t.expireDrainingLocked(now)
+}
+
+// addConnID routes an additional local connection ID to c, returning
+// the stateless reset token to advertise with it. Fails on collision
+// (the caller simply issues fewer IDs) or after close.
+func (t *Transport) addConnID(c *Conn, id quicwire.ConnID) ([16]byte, bool) {
+	var token [16]byte
+	key := string(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return token, false
+	}
+	if _, dup := t.conns[key]; dup {
+		return token, false
+	}
+	t.conns[key] = c
+	c.altKeys = append(c.altKeys, key)
+	crand.Read(token[:])
+	return token, true
+}
+
+// removeConnID retires one alternate connection ID (the peer sent
+// RETIRE_CONNECTION_ID for it), parking it in the draining set.
+func (t *Transport) removeConnID(c *Conn, id quicwire.ConnID) {
+	key := string(id)
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[key] != c {
+		return
+	}
+	delete(t.conns, key)
+	for i, k := range c.altKeys {
+		if k == key {
+			c.altKeys = append(c.altKeys[:i], c.altKeys[i+1:]...)
+			break
+		}
+	}
+	t.draining[key] = now
+	t.drainQ = append(t.drainQ, drainEntry{key: key, at: now})
+	t.expireDrainingLocked(now)
+}
+
+// rebindAddr moves the connection's address-fallback route after a
+// validated migration. Deliberately not called on mere address
+// mismatches: the route follows proven paths only, so an off-path
+// spoofer cannot steal another connection's fallback entry.
+func (t *Transport) rebindAddr(c *Conn, new net.Addr) {
+	newKey := new.String()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byAddr[c.remoteKey] == c {
+		delete(t.byAddr, c.remoteKey)
+	}
+	c.remoteKey = newKey
+	if _, ok := t.byAddr[newKey]; !ok {
+		t.byAddr[newKey] = c
+	}
 }
 
 // maxDraining caps the draining set. Entries past the cap are retired
@@ -425,9 +496,20 @@ func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 		}
 		t.cRoutingMisses.Add(1)
 		mRoutingMiss.Inc()
-		c.handleDatagram(data)
+		c.handleDatagram(data, from)
 		return
 	}
 	t.mu.Unlock()
-	c.handleDatagram(data)
+	// Routed by connection ID but from an unexpected source address:
+	// the observable shadow of NAT rebinding and migration. Counted
+	// only — the address route moves when path validation succeeds
+	// (rebindAddr), never on sight of a new address.
+	if !quicwire.IsLongHeader(data[0]) {
+		if ap := addrPortOf(from); ap.IsValid() {
+			if active := c.publishedAddr(); active.IsValid() && active != ap {
+				mRouteAddrMiss.Inc()
+			}
+		}
+	}
+	c.handleDatagram(data, from)
 }

@@ -77,7 +77,11 @@ func FuzzParseFrames(f *testing.F) {
 	f.Add((&StreamFrame{StreamID: 4, Offset: 7, Fin: true, Data: []byte("x")}).Append(nil))
 	f.Add((&ConnectionCloseFrame{ErrorCode: 0x128, ReasonPhrase: "tls"}).Append(nil))
 	f.Add((&NewConnectionIDFrame{SequenceNumber: 1, ConnectionID: ConnID{1, 2, 3, 4}}).Append(nil))
+	f.Add((&RetireConnectionIDFrame{SequenceNumber: 3}).Append(nil))
+	f.Add((&PathChallengeFrame{Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}}).Append(nil))
+	f.Add((&PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}}).Append(nil))
 	f.Add([]byte{0x02, 0xff}) // truncated ACK
+	f.Add([]byte{0x1a})       // truncated PATH_CHALLENGE
 	f.Fuzz(func(t *testing.T, b []byte) {
 		frames, err := ParseFrames(b)
 		if err != nil {

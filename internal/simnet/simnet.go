@@ -136,6 +136,12 @@ var scannerBase = netip.MustParseAddr("198.18.0.1")
 func (n *Network) nextEphemeral() netip.AddrPort {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.nextEphemeralLocked()
+}
+
+// nextEphemeralLocked is nextEphemeral for callers already holding
+// n.mu (Rebind allocates while it rewires the socket map).
+func (n *Network) nextEphemeralLocked() netip.AddrPort {
 	n.ephemeral++
 	// Spread clients over the 198.18.0.0/15 benchmarking range with
 	// ports above 32768.
@@ -302,10 +308,10 @@ func (n *Network) Close() {
 
 // PacketConn is a simulated UDP socket implementing net.PacketConn.
 type PacketConn struct {
-	net  *Network
-	addr netip.AddrPort
+	net *Network
 
 	mu       sync.Mutex
+	addr     netip.AddrPort // mutable: Rebind moves the socket
 	queue    chan datagram
 	closed   bool
 	deadline time.Time
@@ -393,13 +399,53 @@ func (pc *PacketConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 		pc.mu.Unlock()
 		return 0, net.ErrClosed
 	}
+	from := pc.addr
 	pc.mu.Unlock()
 	to, err := toAddrPort(addr)
 	if err != nil {
 		return 0, err
 	}
-	pc.net.deliver(pc.addr, to, p)
+	pc.net.deliver(from, to, p)
 	return len(p), nil
+}
+
+// Rebind moves the socket to a fresh ephemeral address, simulating a
+// NAT rebinding: the old mapping disappears and subsequent sends leave
+// from the new address. The socket's receive queue is preserved, so
+// datagrams already in flight toward the old address still arrive —
+// exactly the brief overlap a real NAT's dying mapping produces.
+// Returns the new address.
+func (pc *PacketConn) Rebind() (netip.AddrPort, error) {
+	n := pc.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return netip.AddrPort{}, errNetClosed
+	}
+	var newAddr netip.AddrPort
+	found := false
+	for i := 0; i < 64; i++ {
+		cand := n.nextEphemeralLocked()
+		if _, exists := n.udp[cand]; !exists {
+			newAddr = cand
+			found = true
+			break
+		}
+	}
+	if !found {
+		return netip.AddrPort{}, errors.New("simnet: ephemeral address space exhausted")
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed {
+		return netip.AddrPort{}, net.ErrClosed
+	}
+	if n.udp[pc.addr] == pc {
+		delete(n.udp, pc.addr)
+	}
+	pc.addr = newAddr
+	n.udp[newAddr] = pc
+	return newAddr, nil
 }
 
 // PacketConn implements netbatch.BatchConn natively, so netbatch.Wrap
@@ -418,9 +464,10 @@ func (pc *PacketConn) WriteBatch(ms []netbatch.Message) (int, error) {
 		pc.mu.Unlock()
 		return 0, net.ErrClosed
 	}
+	from := pc.addr
 	pc.mu.Unlock()
 	for i := range ms {
-		pc.net.deliver(pc.addr, ms[i].Addr, ms[i].Buf[:ms[i].N])
+		pc.net.deliver(from, ms[i].Addr, ms[i].Buf[:ms[i].N])
 	}
 	return len(ms), nil
 }
@@ -514,13 +561,18 @@ func (pc *PacketConn) Close() error {
 	}
 	pc.closed = true
 	close(pc.queue)
+	addr := pc.addr
 	pc.mu.Unlock()
-	pc.net.unbindUDP(pc.addr, pc)
+	pc.net.unbindUDP(addr, pc)
 	return nil
 }
 
 // LocalAddr implements net.PacketConn.
-func (pc *PacketConn) LocalAddr() net.Addr { return net.UDPAddrFromAddrPort(pc.addr) }
+func (pc *PacketConn) LocalAddr() net.Addr {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return net.UDPAddrFromAddrPort(pc.addr)
+}
 
 // SetDeadline implements net.PacketConn (write deadlines are no-ops:
 // writes never block).

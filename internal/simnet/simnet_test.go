@@ -334,3 +334,82 @@ func TestConcurrentStress(t *testing.T) {
 		t.Errorf("clients got %d of %d echoes", echoed.Load(), want)
 	}
 }
+
+// TestRebind: after Rebind the socket sends from (and receives at) its
+// new address, the old address is free for reuse, and the queue
+// survives the move.
+func TestRebind(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	srv, err := n.ListenUDP(ap("192.0.2.1:443"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldAddr := cli.LocalAddr().String()
+
+	// Park a datagram in the queue before the move: it must survive.
+	if _, err := srv.WriteTo([]byte("pre"), cli.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	newAP, err := cli.Rebind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.LocalAddr().String(); got != newAP.String() {
+		t.Errorf("LocalAddr = %v, want %v", got, newAP)
+	}
+	if newAP.String() == oldAddr {
+		t.Fatal("Rebind did not change the address")
+	}
+
+	buf := make([]byte, 64)
+	cli.SetReadDeadline(time.Now().Add(time.Second))
+	if nn, _, err := cli.ReadFrom(buf); err != nil || string(buf[:nn]) != "pre" {
+		t.Fatalf("queued datagram lost across rebind: %q %v", buf[:nn], err)
+	}
+
+	// Sends now carry the new source address.
+	if _, err := cli.WriteTo([]byte("ping"), srv.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetReadDeadline(time.Now().Add(time.Second))
+	_, from, err := srv.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from.String() != newAP.String() {
+		t.Errorf("source after rebind = %v, want %v", from, newAP)
+	}
+
+	// The new address receives; the old one is unbound and reusable.
+	if _, err := srv.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetReadDeadline(time.Now().Add(time.Second))
+	if nn, _, err := cli.ReadFrom(buf); err != nil || string(buf[:nn]) != "pong" {
+		t.Fatalf("reply to new address: %q %v", buf[:nn], err)
+	}
+	if _, err := n.ListenUDP(netip.MustParseAddrPort(oldAddr)); err != nil {
+		t.Errorf("old address not released: %v", err)
+	}
+}
+
+// TestRebindClosed: rebinding a closed socket fails cleanly.
+func TestRebindClosed(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	cli, err := n.DialUDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if _, err := cli.Rebind(); err == nil {
+		t.Fatal("Rebind succeeded on a closed socket")
+	}
+}

@@ -1,6 +1,12 @@
 package transportparams
 
-import "testing"
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"quicscan/internal/quicwire"
+)
 
 // FuzzParse: Unmarshal must never panic on arbitrary extension bodies,
 // and every accepted blob must survive a Marshal/Unmarshal round trip
@@ -30,6 +36,47 @@ func FuzzParse(f *testing.F) {
 		}
 		if p.Fingerprint() != p2.Fingerprint() {
 			t.Fatalf("fingerprint changed across round trip: %q vs %q", p.Fingerprint(), p2.Fingerprint())
+		}
+	})
+}
+
+// FuzzPreferredAddress: parsePreferredAddress must never panic on
+// arbitrary values, every accepted value must re-encode to the exact
+// input bytes, and every re-encoded value must decode to an equal
+// structure.
+func FuzzPreferredAddress(f *testing.F) {
+	valid := &PreferredAddress{
+		V4:                  netip.MustParseAddrPort("198.51.100.7:443"),
+		V6:                  netip.MustParseAddrPort("[2001:db8::9]:8443"),
+		ConnID:              quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8},
+		StatelessResetToken: [16]byte{0: 0xaa, 15: 0x55},
+	}
+	f.Add(valid.Encode())
+	v4only := &PreferredAddress{
+		V4:     netip.MustParseAddrPort("203.0.113.1:4433"),
+		ConnID: quicwire.ConnID{9},
+	}
+	f.Add(v4only.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, preferredAddressFixedLen))      // zero-length CID: rejected
+	f.Add(append(make([]byte, 24), 21))                // CID length over 20
+	f.Add(valid.Encode()[:preferredAddressFixedLen-1]) // truncated
+	f.Add(append(valid.Encode(), 0))                   // trailing garbage
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pa, err := parsePreferredAddress(b)
+		if err != nil {
+			return
+		}
+		enc := pa.Encode()
+		if string(enc) != string(b) {
+			t.Fatalf("accepted value does not re-encode identically:\n in  %x\n out %x", b, enc)
+		}
+		pa2, err := parsePreferredAddress(enc)
+		if err != nil {
+			t.Fatalf("re-parse of encoded preferred_address failed: %v (%x)", err, enc)
+		}
+		if !reflect.DeepEqual(pa, pa2) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", pa2, pa)
 		}
 	})
 }

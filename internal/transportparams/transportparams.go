@@ -11,6 +11,7 @@ package transportparams
 
 import (
 	"fmt"
+	"net/netip"
 	"sort"
 	"strings"
 
@@ -67,7 +68,7 @@ type Parameters struct {
 	AckDelayExponent                uint64
 	MaxAckDelay                     uint64
 	DisableActiveMigration          bool
-	PreferredAddress                []byte // opaque; server only
+	PreferredAddress                *PreferredAddress // server only
 	ActiveConnectionIDLimit         uint64
 	InitialSourceConnectionID       quicwire.ConnID
 	RetrySourceConnectionID         quicwire.ConnID // server only
@@ -86,6 +87,79 @@ type Parameters struct {
 type RawParameter struct {
 	ID    uint64
 	Value []byte
+}
+
+// PreferredAddress is the decoded preferred_address parameter (RFC
+// 9000, Section 18.2): the alternate endpoints a server asks the
+// client to migrate to after the handshake, plus the connection ID and
+// stateless reset token to use on the new path. A family the server
+// does not offer is all-zero on the wire and decodes to an invalid
+// (zero) AddrPort.
+type PreferredAddress struct {
+	V4                  netip.AddrPort // zero if not offered
+	V6                  netip.AddrPort // zero if not offered
+	ConnID              quicwire.ConnID
+	StatelessResetToken [16]byte
+}
+
+// preferredAddressFixedLen is the wire size without the variable-length
+// connection ID: 4+2 (IPv4), 16+2 (IPv6), 1 (CID length), 16 (token).
+const preferredAddressFixedLen = 41
+
+// Encode renders pa in the RFC 9000 Section 18.2 wire layout. An
+// AddrPort that is invalid or of the wrong family encodes as all-zero
+// (family not offered).
+func (pa *PreferredAddress) Encode() []byte {
+	b := make([]byte, 0, preferredAddressFixedLen+len(pa.ConnID))
+	if a := pa.V4.Addr().Unmap(); a.Is4() {
+		a4 := a.As4()
+		b = append(b, a4[:]...)
+		b = append(b, byte(pa.V4.Port()>>8), byte(pa.V4.Port()))
+	} else {
+		b = append(b, make([]byte, 6)...)
+	}
+	if a := pa.V6.Addr(); a.IsValid() && !a.Is4() {
+		a16 := a.As16()
+		b = append(b, a16[:]...)
+		b = append(b, byte(pa.V6.Port()>>8), byte(pa.V6.Port()))
+	} else {
+		b = append(b, make([]byte, 18)...)
+	}
+	b = append(b, byte(len(pa.ConnID)))
+	b = append(b, pa.ConnID...)
+	b = append(b, pa.StatelessResetToken[:]...)
+	return b
+}
+
+// parsePreferredAddress decodes the preferred_address wire value,
+// rejecting malformed lengths: the value must be exactly 41+cidLen
+// bytes and the connection ID 1..20 bytes (a zero-length connection ID
+// is forbidden here by RFC 9000).
+func parsePreferredAddress(value []byte) (*PreferredAddress, error) {
+	if len(value) < preferredAddressFixedLen {
+		return nil, fmt.Errorf("transportparams: preferred_address of %d bytes (min %d)", len(value), preferredAddressFixedLen)
+	}
+	cidLen := int(value[24])
+	if cidLen < 1 || cidLen > 20 {
+		return nil, fmt.Errorf("transportparams: preferred_address connection ID of %d bytes", cidLen)
+	}
+	if len(value) != preferredAddressFixedLen+cidLen {
+		return nil, fmt.Errorf("transportparams: preferred_address of %d bytes, want %d", len(value), preferredAddressFixedLen+cidLen)
+	}
+	pa := &PreferredAddress{}
+	v4 := netip.AddrFrom4([4]byte(value[0:4]))
+	v4port := uint16(value[4])<<8 | uint16(value[5])
+	if !v4.IsUnspecified() || v4port != 0 {
+		pa.V4 = netip.AddrPortFrom(v4, v4port)
+	}
+	v6 := netip.AddrFrom16([16]byte(value[6:22]))
+	v6port := uint16(value[22])<<8 | uint16(value[23])
+	if !v6.IsUnspecified() || v6port != 0 {
+		pa.V6 = netip.AddrPortFrom(v6, v6port)
+	}
+	pa.ConnID = append(quicwire.ConnID(nil), value[25:25+cidLen]...)
+	copy(pa.StatelessResetToken[:], value[25+cidLen:])
+	return pa, nil
 }
 
 // Default returns a parameter set with all RFC defaults.
@@ -159,7 +233,7 @@ func (p *Parameters) Marshal() []byte {
 		b = appendParam(b, IDDisableActiveMigration, nil)
 	}
 	if p.PreferredAddress != nil {
-		b = appendParam(b, IDPreferredAddress, p.PreferredAddress)
+		b = appendParam(b, IDPreferredAddress, p.PreferredAddress.Encode())
 	}
 	if p.ActiveConnectionIDLimit != DefaultActiveConnIDLimit {
 		b = appendIntParam(b, IDActiveConnectionIDLimit, p.ActiveConnectionIDLimit)
@@ -255,7 +329,7 @@ func Unmarshal(b []byte) (Parameters, error) {
 			}
 			p.DisableActiveMigration = true
 		case IDPreferredAddress:
-			p.PreferredAddress = append([]byte(nil), value...)
+			p.PreferredAddress, err2 = parsePreferredAddress(value)
 		case IDActiveConnectionIDLimit:
 			p.ActiveConnectionIDLimit, err2 = intVal()
 			if err2 == nil && p.ActiveConnectionIDLimit < 2 {

@@ -3,6 +3,7 @@ package transportparams
 import (
 	"bytes"
 	"math/rand/v2"
+	"net/netip"
 	"reflect"
 	"strings"
 	"testing"
@@ -141,6 +142,10 @@ func TestValidationErrors(t *testing.T) {
 		{"active cid limit below 2", appendIntParam(nil, IDActiveConnectionIDLimit, 1)},
 		{"reset token wrong size", appendParam(nil, IDStatelessResetToken, make([]byte, 5))},
 		{"disable migration with value", appendParam(nil, IDDisableActiveMigration, []byte{1})},
+		{"preferred address too short", appendParam(nil, IDPreferredAddress, make([]byte, 40))},
+		{"preferred address zero-length CID", appendParam(nil, IDPreferredAddress, make([]byte, 41))},
+		{"preferred address CID over 20", appendParam(nil, IDPreferredAddress, append(append(make([]byte, 24), 21), make([]byte, 37)...))},
+		{"preferred address trailing bytes", appendParam(nil, IDPreferredAddress, append(append(make([]byte, 24), 1), make([]byte, 18)...))},
 		{"non-varint int param", appendParam(nil, IDInitialMaxData, []byte{0x40})},
 		{"trailing garbage length", []byte{0x04, 0x0a, 0x01}},
 		{"truncated id", []byte{0x40}},
@@ -149,6 +154,38 @@ func TestValidationErrors(t *testing.T) {
 		if _, err := Unmarshal(c.b); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+// TestPreferredAddressRoundTrip: the structured preferred_address
+// survives Marshal/Unmarshal through a full parameter set, in
+// dual-stack, v4-only and v6-only variants, and a not-offered family
+// decodes as an invalid AddrPort.
+func TestPreferredAddressRoundTrip(t *testing.T) {
+	cases := []*PreferredAddress{
+		{
+			V4:                  netip.MustParseAddrPort("198.51.100.7:443"),
+			V6:                  netip.MustParseAddrPort("[2001:db8::9]:8443"),
+			ConnID:              quicwire.ConnID{1, 2, 3, 4, 5, 6, 7, 8},
+			StatelessResetToken: [16]byte{0: 1, 15: 16},
+		},
+		{V4: netip.MustParseAddrPort("203.0.113.1:4433"), ConnID: quicwire.ConnID{9}},
+		{V6: netip.MustParseAddrPort("[2001:db8::1]:443"), ConnID: quicwire.ConnID{1, 2, 3}},
+	}
+	for i, pa := range cases {
+		p := Default()
+		p.MaxIdleTimeout = 30000
+		p.PreferredAddress = pa
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.PreferredAddress, pa) {
+			t.Errorf("case %d round trip mismatch:\n got %+v\nwant %+v", i, got.PreferredAddress, pa)
+		}
+	}
+	if cases[1].V6.IsValid() {
+		t.Error("v4-only case unexpectedly has a valid V6")
 	}
 }
 
@@ -169,7 +206,10 @@ func TestFingerprintStability(t *testing.T) {
 	p.InitialSourceConnectionID = quicwire.ConnID{2}
 	p.HasInitialSourceConnectionID = true
 	p.RetrySourceConnectionID = quicwire.ConnID{3}
-	p.PreferredAddress = []byte{4, 5, 6}
+	p.PreferredAddress = &PreferredAddress{
+		V4:     netip.MustParseAddrPort("192.0.2.1:4443"),
+		ConnID: quicwire.ConnID{4, 5, 6},
+	}
 	if p.Fingerprint() != fp1 {
 		t.Error("session-specific parameters leaked into fingerprint")
 	}

@@ -20,6 +20,7 @@ run_target ./internal/quicwire FuzzVarint
 run_target ./internal/quicwire FuzzParseHeader
 run_target ./internal/quicwire FuzzParseFrames
 run_target ./internal/transportparams FuzzParse
+run_target ./internal/transportparams FuzzPreferredAddress
 run_target ./internal/altsvc FuzzParse
 run_target ./internal/telemetry FuzzMetricName
 run_target ./internal/telemetry FuzzParseTrace

@@ -13,6 +13,7 @@ import (
 	campaignpkg "quicscan/internal/campaign"
 	"quicscan/internal/core"
 	"quicscan/internal/internet"
+	"quicscan/internal/migration"
 	"quicscan/internal/simnet"
 	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
@@ -168,6 +169,31 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		t.Error("no trace shows the PTO/retransmit repair of the impaired handshake")
 	}
 
+	// Migration prober: classify one migration-friendly deployment so
+	// the migration_* and quic_path_* families reach the exporter with
+	// real samples (rebind, server path validation, promotion).
+	var migTarget migration.Target
+	migFound := false
+	for _, d := range u.Deployments {
+		if d.Behavior == internet.BehaviorActive && d.Addr.Is4() && len(d.Domains) > 0 &&
+			d.Profile.Quirks.Migration == internet.MigrationSupported {
+			migTarget = migration.Target{Addr: netip.AddrPortFrom(d.Addr, 443), SNI: d.Domains[0]}
+			migFound = true
+			break
+		}
+	}
+	if !migFound {
+		t.Fatal("universe has no migration-friendly active deployment")
+	}
+	mp := &migration.Prober{
+		DialPacket:       func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		HandshakeTimeout: 4 * time.Second,
+		MigrateWait:      4 * time.Second,
+	}
+	if mres := mp.Probe(context.Background(), migTarget); mres.Verdict != migration.VerdictSupported {
+		t.Fatalf("migration probe verdict = %q (err %q), want supported", mres.Verdict, mres.Err)
+	}
+
 	// Live exporter: Prometheus text must be non-empty and cover all
 	// four producing families with actual samples.
 	srv, addr, err := telemetry.Default().Serve("127.0.0.1:0")
@@ -197,6 +223,13 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"campaign_shards_completed_total ",
 		"campaign_checkpoint_writes_total ",
 		"campaign_sink_records_total ",
+		"migration_targets_total ",
+		"migration_rebinds_total ",
+		"migration_verdicts_total{verdict=\"supported\"} ",
+		"quic_path_challenges_sent_total ",
+		"quic_path_challenges_received_total ",
+		"quic_path_validations_total ",
+		"quic_migrations_total ",
 	} {
 		idx := strings.Index(text, series)
 		if idx < 0 {
@@ -211,8 +244,19 @@ func TestTelemetryEndToEnd(t *testing.T) {
 			t.Errorf("series %q is zero after the scan", series)
 		}
 	}
+	// Failure-path counters exist (registered at package init) even
+	// when this healthy run never increments them.
+	for _, series := range []string{
+		"quic_path_validation_failures_total",
+		"quic_route_addr_miss_total",
+		"migration_tp_mismatch_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics lacks series %q", series)
+		}
+	}
 	fams := telemetry.Default().Snapshot().Families()
-	for _, want := range []string{"quic", "core", "zmapquic", "simnet", "campaign"} {
+	for _, want := range []string{"quic", "core", "zmapquic", "simnet", "campaign", "migration"} {
 		found := false
 		for _, f := range fams {
 			if f == want {
