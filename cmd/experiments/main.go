@@ -30,6 +30,7 @@ func main() {
 		tsvDir  = flag.String("tsv", "", "also export machine-readable TSV datasets to this directory")
 		fprint  = flag.Bool("fingerprint", false, "also run the behavioral fingerprinting suite over active deployments (FINGERPRINT artifact)")
 		migrate = flag.Bool("migration", false, "also classify connection-migration support over active deployments (MIGRATION artifact)")
+		resume  = flag.Bool("resumption", false, "also classify the handshake fast path (tickets, 0-RTT, NEW_TOKEN) over active deployments (RESUMPTION artifact)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 		SkipWeekly:  *quick,
 		Fingerprint: *fprint,
 		Migration:   *migrate,
+		Resumption:  *resume,
 	}
 	if *weeks != "" {
 		for _, w := range strings.Split(*weeks, ",") {

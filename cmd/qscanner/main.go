@@ -29,7 +29,9 @@ import (
 	"quicscan/internal/core"
 	"quicscan/internal/fingerprint"
 	"quicscan/internal/migration"
+	"quicscan/internal/quic"
 	"quicscan/internal/quicwire"
+	"quicscan/internal/resumption"
 	"quicscan/internal/telemetry"
 )
 
@@ -51,6 +53,8 @@ func main() {
 		qlogDir     = flag.String("qlog-dir", "", "write one qlog-style JSON-seq trace file per connection into this directory")
 		fprint      = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts instead of scanning")
 		migrate     = flag.Bool("migration", false, "classify connection-migration support per target (NAT-rebind probe where the socket allows it, transport-parameter fallback otherwise) instead of scanning")
+		resume      = flag.Bool("resumption", false, "classify the handshake fast path per target (session tickets, 0-RTT, NEW_TOKEN reuse) instead of scanning")
+		rescan      = flag.Bool("rescan", false, "scan the target list twice through a shared session cache; the second pass resumes and sends the HTTP/3 request as 0-RTT early data")
 	)
 	flag.Parse()
 
@@ -89,6 +93,10 @@ func main() {
 		runMigration(targets, *workers, *output)
 		return
 	}
+	if *resume {
+		runResumption(targets, *workers, *output)
+		return
+	}
 
 	scanner := &core.Scanner{
 		Timeout:      *timeout,
@@ -116,7 +124,17 @@ func main() {
 		}
 	}
 
+	if *rescan {
+		scanner.SessionCache = quic.NewSessionCache(0)
+	}
 	results := scanner.Scan(context.Background(), targets)
+	if *rescan {
+		// The first pass populated the cache; this pass resumes,
+		// replays NEW_TOKENs and rides the request in 0-RTT.
+		first := core.Summarize(results)
+		fmt.Fprintf(os.Stderr, "qscanner: first pass %s\n", first)
+		results = scanner.Scan(context.Background(), targets)
+	}
 
 	out := os.Stdout
 	if *output != "" {
@@ -244,6 +262,66 @@ func runMigration(targets []core.Target, workers int, output string) {
 		})
 	}
 	fmt.Fprintf(os.Stderr, "qscanner: migration-probed %d targets: %v\n", len(results), counts)
+}
+
+// runResumption classifies the handshake fast path per target and
+// emits one JSON verdict per line: whether the target issued a
+// session ticket, resumed the second handshake, accepted the 0-RTT
+// request, and let a NEW_TOKEN replace its Retry round trip.
+func runResumption(targets []core.Target, workers int, output string) {
+	p := &resumption.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    workers,
+	}
+	rTargets := make([]resumption.Target, len(targets))
+	for i, t := range targets {
+		port := t.Port
+		if port == 0 {
+			port = 443
+		}
+		rTargets[i] = resumption.Target{
+			Addr: netip.AddrPortFrom(t.Addr, port),
+			SNI:  t.SNI,
+		}
+	}
+	results := p.ProbeAll(context.Background(), rTargets)
+
+	out := os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	counts := make(map[string]int)
+	for _, r := range results {
+		counts[r.Verdict]++
+		enc.Encode(struct {
+			Addr        string `json:"addr"`
+			SNI         string `json:"sni,omitempty"`
+			Verdict     string `json:"verdict"`
+			Ticket      bool   `json:"ticket"`
+			Resumed     bool   `json:"resumed"`
+			ZeroRTT     bool   `json:"zero_rtt"`
+			TokenReused bool   `json:"token_reused"`
+			RequestOK   bool   `json:"request_ok"`
+			Err         string `json:"err,omitempty"`
+		}{
+			Addr:        r.Target.Addr.Addr().String(),
+			SNI:         r.Target.SNI,
+			Verdict:     r.Verdict,
+			Ticket:      r.TicketIssued,
+			Resumed:     r.Resumed,
+			ZeroRTT:     r.ZeroRTTAccepted,
+			TokenReused: r.TokenReused,
+			RequestOK:   r.RequestOK,
+			Err:         r.Err,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "qscanner: resumption-probed %d targets: %v\n", len(results), counts)
 }
 
 func readTargets(path string, port uint16) ([]core.Target, error) {

@@ -41,6 +41,7 @@ import (
 	"quicscan/internal/migration"
 	"quicscan/internal/netbatch"
 	"quicscan/internal/pcap"
+	"quicscan/internal/resumption"
 	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
 )
@@ -59,6 +60,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "extra passes over silent targets (-hitlist only)")
 		fprint    = flag.Bool("fingerprint", false, "run the behavioral fingerprint scenario suite per target and emit verdicts (-hitlist only)")
 		migrate   = flag.Bool("migration", false, "classify connection-migration support per target and emit verdicts (-hitlist only)")
+		resuScan  = flag.Bool("resumption", false, "classify the handshake fast path (tickets, 0-RTT, NEW_TOKEN) per target and emit verdicts (-hitlist only)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus /metrics, JSON /metricz and pprof on this address")
 
 		shards     = flag.Int("shards", 1, "total shard count of the campaign (-prefixes only)")
@@ -173,6 +175,11 @@ func main() {
 			printSummary(scanStart)
 			return
 		}
+		if *resuScan {
+			runResumption(ctx, addrs, uint16(*port))
+			printSummary(scanStart)
+			return
+		}
 		results, _, err := scanner.ScanAddrs(ctx, addrs)
 		if err != nil {
 			fatal("scan: %v", err)
@@ -253,6 +260,43 @@ func runMigration(ctx context.Context, addrs []netip.Addr, port uint16) {
 			Challenges: r.Challenges,
 			Honest:     r.Honest,
 			Err:        r.Err,
+		})
+	}
+}
+
+// runResumption classifies the handshake fast path for every hitlist
+// address and prints one JSON verdict per line: whether the target
+// issued a session ticket, resumed the second handshake, accepted the
+// 0-RTT request, and let a NEW_TOKEN replace its Retry round trip.
+func runResumption(ctx context.Context, addrs []netip.Addr, port uint16) {
+	p := &resumption.Prober{
+		DialPacket: func() (net.PacketConn, error) { return net.ListenPacket("udp", ":0") },
+		Workers:    32,
+	}
+	targets := make([]resumption.Target, len(addrs))
+	for i, a := range addrs {
+		targets[i] = resumption.Target{Addr: netip.AddrPortFrom(a, port)}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range p.ProbeAll(ctx, targets) {
+		enc.Encode(struct {
+			Addr        string `json:"addr"`
+			Verdict     string `json:"verdict"`
+			Ticket      bool   `json:"ticket"`
+			Resumed     bool   `json:"resumed"`
+			ZeroRTT     bool   `json:"zero_rtt"`
+			TokenReused bool   `json:"token_reused"`
+			RequestOK   bool   `json:"request_ok"`
+			Err         string `json:"err,omitempty"`
+		}{
+			Addr:        r.Target.Addr.Addr().String(),
+			Verdict:     r.Verdict,
+			Ticket:      r.TicketIssued,
+			Resumed:     r.Resumed,
+			ZeroRTT:     r.ZeroRTTAccepted,
+			TokenReused: r.TokenReused,
+			RequestOK:   r.RequestOK,
+			Err:         r.Err,
 		})
 	}
 }

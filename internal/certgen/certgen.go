@@ -7,9 +7,11 @@
 package certgen
 
 import (
+	"crypto"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"crypto/rand"
+	"crypto/rsa"
 	"crypto/tls"
 	"crypto/x509"
 	"crypto/x509/pkix"
@@ -22,7 +24,7 @@ import (
 // CA is a certificate authority that can issue leaf certificates.
 type CA struct {
 	cert *x509.Certificate
-	key  *ecdsa.PrivateKey
+	key  crypto.Signer
 	der  []byte
 
 	mu     sync.Mutex
@@ -58,6 +60,46 @@ func NewCA(name string) (*CA, error) {
 // Certificate returns the CA certificate.
 func (ca *CA) Certificate() *x509.Certificate { return ca.cert }
 
+// Intermediate issues a child CA signed by this one, so issued leaves
+// carry a realistic multi-certificate chain (leaf + intermediate on
+// the wire), as CDN and Let's Encrypt style chains do. rsaKey gives
+// the intermediate an RSA-2048 key, matching the RSA intermediates of
+// the paper's measurement window.
+func (ca *CA) Intermediate(name string, rsaKey bool) (*CA, error) {
+	var key crypto.Signer
+	var err error
+	if rsaKey {
+		key, err = rsa.GenerateKey(rand.Reader, 2048)
+	} else {
+		key, err = ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ca.mu.Lock()
+	ca.serial++
+	serial := ca.serial
+	ca.mu.Unlock()
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(serial),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{name}},
+		NotBefore:             time.Now().Add(-24 * time.Hour),
+		NotAfter:              time.Now().Add(5 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca.cert, key.Public(), ca.key)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &CA{cert: cert, key: key, der: der, serial: 1}, nil
+}
+
 // AddToPool registers the CA in a root pool.
 func (ca *CA) AddToPool(pool *x509.CertPool) { pool.AddCert(ca.cert) }
 
@@ -73,11 +115,23 @@ type LeafOptions struct {
 	// reproducing Google's self-signed "SNI required" error
 	// certificate (paper Section 5.1).
 	SelfSigned bool
+	// RSA gives the leaf an RSA-2048 key instead of ECDSA P-256,
+	// matching the RSA leaves that dominated the web PKI during the
+	// paper's measurement window. The TLS 1.3 CertificateVerify is then
+	// an RSA-PSS signature, so every full handshake pays an RSA signing
+	// operation on the server.
+	RSA bool
 }
 
 // Issue creates a leaf certificate.
 func (ca *CA) Issue(opts LeafOptions) (tls.Certificate, error) {
-	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	var key crypto.Signer
+	var err error
+	if opts.RSA {
+		key, err = rsa.GenerateKey(rand.Reader, 2048)
+	} else {
+		key, err = ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	}
 	if err != nil {
 		return tls.Certificate{}, err
 	}
@@ -111,7 +165,7 @@ func (ca *CA) Issue(opts LeafOptions) (tls.Certificate, error) {
 	if opts.SelfSigned {
 		parent, signKey = tmpl, key
 	}
-	der, err := x509.CreateCertificate(rand.Reader, tmpl, parent, &key.PublicKey, signKey)
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, parent, key.Public(), signKey)
 	if err != nil {
 		return tls.Certificate{}, err
 	}

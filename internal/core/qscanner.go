@@ -15,6 +15,7 @@ package core
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"crypto/tls"
 	"crypto/x509"
 	"errors"
@@ -38,12 +39,14 @@ import (
 // attempts, retry pressure, outcome distribution and the per-target
 // handshake latency histogram the paper's timeout analysis needs.
 var (
-	mScanAttempts = telemetry.Default().Counter("core_scan_attempts_total")
-	mScanRetries  = telemetry.Default().Counter("core_scan_retries_total")
-	mScanTargets  = telemetry.Default().Counter("core_scan_targets_total")
-	mScanOutcomes = telemetry.Default().CounterVec("core_scan_outcomes_total", "outcome")
-	mScanSourced  = telemetry.Default().CounterVec("core_scan_success_by_source_total", "source")
-	mHandshakeMs  = telemetry.Default().Histogram("core_handshake_ms", telemetry.LatencyBucketsMs())
+	mScanAttempts  = telemetry.Default().Counter("core_scan_attempts_total")
+	mScanRetries   = telemetry.Default().Counter("core_scan_retries_total")
+	mScanTargets   = telemetry.Default().Counter("core_scan_targets_total")
+	mScanOutcomes  = telemetry.Default().CounterVec("core_scan_outcomes_total", "outcome")
+	mScanSourced   = telemetry.Default().CounterVec("core_scan_success_by_source_total", "source")
+	mHandshakeMs   = telemetry.Default().Histogram("core_handshake_ms", telemetry.LatencyBucketsMs())
+	mCertCacheHits = telemetry.Default().Counter("core_certcache_hits_total")
+	mCertCacheMiss = telemetry.Default().Counter("core_certcache_misses_total")
 )
 
 // outcomeCounters pre-resolves the per-outcome children for the fixed
@@ -138,6 +141,12 @@ type Result struct {
 	ServerVersions     []string `json:"server_versions,omitempty"`
 	Retried            bool     `json:"retried,omitempty"`
 
+	// Resumption facts, populated on dials through a SessionCache.
+	Resumed         bool `json:"resumed,omitempty"`
+	ZeroRTTOffered  bool `json:"zero_rtt_offered,omitempty"`
+	ZeroRTTAccepted bool `json:"zero_rtt_accepted,omitempty"`
+	ZeroRTTRejected bool `json:"zero_rtt_rejected,omitempty"`
+
 	TLS             *TLSInfo                    `json:"tls,omitempty"`
 	TransportParams *transportparams.Parameters `json:"transport_params,omitempty"`
 	TPFingerprint   string                      `json:"tp_fingerprint,omitempty"`
@@ -195,6 +204,13 @@ type Scanner struct {
 	PoolSize int
 	// SkipHTTP disables the HTTP/3 HEAD request.
 	SkipHTTP bool
+	// SessionCache, when non-nil, is shared by every dial: first visits
+	// store TLS session tickets and NEW_TOKEN tokens, and rescans of
+	// the same target resume, turning the second pass of a campaign
+	// into abbreviated handshakes. When a rescan holds 0-RTT keys, the
+	// HTTP/3 request is sent as early data before the handshake
+	// completes. See quic.Config.SessionCache.
+	SessionCache *quic.SessionCache
 	// Tracer, when non-nil, writes a qlog-style JSON-seq trace file per
 	// connection attempt (see internal/telemetry and the -qlog-dir
 	// flag). Nil disables tracing at zero cost.
@@ -202,7 +218,18 @@ type Scanner struct {
 
 	mu sync.Mutex
 	tr *quic.Transport
+
+	// certMu guards certCache, a digest-keyed memo of chain
+	// verification results. Scans see the same few CDN chains tens of
+	// thousands of times; verifying each chain once amortizes the
+	// signature checks across the campaign.
+	certMu    sync.Mutex
+	certCache map[certCacheKey]bool
 }
+
+// certCacheKey identifies a (certificate chain, SNI) verification
+// question: the SHA-256 over the chain's raw DER plus the name checked.
+type certCacheKey [sha256.Size]byte
 
 func (s *Scanner) poolSize() int {
 	if s.PoolSize > 0 {
@@ -372,21 +399,31 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 		MinVersion: tls.VersionTLS13,
 	}
 
+	// TransportParams stays unset: the quic layer substitutes
+	// DefaultClientParams and takes its precomputed-template encode
+	// path, skipping a full parameter marshal per dial.
 	cfg := &quic.Config{
 		TLS:              tlsCfg,
 		Versions:         s.Versions,
 		HandshakeTimeout: s.timeout(),
-		TransportParams:  quic.DefaultClientParams(),
 		PTO:              s.PTO,
 		MaxPTOs:          s.MaxPTOs,
 		Tracer:           s.Tracer,
+		SessionCache:     s.SessionCache,
 	}
 
 	// No per-target context here: the QUIC layer enforces
 	// cfg.HandshakeTimeout itself, and the HTTP phase below scopes its
 	// own deadline. A derived context per target would only add
 	// allocations on the hot path.
-	conn, err := tr.Dial(ctx, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
+	dial := tr.Dial
+	if s.SessionCache != nil {
+		// With a cache, a rescan that holds 0-RTT keys returns before
+		// the handshake completes so the HTTP request can ride in early
+		// data; a first visit degrades to the blocking dial.
+		dial = tr.DialEarly
+	}
+	conn, err := dial(ctx, net.UDPAddrFromAddrPort(netip.AddrPortFrom(t.Addr, t.port())), cfg)
 	if err != nil {
 		res.Outcome, res.Error = classify(err)
 		var vne *quic.VersionNegotiationError
@@ -400,7 +437,25 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 	}
 	defer conn.Close()
 
+	if conn.EarlyDataOffered() && !s.SkipHTTP {
+		// 0-RTT fast path: fire the HEAD request now, while only early
+		// keys exist, so it leaves in 0-RTT packets. The response
+		// arrives once the handshake settles, so doHTTP doubles as the
+		// handshake wait.
+		httpCtx, cancel := context.WithTimeout(ctx, s.timeout())
+		res.HTTP = s.doHTTP(httpCtx, conn, t)
+		cancel()
+	}
+	if err := conn.HandshakeComplete(ctx); err != nil {
+		res.Outcome, res.Error = classify(err)
+		return res
+	}
+
 	res.Outcome = OutcomeSuccess
+	res.Resumed = conn.Resumed()
+	res.ZeroRTTOffered = conn.EarlyDataOffered()
+	res.ZeroRTTAccepted = conn.EarlyDataAccepted()
+	res.ZeroRTTRejected = conn.EarlyDataRejected()
 	st := conn.Stats()
 	res.QUICVersion = conn.Version().String()
 	res.VersionNegotiation = st.VersionNegotiation
@@ -421,7 +476,7 @@ func (s *Scanner) scanOnce(ctx context.Context, t Target) Result {
 		res.TPFingerprint = p.Fingerprint()
 	}
 
-	if !s.SkipHTTP {
+	if !s.SkipHTTP && res.HTTP == nil {
 		httpCtx, cancel := context.WithTimeout(ctx, s.timeout())
 		res.HTTP = s.doHTTP(httpCtx, conn, t)
 		cancel()
@@ -469,18 +524,54 @@ func (s *Scanner) tlsInfo(cs *tls.ConnectionState, sni string) *TLSInfo {
 		info.CertDNSNames = leaf.DNSNames
 		info.SelfSigned = isSelfSigned(leaf)
 		if s.RootCAs != nil {
-			opts := x509.VerifyOptions{Roots: s.RootCAs, DNSName: sni}
-			for _, ic := range cs.PeerCertificates[1:] {
-				if opts.Intermediates == nil {
-					opts.Intermediates = x509.NewCertPool()
-				}
-				opts.Intermediates.AddCert(ic)
-			}
-			_, err := leaf.Verify(opts)
-			info.CertValid = err == nil
+			info.CertValid = s.verifyChain(cs.PeerCertificates, sni)
 		}
 	}
 	return info
+}
+
+// verifyChain memoizes x509 chain verification by (chain, SNI) digest.
+// A campaign sees the same handful of provider chains over and over;
+// the signature checks run once per distinct chain instead of once per
+// target.
+func (s *Scanner) verifyChain(chain []*x509.Certificate, sni string) bool {
+	h := sha256.New()
+	for _, c := range chain {
+		h.Write(c.Raw)
+	}
+	h.Write([]byte(sni))
+	var key certCacheKey
+	h.Sum(key[:0])
+
+	s.certMu.Lock()
+	valid, ok := s.certCache[key]
+	s.certMu.Unlock()
+	if ok {
+		mCertCacheHits.Inc()
+		return valid
+	}
+	mCertCacheMiss.Inc()
+
+	leaf := chain[0]
+	opts := x509.VerifyOptions{Roots: s.RootCAs, DNSName: sni}
+	for _, ic := range chain[1:] {
+		if opts.Intermediates == nil {
+			opts.Intermediates = x509.NewCertPool()
+		}
+		opts.Intermediates.AddCert(ic)
+	}
+	_, err := leaf.Verify(opts)
+	valid = err == nil
+
+	s.certMu.Lock()
+	if s.certCache == nil || len(s.certCache) >= 8192 {
+		// Reset rather than evict: the working set is tiny; the cap
+		// only guards against adversarial chain diversity.
+		s.certCache = make(map[certCacheKey]bool)
+	}
+	s.certCache[key] = valid
+	s.certMu.Unlock()
+	return valid
 }
 
 // isSelfSigned reports whether leaf is genuinely self-signed: the

@@ -49,6 +49,10 @@ type Options struct {
 	// Migration classifies connection-migration support (NAT-rebind
 	// probe) for every active deployment of the headline week.
 	Migration bool
+	// Resumption classifies the handshake fast path (session tickets,
+	// 0-RTT, NEW_TOKEN reuse) for every active deployment of the
+	// headline week with a two-dial probe.
+	Resumption bool
 }
 
 func (o Options) withDefaults() Options {
@@ -120,6 +124,10 @@ type Report struct {
 	// Options.Migration was set.
 	MigrationTable []MigrationRow
 
+	// Per-profile handshake fast-path classification, nil unless
+	// Options.Resumption was set.
+	ResumptionTable []ResumptionRow
+
 	// Universe of the headline week (kept for AS lookups).
 	Universe *internet.Universe
 }
@@ -170,6 +178,12 @@ func Run(opts Options) (*Report, error) {
 			}
 			if opts.Migration {
 				if err := report.runMigration(u); err != nil {
+					u.Stop()
+					return nil, err
+				}
+			}
+			if opts.Resumption {
+				if err := report.runResumption(u); err != nil {
 					u.Stop()
 					return nil, err
 				}

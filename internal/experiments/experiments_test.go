@@ -23,6 +23,7 @@ func smallCampaign(t *testing.T) *Report {
 		Weeks:       []int{9, 18},
 		Workers:     64,
 		Fingerprint: true,
+		Resumption:  true,
 	}
 	rep, err := Run(opts)
 	if err != nil {
@@ -210,6 +211,32 @@ func TestCampaignFingerprintConfusion(t *testing.T) {
 	nilRender := (&Report{}).Render("FINGERPRINT")
 	if len(nilRender) < 20 {
 		t.Errorf("nil-matrix FINGERPRINT render too short: %q", nilRender)
+	}
+}
+
+func TestCampaignResumptionTable(t *testing.T) {
+	r := smallCampaign(t)
+	if r.ResumptionTable == nil {
+		t.Fatal("Options.Resumption set but ResumptionTable is nil")
+	}
+	total, correct := 0, 0
+	for _, row := range r.ResumptionTable {
+		total += row.Targets
+		correct += row.Correct()
+	}
+	if total < 20 {
+		t.Fatalf("only %d active deployments probed", total)
+	}
+	if correct != total {
+		t.Errorf("classified %d/%d deployments correctly:\n%s", correct, total, r.RenderResumption())
+	}
+	out := r.Render("RESUMPTION")
+	if !strings.Contains(out, "Token-reuse") {
+		t.Errorf("RESUMPTION render lacks token-reuse column:\n%s", out)
+	}
+	nilRender := (&Report{}).Render("RESUMPTION")
+	if len(nilRender) < 20 {
+		t.Errorf("nil-table RESUMPTION render too short: %q", nilRender)
 	}
 }
 

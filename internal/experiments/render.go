@@ -15,7 +15,7 @@ import (
 var ExperimentIDs = []string{
 	"T1", "T2", "T3", "T4", "T5", "T6", "T7",
 	"F3", "F4", "F5", "F6", "F7", "F8", "F9",
-	"OVERLAP", "PADDING", "DIVERSITY", "FINGERPRINT", "MIGRATION",
+	"OVERLAP", "PADDING", "DIVERSITY", "FINGERPRINT", "MIGRATION", "RESUMPTION",
 }
 
 // Render produces the text artifact for one experiment ID.
@@ -59,6 +59,8 @@ func (r *Report) Render(id string) string {
 		return r.RenderFingerprint()
 	case "MIGRATION":
 		return r.RenderMigration()
+	case "RESUMPTION":
+		return r.RenderResumption()
 	}
 	return fmt.Sprintf("unknown experiment %q (known: %s)\n", id, strings.Join(ExperimentIDs, ", "))
 }

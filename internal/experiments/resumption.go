@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"quicscan/internal/analysis"
+	"quicscan/internal/internet"
+	"quicscan/internal/resumption"
+)
+
+// ResumptionRow summarizes handshake fast-path classification for one
+// profile: how many of its active deployments reused a NEW_TOKEN on
+// the rescan, how the two-dial probe classified them, and the
+// ground-truth quirk the universe configured.
+type ResumptionRow struct {
+	Profile     string
+	Truth       string
+	Targets     int
+	TokenReused int
+	Verdicts    map[string]int
+}
+
+// Correct counts deployments whose verdict matched the ground truth.
+func (m ResumptionRow) Correct() int { return m.Verdicts[m.Truth] }
+
+// runResumption classifies every BehaviorActive deployment of the
+// headline universe with the two-dial resumption probe and tabulates
+// the verdicts per profile against the configured resumption quirk.
+func (r *Report) runResumption(u *internet.Universe) error {
+	var targets []resumption.Target
+	var deps []*internet.Deployment
+	for _, d := range u.Deployments {
+		if d.Behavior != internet.BehaviorActive {
+			continue
+		}
+		sni := ""
+		if len(d.Domains) > 0 {
+			sni = d.Domains[0]
+		}
+		targets = append(targets, resumption.Target{
+			Addr: netip.AddrPortFrom(d.Addr, 443),
+			SNI:  sni,
+		})
+		deps = append(deps, d)
+	}
+	p := &resumption.Prober{
+		DialPacket:       func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		Workers:          16,
+		HandshakeTimeout: 4 * time.Second,
+		TicketWait:       4 * time.Second,
+	}
+	results := p.ProbeAll(context.Background(), targets)
+
+	rows := make(map[string]*ResumptionRow)
+	for i, res := range results {
+		d := deps[i]
+		row := rows[d.Profile.Name]
+		if row == nil {
+			row = &ResumptionRow{
+				Profile:  d.Profile.Name,
+				Truth:    d.Profile.Quirks.Resumption.String(),
+				Verdicts: make(map[string]int),
+			}
+			rows[d.Profile.Name] = row
+		}
+		row.Targets++
+		if res.TokenReused {
+			row.TokenReused++
+		}
+		row.Verdicts[res.Verdict]++
+	}
+	r.ResumptionTable = make([]ResumptionRow, 0, len(rows))
+	for _, row := range rows {
+		r.ResumptionTable = append(r.ResumptionTable, *row)
+	}
+	sort.Slice(r.ResumptionTable, func(i, j int) bool {
+		return r.ResumptionTable[i].Profile < r.ResumptionTable[j].Profile
+	})
+	return nil
+}
+
+// RenderResumption emits the handshake fast-path classification
+// table: per profile, the observed ticket/0-RTT behaviour of the
+// second dial. The token-reuse column counts deployments whose Retry
+// round trip disappeared on the rescan because the client replayed
+// the NEW_TOKEN from the first connection.
+func (r *Report) RenderResumption() string {
+	if r.ResumptionTable == nil {
+		return "Resumption scan disabled: enable Options.Resumption (experiments -resumption) to classify active deployments.\n"
+	}
+	var b strings.Builder
+	b.WriteString("Handshake fast path: two-dial resumption probe over every BehaviorActive\n")
+	b.WriteString("deployment. 0rtt / no-ticket / ticket-no-0rtt / 0rtt-downgrade are the\n")
+	b.WriteString("behaviorally observed classes; token-reuse counts rescans that skipped the\n")
+	b.WriteString("Retry round trip with a NEW_TOKEN; truth is the configured quirk.\n\n")
+	var rows [][]string
+	total, correct := 0, 0
+	for _, row := range r.ResumptionTable {
+		total += row.Targets
+		correct += row.Correct()
+		rows = append(rows, []string{
+			row.Profile,
+			fmt.Sprint(row.Targets),
+			fmt.Sprint(row.Verdicts[resumption.Verdict0RTT]),
+			fmt.Sprint(row.Verdicts[resumption.VerdictNoTicket]),
+			fmt.Sprint(row.Verdicts[resumption.VerdictTicketNo0RTT]),
+			fmt.Sprint(row.Verdicts[resumption.VerdictDowngrade]),
+			fmt.Sprint(row.TokenReused),
+			row.Truth,
+		})
+	}
+	b.WriteString(analysis.RenderTable(
+		[]string{"Profile", "Targets", "0-RTT", "No-ticket", "Ticket-no-0RTT", "Downgrade", "Token-reuse", "Truth"}, rows))
+	fmt.Fprintf(&b, "\nClassified %d/%d deployments correctly.\n", correct, total)
+	return b.String()
+}

@@ -116,6 +116,47 @@ func (m MigrationQuirk) String() string {
 	return fmt.Sprintf("MigrationQuirk(%d)", int(m))
 }
 
+// ResumptionQuirk selects a profile's session-resumption and 0-RTT
+// behaviour — what a returning client experiences when it presents the
+// session ticket from an earlier visit (RFC 9000, Section 7.4.1; the
+// resumption scan mode classifies deployments into exactly these
+// classes, so the String values double as its verdict vocabulary).
+type ResumptionQuirk int
+
+const (
+	// Resumption0RTT issues tickets with early data enabled and accepts
+	// the returning client's 0-RTT flight — the full fast path (the
+	// zero-value default).
+	Resumption0RTT ResumptionQuirk = iota
+	// ResumptionNoTicket never issues session tickets: every visit pays
+	// the full handshake (stateless frontends without shared ticket
+	// keys).
+	ResumptionNoTicket
+	// ResumptionTicketNo0RTT issues tickets and resumes sessions but
+	// declines the early data each time, forcing a 1-RTT replay (the
+	// anti-replay-cautious configuration).
+	ResumptionTicketNo0RTT
+	// ResumptionDowngrade resumes with reduced flow-control limits,
+	// violating RFC 9000, Section 7.4.1; conforming clients abort with
+	// PROTOCOL_VIOLATION (a resumption path reading a staler, smaller
+	// configuration than the full-handshake path).
+	ResumptionDowngrade
+)
+
+func (r ResumptionQuirk) String() string {
+	switch r {
+	case Resumption0RTT:
+		return "0rtt"
+	case ResumptionNoTicket:
+		return "no-ticket"
+	case ResumptionTicketNo0RTT:
+		return "ticket-no-0rtt"
+	case ResumptionDowngrade:
+		return "0rtt-downgrade"
+	}
+	return fmt.Sprintf("ResumptionQuirk(%d)", int(r))
+}
+
 // Quirks are small implementation-level behavioural deviations, wired
 // through quic.ServerPolicy for this profile's stateful listeners.
 // Each simulated implementation enables a distinct pair, so the
@@ -140,6 +181,8 @@ type Quirks struct {
 	IdleCloseNotify bool
 	// Migration is the deployment's reaction to peer address changes.
 	Migration MigrationQuirk
+	// Resumption is the deployment's session-resumption behaviour.
+	Resumption ResumptionQuirk
 }
 
 // Profile describes one provider's deployment blueprint.

@@ -205,6 +205,9 @@ func (d *Deployment) ListenerSetup(week int, tlsCfg *tls.Config) (*quic.Config, 
 		IdleCloseNotify:        q.IdleCloseNotify,
 		DisableMigration:       q.Migration == MigrationDisabled,
 		MigrationValidateBreak: q.Migration == MigrationValidateBreak,
+		DisableSessionTickets:  q.Resumption == ResumptionNoTicket,
+		Decline0RTTOnResume:    q.Resumption == ResumptionTicketNo0RTT,
+		ResumptionTPDowngrade:  q.Resumption == ResumptionDowngrade,
 	}
 	if !d.ZMapVisible {
 		// Alt-Svc-only deployments stay invisible to forced VN.

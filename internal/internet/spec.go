@@ -280,7 +280,7 @@ func googleProfile() *Profile {
 	return &Profile{
 		Name:           "google",
 		Impl:           "google-quic",
-		Quirks:         Quirks{DisableStatelessReset: true, KeyUpdate: quic.KeyUpdateRefuse},
+		Quirks:         Quirks{DisableStatelessReset: true, KeyUpdate: quic.KeyUpdateRefuse, Resumption: ResumptionNoTicket},
 		VersionSet:     vGoogle,
 		AcceptVersions: []quicwire.Version{quicwire.VersionGoogleQ050}, // IETF versions advertised but not accepted: the roll-out anomaly
 		ALPNSet:        aGoogle,
@@ -352,7 +352,7 @@ func hostingProfile() *Profile {
 	return &Profile{
 		Name:       "hosting",
 		Impl:       "hosting-lsws",
-		Quirks:     Quirks{RejectGreaseTP: true, IdleCloseNotify: true},
+		Quirks:     Quirks{RejectGreaseTP: true, IdleCloseNotify: true, Resumption: ResumptionTicketNo0RTT},
 		VersionSet: vIETF,
 		ALPNSet:    aLiteSpeed,
 		HTTPSRR:    true,
@@ -380,7 +380,7 @@ func cloudProfile() *Profile {
 	return &Profile{
 		Name:       "cloud",
 		Impl:       "cloud-mixed",
-		Quirks:     Quirks{KeyUpdate: quic.KeyUpdateIgnore, IdleCloseNotify: true, Migration: MigrationValidateBreak},
+		Quirks:     Quirks{KeyUpdate: quic.KeyUpdateIgnore, IdleCloseNotify: true, Migration: MigrationValidateBreak, Resumption: ResumptionDowngrade},
 		VersionSet: vIETF,
 		ALPNSet:    aIETF,
 		HTTPSRR:    true,

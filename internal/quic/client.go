@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"quicscan/internal/quicwire"
 	"quicscan/internal/telemetry"
+	"quicscan/internal/transportparams"
 )
 
 // Dial establishes a QUIC connection over pconn to remote, completing
@@ -61,7 +63,7 @@ func chooseVersion(offered, server []quicwire.Version) (quicwire.Version, bool) 
 // recorded up front so the surviving connection's Stats report the
 // negotiation (a VN packet is only ever addressed to the attempt that
 // triggered it, so the retry would otherwise never see one).
-func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote net.Addr, cfg *Config, version quicwire.Version, priorVN []quicwire.Version) (*Conn, error) {
+func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote net.Addr, cfg *Config, version quicwire.Version, priorVN []quicwire.Version, early bool) (*Conn, error) {
 	c := newConn(cfg, true)
 	c.remote = remote
 	c.version = version
@@ -132,7 +134,31 @@ func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote 
 	if tlsCfg == nil {
 		tlsCfg = &tls.Config{InsecureSkipVerify: true, NextProtos: []string{"h3"}}
 	}
-	c.tls = tls.QUICClient(&tls.QUICConfig{TLSConfig: forTLS13(tlsCfg)})
+	tlsCfg = forTLS13(tlsCfg)
+	if cfg.SessionCache != nil {
+		tlsCfg = resumptionTLSConfig(tlsCfg, cfg.SessionCache, remote)
+		c.sessionCache = cfg.SessionCache
+		// The session cache key mirrors crypto/tls's
+		// (tls.Config.ServerName, which resumptionTLSConfig guarantees
+		// is non-empty); NEW_TOKEN tokens share it.
+		c.sessionKey = tlsCfg.ServerName
+		if len(c.retryToken) == 0 {
+			// Replay the NEW_TOKEN address validation token from the
+			// previous dial so a Retry-performing server skips its
+			// extra round trip (RFC 9000, Section 8.1.3).
+			if tok := cfg.SessionCache.token(c.sessionKey); len(tok) > 0 {
+				c.retryToken = append([]byte(nil), tok...)
+				mNewTokensReplayed.Inc()
+			}
+		}
+	}
+	c.tls = tls.QUICClient(&tls.QUICConfig{
+		TLSConfig: tlsCfg,
+		// With a session cache, ticket storage is explicit
+		// (QUICStoreSession) so the remembered transport parameters can
+		// be attached before the session is stored.
+		EnableSessionEvents: cfg.SessionCache != nil,
+	})
 	c.tls.SetTransportParameters(localParams(cfg, c.scid))
 
 	c.mu.Lock()
@@ -145,13 +171,46 @@ func (t *Transport) dialVersion(ctx context.Context, deadline time.Time, remote 
 		return fail(err)
 	}
 	c.sendPendingLocked()
+	earlyReturn := early && c.earlySendKeys != nil
+	if earlyReturn {
+		c.earlyReturned = true
+	}
 	c.mu.Unlock()
 
+	if earlyReturn {
+		// 0-RTT fast path: the session resumed with early traffic keys,
+		// so the caller can queue application data immediately — it
+		// rides to the server in 0-RTT packets while the handshake
+		// completes in the background. HandshakeComplete surfaces the
+		// eventual outcome (including ErrParameterDowngrade).
+		return c, nil
+	}
 	if err := c.waitHandshake(ctx, deadline); err != nil {
 		c.abort(err)
 		return nil, err
 	}
 	return c, nil
+}
+
+// resumptionTLSConfig prepares a TLS config for a dial that should use
+// the session cache: the cache is installed as the ClientSessionCache
+// and ServerName gets a remote-address fallback. The fallback matters
+// because crypto/tls keys its client session cache by ServerName (it
+// has no net.Conn to fall back on in QUIC mode): with an empty name,
+// tickets would be stored under the empty key and never found again.
+// An IP-literal ServerName is never sent on the wire as SNI
+// (RFC 6066 §3 via crypto/tls), so RequireSNI-style servers still see
+// an SNI-less ClientHello.
+func resumptionTLSConfig(tlsCfg *tls.Config, cache *SessionCache, remote net.Addr) *tls.Config {
+	if tlsCfg.ClientSessionCache == tls.ClientSessionCache(cache) && tlsCfg.ServerName != "" {
+		return tlsCfg
+	}
+	out := tlsCfg.Clone()
+	out.ClientSessionCache = cache
+	if out.ServerName == "" {
+		out.ServerName = remote.String()
+	}
+	return out
 }
 
 // handshakeResult buckets a failed dial for the quic_handshakes_total
@@ -198,9 +257,39 @@ func forTLS13(cfg *tls.Config) *tls.Config {
 
 // localParams marshals the configured transport parameters with the
 // connection's source ID attached, without mutating the Config.
+//
+// Every dial with default parameters (the whole scanner fleet) used to
+// re-encode the identical parameter set per connection; those now copy
+// a precomputed template and append only the per-connection
+// initial_source_connection_id, which Marshal emits last for a client
+// (no retry_source_connection_id, no unknown parameters).
 func localParams(cfg *Config, scid quicwire.ConnID) []byte {
+	if cfg.defaultParams {
+		prefix := defaultTPPrefix()
+		b := make([]byte, 0, len(prefix)+2+len(scid))
+		b = append(b, prefix...)
+		// appendParam with id 0x0f: both the ID and the length fit in
+		// single-byte varints.
+		b = append(b, byte(transportparams.IDInitialSourceConnectionID), byte(len(scid)))
+		return append(b, scid...)
+	}
 	p := cfg.TransportParams
 	p.InitialSourceConnectionID = scid
 	p.HasInitialSourceConnectionID = true
 	return p.Marshal()
+}
+
+// defaultTPPrefix is the marshaled DefaultClientParams without the
+// initial_source_connection_id, computed once.
+var (
+	defaultTPPrefixOnce  sync.Once
+	defaultTPPrefixBytes []byte
+)
+
+func defaultTPPrefix() []byte {
+	defaultTPPrefixOnce.Do(func() {
+		p := DefaultClientParams()
+		defaultTPPrefixBytes = p.Marshal()
+	})
+	return defaultTPPrefixBytes
 }

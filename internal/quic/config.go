@@ -82,6 +82,24 @@ type Config struct {
 	// are all recorded, so a failed or repaired handshake can be
 	// replayed event-by-event. Nil disables tracing at zero cost.
 	Tracer *telemetry.Tracer
+
+	// SessionCache, when non-nil, enables the handshake fast path for
+	// client dials: session tickets received on one connection are
+	// stored (together with the server's transport parameters and any
+	// NEW_TOKEN address validation token) and a later dial to the same
+	// target resumes the TLS session, offers the first flight of
+	// application data in 0-RTT, and attaches the token so the server
+	// skips its Retry round trip. Entries are keyed by
+	// TLS.ServerName, falling back to the remote address string when
+	// no SNI is set. Share one cache across the dials of a rescan
+	// campaign.
+	SessionCache *SessionCache
+
+	// defaultParams records that clone() substituted
+	// DefaultClientParams() for an unset TransportParams, which lets
+	// the client marshal local parameters from a precomputed template
+	// instead of re-encoding the same values on every dial.
+	defaultParams bool
 }
 
 // ScannerVersions is the version set supported by the QScanner in the
@@ -121,6 +139,7 @@ func (c *Config) clone() *Config {
 	}
 	if out.TransportParams.MaxUDPPayloadSize == 0 {
 		out.TransportParams = DefaultClientParams()
+		out.defaultParams = true
 	}
 	return &out
 }
@@ -183,6 +202,15 @@ var ErrConnectionClosed = errors.New("quic: connection closed")
 // negotiated max_idle_timeout elapses without traffic (RFC 9000,
 // Section 10.1).
 var ErrIdleTimeout = errors.New("quic: connection idle timeout")
+
+// ErrParameterDowngrade is the error a resumed connection dies with
+// when the client sent 0-RTT data, the server accepted it, and the
+// server's fresh transport parameters then reduced a flow control or
+// stream limit below the values remembered with the session ticket —
+// forbidden by RFC 9000 §7.4.1. The connection is closed with
+// PROTOCOL_VIOLATION and the offending session ticket is invalidated
+// so the next dial performs a full handshake.
+var ErrParameterDowngrade = errors.New("quic: transport parameters reduced on resumption")
 
 // Stats captures measurement-relevant facts about a connection
 // attempt.

@@ -228,6 +228,34 @@ type Conn struct {
 	rejectUnknownTP bool
 	idleCloseNotify bool
 
+	// Handshake fast path state (resumption and 0-RTT). earlySendKeys/
+	// earlyRecvKeys hold the 0-RTT traffic keys; 0-RTT shares the
+	// application packet number space (RFC 9000, Section 12.3), so they
+	// are not a fourth pnSpace. sessionCache/sessionKey tie the
+	// connection to the Config.SessionCache entry used to store or
+	// restore its ticket; rememberedParams are the server transport
+	// parameters carried with the ticket, validated against the fresh
+	// ones per RFC 9000 §7.4.1 when 0-RTT was sent.
+	earlySendKeys  *quiccrypto.Keys
+	earlyRecvKeys  *quiccrypto.Keys
+	resumed        bool
+	earlyOffered   bool
+	earlyAccepted  bool
+	earlyRejected  bool
+	sessionCache   *SessionCache
+	sessionKey     string
+	earlyReturned  bool // DialEarly handed the conn out before completion
+	remembered     transportparams.Parameters
+	haveRemembered bool
+	ticketCh       chan struct{}
+	ticketSeen     bool
+
+	// Server-side resumption quirk knobs (ServerPolicy): decline the
+	// 0-RTT offer on resumption, and supply transport parameters
+	// lazily so they can be downgraded once resumption is known.
+	declineEarlyData bool
+	tlsParamsFn      func() []byte
+
 	// forceCloseCode, when non-zero, overrides the CONNECTION_CLOSE
 	// error code chosen for TLS failures. The simulated deployments
 	// use it to reproduce provider-specific close behaviour such as
@@ -359,6 +387,17 @@ func (c *Conn) drainTLSEvents() error {
 			if err != nil {
 				return err
 			}
+			if ev.Level == tls.QUICEncryptionLevelEarly {
+				// Server side: the client's 0-RTT offer was accepted.
+				// Early keys protect application-space packets, so they
+				// live beside the 1-RTT keys instead of a fourth space.
+				c.earlyRecvKeys = keys
+				c.spaces[spaceApp].suite = ev.Suite
+				if c.trace != nil {
+					c.trace.Event("zero_rtt_accepted")
+				}
+				continue
+			}
 			c.spaces[spaceFor(ev.Level)].recvKeys = keys
 			c.spaces[spaceFor(ev.Level)].suite = ev.Suite
 			if c.trace != nil {
@@ -369,6 +408,17 @@ func (c *Conn) drainTLSEvents() error {
 			keys, err := quiccrypto.NewKeys(ev.Suite, ev.Data)
 			if err != nil {
 				return err
+			}
+			if ev.Level == tls.QUICEncryptionLevelEarly {
+				// Client side: early traffic keys are available, so the
+				// first flight of application data rides in 0-RTT.
+				c.earlySendKeys = keys
+				c.earlyOffered = true
+				mZeroRTTOffered.Inc()
+				if c.trace != nil {
+					c.trace.Event("zero_rtt_offered")
+				}
+				continue
 			}
 			c.spaces[spaceFor(ev.Level)].sendKeys = keys
 		case tls.QUICWriteData:
@@ -398,19 +448,158 @@ func (c *Conn) drainTLSEvents() error {
 					"max_udp_payload_size", params.MaxUDPPayloadSize)
 			}
 		case tls.QUICTransportParametersRequired:
-			c.tls.SetTransportParameters(c.cfg.TransportParams.Marshal())
+			// The server-side quirk hook supplies parameters lazily:
+			// QUICTransportParametersRequired fires after the ClientHello
+			// (and thus after QUICResumeSession), so the downgrade quirk
+			// can key off c.resumed.
+			if c.tlsParamsFn != nil {
+				c.tls.SetTransportParameters(c.tlsParamsFn())
+			} else {
+				c.tls.SetTransportParameters(c.cfg.TransportParams.Marshal())
+			}
 		case tls.QUICHandshakeDone:
 			c.completeHandshakeLocked()
-		case tls.QUICRejectedEarlyData, tls.QUICResumeSession, tls.QUICStoreSession:
-			// 0-RTT and resumption are out of scope for scanning.
+		case tls.QUICStoreSession:
+			// Client only (requires EnableSessionEvents): a session
+			// ticket arrived. Stash the server's transport parameters
+			// alongside it — a future resumed dial needs the remembered
+			// values both to size its 0-RTT flight and to detect the
+			// §7.4.1 downgrade violation.
+			if c.havePeerParams {
+				ev.SessionState.Extra = append(ev.SessionState.Extra,
+					rememberedTPExtra(c.peerParams))
+			}
+			if err := c.tls.StoreSession(ev.SessionState); err != nil {
+				return err
+			}
+			mTicketsStored.Inc()
+			if c.trace != nil {
+				c.trace.Event("session_ticket_received",
+					"early_data", ev.SessionState.EarlyData)
+			}
+			if !c.ticketSeen {
+				c.ticketSeen = true
+				if c.ticketCh != nil {
+					close(c.ticketCh)
+				}
+			}
+		case tls.QUICResumeSession:
+			c.resumed = true
+			if c.isClient {
+				mResumedConns.Inc()
+				for _, extra := range ev.SessionState.Extra {
+					if p, ok := parseRememberedTPExtra(extra); ok {
+						c.remembered = p
+						c.haveRemembered = true
+						break
+					}
+				}
+			} else if c.declineEarlyData {
+				// Quirk: issue early-data-capable tickets but refuse the
+				// 0-RTT offer on resumption (ticket-no-0rtt profiles).
+				ev.SessionState.EarlyData = false
+			}
+			if c.trace != nil {
+				c.trace.Event("session_resumed", "early_data", ev.SessionState.EarlyData)
+			}
+		case tls.QUICRejectedEarlyData:
+			// Client only: the server declined our 0-RTT flight. Drop the
+			// early keys and requeue everything sent under them for 1-RTT
+			// retransmission (same repair primitive as Retry).
+			c.earlyRejected = true
+			c.earlySendKeys = nil
+			sp := &c.spaces[spaceApp]
+			sp.outFrames = append(sp.outFrames, sp.loss.unacked()...)
+			mZeroRTTRejected.Inc()
+			if c.trace != nil {
+				c.trace.Event("zero_rtt_rejected")
+			}
 		}
 	}
+}
+
+// rememberedTPExtraPrefix tags the SessionState.Extra entry carrying
+// the server transport parameters remembered with a session ticket.
+// Extra is shared by every layer of the stack, so entries must be
+// self-identifying (crypto/tls docs).
+const rememberedTPExtraPrefix = "quicscan-tp\x00"
+
+func rememberedTPExtra(p transportparams.Parameters) []byte {
+	return append([]byte(rememberedTPExtraPrefix), p.Marshal()...)
+}
+
+func parseRememberedTPExtra(extra []byte) (transportparams.Parameters, bool) {
+	if len(extra) < len(rememberedTPExtraPrefix) ||
+		string(extra[:len(rememberedTPExtraPrefix)]) != rememberedTPExtraPrefix {
+		return transportparams.Parameters{}, false
+	}
+	p, err := transportparams.Unmarshal(extra[len(rememberedTPExtraPrefix):])
+	if err != nil {
+		return transportparams.Parameters{}, false
+	}
+	return p, true
+}
+
+// tpReduced reports whether fresh reduces any of the limits a 0-RTT
+// client relies on below the remembered values — the set RFC 9000
+// §7.4.1 forbids a server from shrinking when it accepts early data.
+func tpReduced(remembered, fresh transportparams.Parameters) bool {
+	return fresh.InitialMaxData < remembered.InitialMaxData ||
+		fresh.InitialMaxStreamDataBidiLocal < remembered.InitialMaxStreamDataBidiLocal ||
+		fresh.InitialMaxStreamDataBidiRemote < remembered.InitialMaxStreamDataBidiRemote ||
+		fresh.InitialMaxStreamDataUni < remembered.InitialMaxStreamDataUni ||
+		fresh.InitialMaxStreamsBidi < remembered.InitialMaxStreamsBidi ||
+		fresh.InitialMaxStreamsUni < remembered.InitialMaxStreamsUni
 }
 
 func (c *Conn) completeHandshakeLocked() {
 	if c.handshakeDone {
 		return
 	}
+	if c.isClient {
+		// QUICResumeSession marked the resumption attempt; DidResume is
+		// the server's authoritative answer once the handshake settles.
+		c.resumed = c.tls.ConnectionState().DidResume
+	}
+	// RFC 9000 §7.4.1: a server that accepted early data must not
+	// reduce the remembered limits; a client that detects a reduction
+	// closes with PROTOCOL_VIOLATION. The offending ticket is
+	// invalidated so the next dial takes the full handshake.
+	if c.isClient && c.earlyOffered && !c.earlyRejected &&
+		c.haveRemembered && c.havePeerParams && tpReduced(c.remembered, c.peerParams) {
+		mResumptionDowngrade.Inc()
+		if c.trace != nil {
+			c.trace.Event("resumption_tp_downgrade",
+				"remembered_max_data", c.remembered.InitialMaxData,
+				"fresh_max_data", c.peerParams.InitialMaxData)
+		}
+		if c.sessionCache != nil {
+			c.sessionCache.invalidate(c.sessionKey)
+		}
+		c.sendConnectionCloseLocked(&quicwire.ConnectionCloseFrame{
+			ErrorCode:    uint64(quicwire.ProtocolViolation),
+			ReasonPhrase: "transport parameters reduced on resumption"})
+		if c.hsErr == nil {
+			c.hsErr = ErrParameterDowngrade
+		}
+		c.closeLocked(ErrParameterDowngrade)
+		return
+	}
+	if c.isClient && c.earlyOffered && !c.earlyRejected {
+		c.earlyAccepted = true
+		mZeroRTTAccepted.Inc()
+		if c.trace != nil {
+			c.trace.Event("zero_rtt_accepted")
+		}
+	}
+	// Early-returned dials were not counted by Transport.dial; their
+	// handshake outcome lands here instead.
+	if c.earlyReturned {
+		mHandshakeSuccess.Inc()
+	}
+	// Early keys never outlive the handshake (RFC 9001, Section 4.9.3).
+	c.earlySendKeys = nil
+	c.earlyRecvKeys = nil
 	c.handshakeDone = true
 	c.stats.HandshakeDuration = time.Since(c.started)
 	mHandshakeMs.Observe(float64(c.stats.HandshakeDuration.Microseconds()) / 1000)
@@ -568,17 +757,28 @@ func (c *Conn) handleLongPacketLocked(data []byte) int {
 		spIdx = spaceInitial
 	case quicwire.PacketHandshake:
 		spIdx = spaceHandshake
+	case quicwire.Packet0RTT:
+		// 0-RTT shares the application packet number space but is
+		// protected with the early traffic keys (RFC 9000, §12.3).
+		spIdx = spaceApp
 	default:
-		return 0 // 0-RTT not used
+		return 0
 	}
 	sp := &c.spaces[spIdx]
 	packetLen := pnOff + int(hdr.Length)
-	if sp.dropped || sp.recvKeys == nil {
+	recvKeys := sp.recvKeys
+	if hdr.Type == quicwire.Packet0RTT {
+		if c.isClient {
+			return packetLen // servers never send 0-RTT
+		}
+		recvKeys = c.earlyRecvKeys
+	}
+	if sp.dropped || recvKeys == nil {
 		return packetLen
 	}
 
 	pkt := data[:packetLen]
-	payload, pn, _, err := sp.recvKeys.OpenPacket(pkt, pnOff, sp.largestRx)
+	payload, pn, _, err := recvKeys.OpenPacket(pkt, pnOff, sp.largestRx)
 	if err != nil {
 		return packetLen // undecryptable: ignore, do not kill the datagram
 	}
@@ -877,7 +1077,19 @@ func (c *Conn) handleFrameLocked(spIdx int, f quicwire.Frame) {
 		})
 	case *quicwire.RetireConnectionIDFrame:
 		c.handleRetireConnIDLocked(fr)
-	case *quicwire.NewTokenFrame, *quicwire.MaxDataFrame, *quicwire.MaxStreamDataFrame,
+	case *quicwire.NewTokenFrame:
+		// Address validation token for a future connection (RFC 9000,
+		// Section 8.1.3): remembered alongside the session ticket so a
+		// rescan's Initial skips the server's Retry round trip. The
+		// frame data aliases the pooled read buffer, so copy it out.
+		if c.isClient && c.sessionCache != nil && len(fr.Token) > 0 {
+			c.sessionCache.storeToken(c.sessionKey, append([]byte(nil), fr.Token...))
+			mNewTokensReceived.Inc()
+			if c.trace != nil {
+				c.trace.Event("new_token_received", "token_len", len(fr.Token))
+			}
+		}
+	case *quicwire.MaxDataFrame, *quicwire.MaxStreamDataFrame,
 		*quicwire.MaxStreamsFrame, *quicwire.DataBlockedFrame,
 		*quicwire.StreamDataBlockedFrame, *quicwire.StreamsBlockedFrame:
 		// Accepted and ignored: the scanner transfers too little data
@@ -1112,6 +1324,61 @@ func (c *Conn) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.closeErr
+}
+
+// earlyReturn reports whether DialEarly handed this connection out
+// before handshake completion.
+func (c *Conn) earlyReturn() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.earlyReturned
+}
+
+// Resumed reports whether the connection's TLS handshake resumed a
+// cached session (abbreviated PSK handshake, no certificate exchange).
+func (c *Conn) Resumed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumed
+}
+
+// EarlyDataOffered reports whether this client sent 0-RTT early data.
+func (c *Conn) EarlyDataOffered() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.earlyOffered
+}
+
+// EarlyDataAccepted reports whether the server accepted the client's
+// 0-RTT flight. Only meaningful once the handshake has completed.
+func (c *Conn) EarlyDataAccepted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.earlyAccepted
+}
+
+// EarlyDataRejected reports whether the server declined the client's
+// 0-RTT flight; the rejected data has been requeued for 1-RTT.
+func (c *Conn) EarlyDataRejected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.earlyRejected
+}
+
+// SessionTicketReceived returns a channel closed once the server has
+// issued a TLS session ticket (stored in the dial's SessionCache).
+// The resumption prober waits on it to decide between the "issues
+// tickets" and "never issues tickets" classes.
+func (c *Conn) SessionTicketReceived() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ticketCh == nil {
+		c.ticketCh = make(chan struct{})
+		if c.ticketSeen {
+			close(c.ticketCh)
+		}
+	}
+	return c.ticketCh
 }
 
 // RetryToken returns the address validation token received in a Retry

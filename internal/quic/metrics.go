@@ -45,6 +45,23 @@ var (
 	// connection's active path — the observable shadow of NAT rebinding
 	// and migration (Transport.route).
 	mRouteAddrMiss = telemetry.Default().Counter("quic_route_addr_miss_total")
+
+	// Handshake fast path: session resumption, 0-RTT and NEW_TOKEN
+	// reuse (sessioncache.go, conn.go, packer.go).
+	mTicketsStored       = telemetry.Default().Counter("quic_resumption_tickets_stored_total")
+	mTicketsIssued       = telemetry.Default().Counter("quic_resumption_tickets_issued_total")
+	mResumedConns        = telemetry.Default().Counter("quic_resumption_resumed_total")
+	mResumptionDowngrade = telemetry.Default().Counter("quic_resumption_tp_downgrade_total")
+	mNewTokensReceived   = telemetry.Default().Counter("quic_resumption_new_tokens_total")
+	mNewTokensReplayed   = telemetry.Default().Counter("quic_resumption_token_replays_total")
+	mZeroRTTOffered      = telemetry.Default().Counter("quic_zero_rtt_offered_total")
+	mZeroRTTAccepted     = telemetry.Default().Counter("quic_zero_rtt_accepted_total")
+	mZeroRTTRejected     = telemetry.Default().Counter("quic_zero_rtt_rejected_total")
+
+	// mRouteShard counts datagrams demuxed per route-table shard — a
+	// skew check for the sharded routing introduced to take the single
+	// Transport mutex off the receive hot path.
+	mRouteShard = telemetry.Default().CounterVec("quic_route_shard_hits_total", "shard")
 )
 
 // Fixed-label children of the vecs above, resolved once so the dial
@@ -55,6 +72,16 @@ var (
 	mHandshakeVersionMismatch = mHandshakes.With("version_mismatch")
 	mHandshakeError           = mHandshakes.With("error")
 )
+
+// mRouteShardHits holds the pre-resolved per-shard children of
+// mRouteShard so route() pays one atomic add, no label join.
+var mRouteShardHits = func() [routeShards]*telemetry.Counter {
+	var out [routeShards]*telemetry.Counter
+	for i := range out {
+		out[i] = mRouteShard.With("s" + string(rune('0'+i/10)) + string(rune('0'+i%10)))
+	}
+	return out
+}()
 
 // vnVersionCounters caches mVNByVersion children per advertised
 // version string; the set of versions a run observes is tiny.

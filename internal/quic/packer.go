@@ -63,10 +63,20 @@ func (c *Conn) packDatagramLocked() ([]byte, bool) {
 
 	for idx := spaceInitial; idx <= spaceApp; idx++ {
 		sp := &c.spaces[idx]
-		if sp.dropped || sp.sendKeys == nil {
+		// Before the 1-RTT send keys exist, a client holding early
+		// traffic keys emits its application-space queue as 0-RTT long
+		// header packets (same packet number space, different keys).
+		early := idx == spaceApp && sp.sendKeys == nil && c.earlySendKeys != nil
+		if sp.dropped || (sp.sendKeys == nil && !early) {
 			continue
 		}
-		if len(sp.outCrypto) == 0 && len(sp.outFrames) == 0 && !sp.acks.needsAck() {
+		if early {
+			// 0-RTT packets carry neither ACK nor CRYPTO frames
+			// (RFC 9000, Section 12.4): only the queued frames count.
+			if len(sp.outFrames) == 0 {
+				continue
+			}
+		} else if len(sp.outCrypto) == 0 && len(sp.outFrames) == 0 && !sp.acks.needsAck() {
 			continue
 		}
 		remaining := budget - len(datagram)
@@ -104,13 +114,19 @@ func (c *Conn) packDatagramLocked() ([]byte, bool) {
 // within the size budget, or nil if nothing is pending.
 func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 	sp := &c.spaces[idx]
+	sendKeys := sp.sendKeys
+	early := false
+	if idx == spaceApp && sendKeys == nil && c.earlySendKeys != nil {
+		sendKeys = c.earlySendKeys
+		early = true
+	}
 
 	// The frame list is per-conn scratch: loss tracking copies the
 	// ack-eliciting frames it retains (lossState.onSent), so the
 	// backing array is free for reuse by the next packet.
 	frames := c.frameScratch[:0]
 	if ack := func() *quicwire.AckFrame {
-		if sp.acks.needsAck() {
+		if sp.acks.needsAck() && !early {
 			return sp.acks.buildAck()
 		}
 		return nil
@@ -140,8 +156,10 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 		sp.outFrames = sp.outFrames[1:]
 	}
 
-	if cf := sp.takeCrypto(budget - packetOverheadBudget - len(frameBytes)); cf != nil {
-		frames = append(frames, cf)
+	if !early {
+		if cf := sp.takeCrypto(budget - packetOverheadBudget - len(frameBytes)); cf != nil {
+			frames = append(frames, cf)
+		}
 	}
 
 	if len(frames) == 0 {
@@ -202,18 +220,37 @@ func (c *Conn) packPacketLocked(idx int, budget int) []byte {
 		}
 		pkt, pnOff = quicwire.AppendLongHeader(pkt, &c.hdrScratch, len(payload)+quiccrypto.SealOverhead)
 	default:
+		if early {
+			// 0-RTT uses a long header: the server must learn the
+			// version and connection IDs before 1-RTT short headers
+			// become routable (RFC 9000, Section 17.2.3).
+			c.hdrScratch = quicwire.Header{
+				Type:            quicwire.Packet0RTT,
+				Version:         c.version,
+				DstID:           c.dcid,
+				SrcID:           c.scid,
+				PacketNumber:    pn,
+				PacketNumberLen: pnLen,
+			}
+			pkt, pnOff = quicwire.AppendLongHeader(pkt, &c.hdrScratch, len(payload)+quiccrypto.SealOverhead)
+			break
+		}
 		pkt, pnOff = quicwire.AppendShortHeader(pkt, c.dcid, pn, pnLen, sp.sendPhase)
 	}
 	pkt = append(pkt, payload...)
 	c.payloadScratch = payload
-	pkt = sp.sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
+	pkt = sendKeys.SealPacket(pkt, pnOff, pnLen, pn)
 	// Keep the grown buffer; the caller copies pkt into the datagram
 	// before the next packPacketLocked call reuses it.
 	c.pktScratch = pkt
 
 	sp.loss.onSent(pn, frames)
 	if c.trace != nil {
-		c.trace.Event("packet_sent", "space", spaceNames[idx], "pn", pn, "size", len(pkt))
+		space := spaceNames[idx]
+		if early {
+			space = "0rtt"
+		}
+		c.trace.Event("packet_sent", "space", space, "pn", pn, "size", len(pkt))
 	}
 	return pkt
 }

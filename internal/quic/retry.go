@@ -34,10 +34,24 @@ func (m *retryMinter) init() {
 // tokenLifetime bounds how long a Retry token stays valid.
 const tokenLifetime = 30 * time.Second
 
-// mint builds a token for (addr, odcid).
+// newTokenLifetime bounds NEW_TOKEN tokens. They cover a rescan visit
+// rather than one handshake's round trip, so they live much longer
+// (RFC 9000 §8.1.3 leaves the lifetime to the server).
+const newTokenLifetime = 10 * time.Minute
+
+// Token type tags. Retry tokens carry the original destination
+// connection ID for transport-parameter authentication; NEW_TOKEN
+// tokens prove only address reachability from an earlier connection
+// and must be distinguishable on receipt (RFC 9000, Section 8.1.1).
+const (
+	tokenTypeRetry    = 0x01
+	tokenTypeNewToken = 0x02
+)
+
+// mint builds a Retry token for (addr, odcid).
 func (m *retryMinter) mint(addr net.Addr, odcid quicwire.ConnID) []byte {
 	m.init()
-	var token []byte
+	token := []byte{tokenTypeRetry}
 	token = binary.BigEndian.AppendUint64(token, uint64(time.Now().Unix()))
 	token = append(token, byte(len(odcid)))
 	token = append(token, odcid...)
@@ -47,11 +61,27 @@ func (m *retryMinter) mint(addr net.Addr, odcid quicwire.ConnID) []byte {
 	return mac.Sum(token)
 }
 
-// validate checks a token and returns the original destination
-// connection ID it was minted for.
+// mintResumption builds a NEW_TOKEN token for addr, carrying no
+// connection ID: the next connection it validates has no Retry
+// exchange to authenticate.
+func (m *retryMinter) mintResumption(addr net.Addr) []byte {
+	m.init()
+	token := []byte{tokenTypeNewToken}
+	token = binary.BigEndian.AppendUint64(token, uint64(time.Now().Unix()))
+	mac := hmac.New(sha256.New, m.key[:])
+	mac.Write(token)
+	mac.Write([]byte(addr.String()))
+	return mac.Sum(token)
+}
+
+// validate checks a token of either type. For Retry tokens it returns
+// the original destination connection ID the token was minted for;
+// for NEW_TOKEN tokens the ID is nil (address validation succeeded,
+// but there is no Retry exchange to authenticate, so the handshake
+// proceeds without retry_source_connection_id).
 func (m *retryMinter) validate(addr net.Addr, token []byte) (quicwire.ConnID, bool) {
 	m.init()
-	if len(token) < 8+1+sha256.Size {
+	if len(token) < 1+8+sha256.Size {
 		return nil, false
 	}
 	body := token[:len(token)-sha256.Size]
@@ -62,17 +92,32 @@ func (m *retryMinter) validate(addr net.Addr, token []byte) (quicwire.ConnID, bo
 	if !hmac.Equal(sum, mac.Sum(nil)) {
 		return nil, false
 	}
-	issued := time.Unix(int64(binary.BigEndian.Uint64(body[:8])), 0)
-	if time.Since(issued) > tokenLifetime {
-		return nil, false
+	issued := time.Unix(int64(binary.BigEndian.Uint64(body[1:9])), 0)
+	switch body[0] {
+	case tokenTypeRetry:
+		if time.Since(issued) > tokenLifetime {
+			return nil, false
+		}
+		if len(body) < 1+8+1 {
+			return nil, false
+		}
+		odcidLen := int(body[9])
+		if len(body) != 1+8+1+odcidLen {
+			return nil, false
+		}
+		// Copy: body aliases the incoming datagram, which lives in a
+		// pooled read buffer valid only for the current call stack.
+		return append(quicwire.ConnID(nil), body[10:10+odcidLen]...), true
+	case tokenTypeNewToken:
+		if time.Since(issued) > newTokenLifetime {
+			return nil, false
+		}
+		if len(body) != 1+8 {
+			return nil, false
+		}
+		return nil, true
 	}
-	odcidLen := int(body[8])
-	if len(body) != 8+1+odcidLen {
-		return nil, false
-	}
-	// Copy: body aliases the incoming datagram, which lives in a
-	// pooled read buffer valid only for the current call stack.
-	return append(quicwire.ConnID(nil), body[9:9+odcidLen]...), true
+	return nil, false
 }
 
 // sendRetry answers a token-less Initial with a Retry packet.

@@ -2,6 +2,7 @@ package quic
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -127,6 +128,27 @@ type ServerPolicy struct {
 	// reset token are minted at accept time. The endpoints should be
 	// served by this listener — register their sockets with ServeAlso.
 	PreferredAddress *transportparams.PreferredAddress
+
+	// DisableSessionTickets suppresses the NewSessionTicket normally
+	// sent after the handshake, so clients can never resume. Models
+	// deployments that terminate TLS on stateless frontends without a
+	// shared ticket key.
+	DisableSessionTickets bool
+
+	// Decline0RTTOnResume issues tickets with early_data enabled but
+	// declines the early data on every resumed handshake, forcing the
+	// client to replay its 0-RTT flight in 1-RTT. Models deployments
+	// that resume sessions but keep 0-RTT switched off (the common
+	// anti-replay-cautious configuration).
+	Decline0RTTOnResume bool
+
+	// ResumptionTPDowngrade advertises halved flow-control limits on
+	// resumed handshakes only. RFC 9000, Section 7.4.1 forbids reducing
+	// remembered limits while accepting 0-RTT; conforming clients must
+	// close with PROTOCOL_VIOLATION. Models frontends whose resumption
+	// path reads a different (staler, smaller) configuration than the
+	// full-handshake path.
+	ResumptionTPDowngrade bool
 }
 
 // KeyUpdatePolicy selects a server's reaction to a peer-initiated key
@@ -150,6 +172,11 @@ type Listener struct {
 	cfg    *Config
 	policy ServerPolicy
 	pconn  net.PacketConn
+	// tlsBase is the shared per-listener TLS config. Sharing matters
+	// for session resumption: ticket keys are pinned once here, so a
+	// ticket minted on one connection decrypts on every later one
+	// (per-connection clones would each auto-generate their own keys).
+	tlsBase *tls.Config
 
 	mu     sync.Mutex
 	conns  map[string]*Conn // by our SCID and by original DCID
@@ -171,10 +198,20 @@ func Listen(pconn net.PacketConn, config *Config, policy ServerPolicy) (*Listene
 	if cfg.TransportParams.InitialMaxStreamsBidi == 0 && cfg.TransportParams.InitialMaxData == 0 {
 		cfg.TransportParams = DefaultServerParams()
 	}
+	base := forTLS13(cfg.TLS)
+	if base == cfg.TLS {
+		base = base.Clone() // never mutate the caller's config
+	}
+	var ticketKey [32]byte
+	if _, err := rand.Read(ticketKey[:]); err != nil {
+		return nil, err
+	}
+	base.SetSessionTicketKeys([][32]byte{ticketKey})
 	l := &Listener{
 		cfg:      cfg,
 		policy:   policy,
 		pconn:    pconn,
+		tlsBase:  base,
 		conns:    make(map[string]*Conn),
 		acceptCh: make(chan *Conn, 64),
 		done:     make(chan struct{}),
@@ -515,8 +552,11 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 			"remote", from.String(), "version", c.version.String(), "odcid", fmt.Sprintf("%x", c.origDcid))
 	}
 
-	tlsCfg := forTLS13(l.cfg.TLS)
+	tlsCfg := l.tlsBase
 	if l.policy.RequireSNI != nil {
+		// The SNI check closes over this connection, so it needs a
+		// per-connection clone; the clone keeps the shared ticket keys.
+		tlsCfg = tlsCfg.Clone()
 		inner := tlsCfg.GetConfigForClient
 		check := l.policy.RequireSNI
 		tlsCfg.GetConfigForClient = func(chi *tls.ClientHelloInfo) (*tls.Config, error) {
@@ -542,7 +582,14 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 		}
 	}
 
-	c.tls = tls.QUICServer(&tls.QUICConfig{TLSConfig: tlsCfg})
+	c.declineEarlyData = l.policy.Decline0RTTOnResume
+	c.tls = tls.QUICServer(&tls.QUICConfig{
+		TLSConfig: tlsCfg,
+		// Session events put ticket issuance under ServerPolicy control
+		// (SendSessionTicket in onHandshakeDone) and surface
+		// QUICResumeSession so Decline0RTTOnResume can veto early data.
+		EnableSessionEvents: true,
+	})
 	params := l.cfg.TransportParams
 	resetToken := l.reset.tokenFor(c.scid)
 	params.StatelessResetToken = resetToken[:]
@@ -570,7 +617,24 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 			}
 		}
 	}
-	c.tls.SetTransportParameters(params.Marshal())
+	if l.policy.ResumptionTPDowngrade {
+		// Defer parameter marshaling: crypto/tls only asks for transport
+		// parameters (QUICTransportParametersRequired) after the
+		// ClientHello — and with it any session resumption — has been
+		// processed, which is exactly when c.resumed is known.
+		p := params
+		c.tlsParamsFn = func() []byte {
+			if c.resumed {
+				p.InitialMaxData /= 2
+				p.InitialMaxStreamDataBidiLocal /= 2
+				p.InitialMaxStreamDataBidiRemote /= 2
+				p.InitialMaxStreamDataUni /= 2
+			}
+			return p.Marshal()
+		}
+	} else {
+		c.tls.SetTransportParameters(params.Marshal())
+	}
 
 	c.onHandshakeDone = func() {
 		// Confirm the handshake to the client and retire the
@@ -582,6 +646,24 @@ func (l *Listener) newServerConn(hdr *quicwire.Header, from net.Addr, retryODCID
 		// registered with the listener so packets using them route to
 		// this connection; each carries its stateless reset token.
 		c.issueConnIDsLocked(2)
+		if !l.policy.DisableSessionTickets {
+			// The NewSessionTicket's CRYPTO data surfaces as QUICWriteData
+			// events picked up by the drain loop still running above this
+			// callback, so the ticket rides the same flight as
+			// HANDSHAKE_DONE.
+			if err := c.tls.SendSessionTicket(tls.QUICSessionTicketOptions{EarlyData: true}); err == nil {
+				mTicketsIssued.Inc()
+				if c.trace != nil {
+					c.trace.Event("session_ticket_sent")
+				}
+			}
+		}
+		if l.policy.UseRetry {
+			// A validating server hands the client a NEW_TOKEN so its next
+			// connection skips the Retry round trip (RFC 9000, 8.1.3).
+			c.spaces[spaceApp].outFrames = append(c.spaces[spaceApp].outFrames,
+				&quicwire.NewTokenFrame{Token: l.retry.mintResumption(from)})
+		}
 	}
 
 	c.mu.Lock()

@@ -1,0 +1,87 @@
+package quic
+
+import (
+	"crypto/tls"
+	"sync"
+)
+
+// SessionCache stores TLS session tickets and NEW_TOKEN address
+// validation tokens across dials so a rescan of the same target can
+// take the handshake fast path: an abbreviated (PSK) TLS handshake
+// that skips the certificate exchange, 0-RTT early data carrying the
+// first request, and an Initial token that skips the server's Retry
+// round trip.
+//
+// It implements tls.ClientSessionCache; entries are keyed the same way
+// crypto/tls keys them — by tls.Config.ServerName. Dials through a
+// Config with a SessionCache set fall back to the remote address
+// string when no SNI is configured, so IP-only scans still resume.
+//
+// A SessionCache is safe for concurrent use by any number of dials.
+type SessionCache struct {
+	lru tls.ClientSessionCache
+
+	mu     sync.Mutex
+	tokens map[string][]byte
+}
+
+// NewSessionCache returns a SessionCache holding at most capacity
+// sessions (and as many address validation tokens). capacity <= 0
+// picks a default suitable for a rescan campaign shard.
+func NewSessionCache(capacity int) *SessionCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &SessionCache{
+		lru:    tls.NewLRUClientSessionCache(capacity),
+		tokens: make(map[string][]byte),
+	}
+}
+
+// Get implements tls.ClientSessionCache.
+func (sc *SessionCache) Get(key string) (*tls.ClientSessionState, bool) {
+	return sc.lru.Get(key)
+}
+
+// Put implements tls.ClientSessionCache.
+func (sc *SessionCache) Put(key string, cs *tls.ClientSessionState) {
+	sc.lru.Put(key, cs)
+}
+
+// storeToken remembers a NEW_TOKEN address validation token for the
+// target identified by key. The latest token wins: servers expect the
+// most recently issued token and the scanner never needs more than one
+// dial in flight per target.
+func (sc *SessionCache) storeToken(key string, token []byte) {
+	if key == "" || len(token) == 0 {
+		return
+	}
+	sc.mu.Lock()
+	if len(sc.tokens) >= 8192 {
+		// Defensive bound; a campaign shard's working set is far
+		// smaller. Dropping the map only costs extra Retry round trips.
+		sc.tokens = make(map[string][]byte)
+	}
+	sc.tokens[key] = token
+	sc.mu.Unlock()
+}
+
+// token returns the stored NEW_TOKEN token for key, or nil.
+func (sc *SessionCache) token(key string) []byte {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.tokens[key]
+}
+
+// invalidate drops the session ticket for key. Called when a resumed
+// handshake reveals the ticket must not be reused — most importantly
+// when the server violated RFC 9000 §7.4.1 by reducing remembered
+// transport parameters, where retrying with the same ticket would loop
+// forever. The address validation token is kept: address reachability
+// is unrelated to the TLS session state.
+func (sc *SessionCache) invalidate(key string) {
+	if key == "" {
+		return
+	}
+	sc.lru.Put(key, nil)
+}

@@ -34,6 +34,51 @@ type drainEntry struct {
 	at  time.Time
 }
 
+// routeShards is the number of independent route-table shards. The
+// receive hot path used to funnel every datagram of every socket
+// through one Transport-wide mutex; sharding by a hash of the route
+// key lets the per-socket read loops demux concurrently. Must stay a
+// power of two (shardIndex masks).
+const routeShards = 16
+
+// maxDrainingPerShard caps each shard's draining set (the Transport
+// total matches the previous global cap of 8192).
+const maxDrainingPerShard = 8192 / routeShards
+
+// routeShard is one slice of the demux state: connections keyed by
+// local CID, the remote-address fallback route, and the draining set
+// absorbing late packets for retired CIDs. CID keys and address keys
+// hash to shards independently — a connection's CID route and address
+// route usually live in different shards, and the two locks are only
+// ever taken sequentially, never nested.
+type routeShard struct {
+	mu        sync.Mutex
+	conns     map[string]*Conn // local CID -> connection
+	byAddr    map[string]*Conn // remote address -> connection (fallback)
+	draining  map[string]time.Time
+	drainQ    []drainEntry
+	drainHead int
+}
+
+// shardIndex hashes a route key (CID bytes or address string) onto a
+// shard with FNV-1a. The two variants keep the compiler's
+// zero-allocation string/[]byte conversions intact.
+func shardIndex(key []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return int(h & (routeShards - 1))
+}
+
+func shardIndexString(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return int(h & (routeShards - 1))
+}
+
 // Transport multiplexes many client connections over a small, fixed
 // pool of UDP sockets — the architecture high-rate scanners need:
 // socket count stays constant no matter how many concurrent handshakes
@@ -54,20 +99,19 @@ type drainEntry struct {
 type Transport struct {
 	pool []net.PacketConn
 
-	mu       sync.Mutex
-	conns    map[string]*Conn // local CID -> connection
-	byAddr   map[string]*Conn // remote address -> connection (fallback)
-	draining map[string]time.Time
-	// drainQ holds the draining keys in retirement order so expiry is
+	// shards hold the route tables (see routeShard). Each shard's
+	// drainQ keeps its draining keys in retirement order so expiry is
 	// an amortized O(1) pop from the front (a periodic full-map sweep
 	// goes quadratic under scanner churn: with tens of thousands of
 	// short-lived connections per draining period, every sweep scans
-	// entries that are almost all too young to remove). drainHead is
-	// the queue's logical start within the backing slice.
-	drainQ    []drainEntry
-	drainHead int
-	active    int
-	closed    bool
+	// entries that are almost all too young to remove).
+	shards [routeShards]routeShard
+
+	// mu guards only the registration control plane (closed, active);
+	// the datagram hot path never takes it.
+	mu     sync.Mutex
+	active int
+	closed bool
 
 	next   atomic.Uint32 // round-robin socket assignment
 	readWG sync.WaitGroup
@@ -120,12 +164,12 @@ func NewTransport(pconns ...net.PacketConn) (*Transport, error) {
 	if len(pconns) == 0 {
 		return nil, errors.New("quic: NewTransport requires at least one socket")
 	}
-	t := &Transport{
-		pool:     pconns,
-		conns:    make(map[string]*Conn),
-		byAddr:   make(map[string]*Conn),
-		draining: make(map[string]time.Time),
-	}
+	// Shard maps are created lazily at first write: reads and deletes
+	// on nil maps are safe, and eagerly building 3 maps x 16 shards
+	// costs ~48 allocations per Transport — the compat Dial path and
+	// the dial-per-target baseline create a Transport per connection,
+	// where most shards never see a key.
+	t := &Transport{pool: pconns}
 	for _, pc := range pconns {
 		t.readWG.Add(1)
 		go t.readLoop(pc)
@@ -161,11 +205,16 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*Conn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
-	}
 	t.mu.Unlock()
+	var conns []*Conn
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, c := range sh.conns {
+			conns = append(conns, c)
+		}
+		sh.mu.Unlock()
+	}
 
 	var err error
 	for _, pc := range t.pool {
@@ -188,6 +237,27 @@ func (t *Transport) Close() error {
 // none it returns a *VersionNegotiationError — the paper's "Version
 // Mismatch" outcome.
 func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (*Conn, error) {
+	return t.dial(ctx, remote, config, false)
+}
+
+// DialEarly is Dial for the 0-RTT fast path: when the config's
+// SessionCache holds an early-data-capable session for remote, it
+// returns as soon as the 0-RTT keys are derived — before any network
+// round trip — so data the caller queues immediately rides to the
+// server in 0-RTT packets alongside the resumed handshake. When no
+// usable session exists (first contact, expired ticket, server never
+// offered early data) it degrades to a normal blocking Dial.
+//
+// After an early return the handshake is still in flight: call
+// Conn.HandshakeComplete to observe its outcome, including
+// ErrParameterDowngrade when the server violated RFC 9000 §7.4.1.
+// Version negotiation on an early-returned dial is not retried — a
+// cached session implies the server already accepted this version.
+func (t *Transport) DialEarly(ctx context.Context, remote net.Addr, config *Config) (*Conn, error) {
+	return t.dial(ctx, remote, config, true)
+}
+
+func (t *Transport) dial(ctx context.Context, remote net.Addr, config *Config, early bool) (*Conn, error) {
 	cfg := config.clone()
 	// The handshake deadline is enforced with one plain timer inside
 	// waitHandshake rather than a derived context: a context chain
@@ -198,9 +268,14 @@ func (t *Transport) Dial(ctx context.Context, remote net.Addr, config *Config) (
 	version := cfg.Versions[0]
 	var priorVN []quicwire.Version
 	for attempt := 0; ; attempt++ {
-		conn, err := t.dialVersion(ctx, deadline, remote, cfg, version, priorVN)
+		conn, err := t.dialVersion(ctx, deadline, remote, cfg, version, priorVN, early)
 		if err == nil {
-			mHandshakeSuccess.Inc()
+			// An early-returned dial's handshake is still running; its
+			// outcome is counted at completion (completeHandshakeLocked)
+			// instead of here.
+			if !conn.earlyReturn() {
+				mHandshakeSuccess.Inc()
+			}
 			return conn, nil
 		}
 		var vne *VersionNegotiationError
@@ -239,18 +314,53 @@ func (t *Transport) register(c *Conn) error {
 	}
 	addr := c.remoteKey
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return ErrTransportClosed
 	}
-	if _, dup := t.conns[key]; dup {
+	t.mu.Unlock()
+
+	cs := &t.shards[shardIndexString(key)]
+	cs.mu.Lock()
+	if _, dup := cs.conns[key]; dup {
+		cs.mu.Unlock()
 		return errDuplicateCID
 	}
-	t.conns[key] = c
-	if _, ok := t.byAddr[addr]; !ok {
-		t.byAddr[addr] = c
+	if cs.conns == nil {
+		cs.conns = make(map[string]*Conn)
+	}
+	cs.conns[key] = c
+	cs.mu.Unlock()
+
+	as := &t.shards[shardIndexString(addr)]
+	as.mu.Lock()
+	if _, ok := as.byAddr[addr]; !ok {
+		if as.byAddr == nil {
+			as.byAddr = make(map[string]*Conn)
+		}
+		as.byAddr[addr] = c
+	}
+	as.mu.Unlock()
+
+	t.mu.Lock()
+	if t.closed {
+		// Close ran between the entry check and the shard inserts and
+		// may have missed this connection; undo the registration.
+		t.mu.Unlock()
+		cs.mu.Lock()
+		if cs.conns[key] == c {
+			delete(cs.conns, key)
+		}
+		cs.mu.Unlock()
+		as.mu.Lock()
+		if as.byAddr[addr] == c {
+			delete(as.byAddr, addr)
+		}
+		as.mu.Unlock()
+		return ErrTransportClosed
 	}
 	t.active++
+	t.mu.Unlock()
 	mActiveConns.Add(1)
 	return nil
 }
@@ -261,31 +371,52 @@ func (t *Transport) retire(c *Conn) {
 	key := c.scidKey
 	addr := c.remoteKey
 	now := time.Now()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.conns[key] != c {
+	cs := &t.shards[shardIndexString(key)]
+	cs.mu.Lock()
+	if cs.conns[key] != c {
+		cs.mu.Unlock()
 		return
 	}
-	delete(t.conns, key)
-	if t.byAddr[addr] == c {
-		delete(t.byAddr, addr)
+	delete(cs.conns, key)
+	cs.parkLocked(key, now)
+	cs.mu.Unlock()
+
+	as := &t.shards[shardIndexString(addr)]
+	as.mu.Lock()
+	if as.byAddr[addr] == c {
+		delete(as.byAddr, addr)
 	}
+	as.mu.Unlock()
+
+	t.mu.Lock()
 	t.active--
+	t.mu.Unlock()
 	mActiveConns.Add(-1)
-	t.draining[key] = now
-	t.drainQ = append(t.drainQ, drainEntry{key: key, at: now})
 	// Alternate IDs issued via NEW_CONNECTION_ID drain alongside the
 	// primary: late packets on any of them are tail traffic, not drops.
+	// Each alternate hashes to its own shard. altKeys mutations are
+	// serialized by c.mu (retire and the CID hooks all run under it).
 	for _, alt := range c.altKeys {
-		if t.conns[alt] != c {
-			continue
+		sh := &t.shards[shardIndexString(alt)]
+		sh.mu.Lock()
+		if sh.conns[alt] == c {
+			delete(sh.conns, alt)
+			sh.parkLocked(alt, now)
 		}
-		delete(t.conns, alt)
-		t.draining[alt] = now
-		t.drainQ = append(t.drainQ, drainEntry{key: alt, at: now})
+		sh.mu.Unlock()
 	}
 	c.altKeys = nil
-	t.expireDrainingLocked(now)
+}
+
+// parkLocked moves a retired CID key into the shard's draining set and
+// pops expired entries. Caller holds the shard mutex.
+func (sh *routeShard) parkLocked(key string, now time.Time) {
+	if sh.draining == nil {
+		sh.draining = make(map[string]time.Time)
+	}
+	sh.draining[key] = now
+	sh.drainQ = append(sh.drainQ, drainEntry{key: key, at: now})
+	sh.expireDrainingLocked(now)
 }
 
 // addConnID routes an additional local connection ID to c, returning
@@ -295,14 +426,22 @@ func (t *Transport) addConnID(c *Conn, id quicwire.ConnID) ([16]byte, bool) {
 	var token [16]byte
 	key := string(id)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		return token, false
 	}
-	if _, dup := t.conns[key]; dup {
+	t.mu.Unlock()
+	sh := &t.shards[shardIndexString(key)]
+	sh.mu.Lock()
+	if _, dup := sh.conns[key]; dup {
+		sh.mu.Unlock()
 		return token, false
 	}
-	t.conns[key] = c
+	if sh.conns == nil {
+		sh.conns = make(map[string]*Conn)
+	}
+	sh.conns[key] = c
+	sh.mu.Unlock()
 	c.altKeys = append(c.altKeys, key)
 	crand.Read(token[:])
 	return token, true
@@ -313,21 +452,21 @@ func (t *Transport) addConnID(c *Conn, id quicwire.ConnID) ([16]byte, bool) {
 func (t *Transport) removeConnID(c *Conn, id quicwire.ConnID) {
 	key := string(id)
 	now := time.Now()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.conns[key] != c {
+	sh := &t.shards[shardIndexString(key)]
+	sh.mu.Lock()
+	if sh.conns[key] != c {
+		sh.mu.Unlock()
 		return
 	}
-	delete(t.conns, key)
+	delete(sh.conns, key)
+	sh.parkLocked(key, now)
+	sh.mu.Unlock()
 	for i, k := range c.altKeys {
 		if k == key {
 			c.altKeys = append(c.altKeys[:i], c.altKeys[i+1:]...)
 			break
 		}
 	}
-	t.draining[key] = now
-	t.drainQ = append(t.drainQ, drainEntry{key: key, at: now})
-	t.expireDrainingLocked(now)
 }
 
 // rebindAddr moves the connection's address-fallback route after a
@@ -336,45 +475,51 @@ func (t *Transport) removeConnID(c *Conn, id quicwire.ConnID) {
 // spoofer cannot steal another connection's fallback entry.
 func (t *Transport) rebindAddr(c *Conn, new net.Addr) {
 	newKey := new.String()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.byAddr[c.remoteKey] == c {
-		delete(t.byAddr, c.remoteKey)
+	oldKey := c.remoteKey
+	old := &t.shards[shardIndexString(oldKey)]
+	old.mu.Lock()
+	if old.byAddr[oldKey] == c {
+		delete(old.byAddr, oldKey)
 	}
+	old.mu.Unlock()
 	c.remoteKey = newKey
-	if _, ok := t.byAddr[newKey]; !ok {
-		t.byAddr[newKey] = c
+	sh := &t.shards[shardIndexString(newKey)]
+	sh.mu.Lock()
+	if _, ok := sh.byAddr[newKey]; !ok {
+		if sh.byAddr == nil {
+			sh.byAddr = make(map[string]*Conn)
+		}
+		sh.byAddr[newKey] = c
 	}
+	sh.mu.Unlock()
 }
 
-// maxDraining caps the draining set. Entries past the cap are retired
-// early (their late packets count as drops rather than latePackets),
-// bounding memory when connections churn faster than the draining
-// period expires them.
-const maxDraining = 8192
-
 // expireDrainingLocked pops expired (or over-cap) entries from the
-// front of the retirement-ordered queue. Amortized O(1) per retire.
-func (t *Transport) expireDrainingLocked(now time.Time) {
-	for t.drainHead < len(t.drainQ) {
-		e := t.drainQ[t.drainHead]
-		if now.Sub(e.at) <= drainingPeriod && len(t.drainQ)-t.drainHead <= maxDraining {
+// front of the shard's retirement-ordered queue. Entries past the cap
+// are retired early (their late packets count as drops rather than
+// latePackets), bounding memory when connections churn faster than
+// the draining period expires them. Amortized O(1) per retire; caller
+// holds the shard mutex.
+func (sh *routeShard) expireDrainingLocked(now time.Time) {
+	for sh.drainHead < len(sh.drainQ) {
+		e := sh.drainQ[sh.drainHead]
+		if now.Sub(e.at) <= drainingPeriod && len(sh.drainQ)-sh.drainHead <= maxDrainingPerShard {
 			break
 		}
 		// A key can reappear in the queue only if the same CID was
 		// retired twice; keep the map entry unless it is this one's.
-		if at, ok := t.draining[e.key]; ok && at.Equal(e.at) {
-			delete(t.draining, e.key)
+		if at, ok := sh.draining[e.key]; ok && at.Equal(e.at) {
+			delete(sh.draining, e.key)
 		}
-		t.drainQ[t.drainHead] = drainEntry{} // release the key string
-		t.drainHead++
+		sh.drainQ[sh.drainHead] = drainEntry{} // release the key string
+		sh.drainHead++
 	}
 	// Compact once the dead prefix dominates so the backing array does
 	// not grow without bound.
-	if t.drainHead > 1024 && t.drainHead > len(t.drainQ)/2 {
-		n := copy(t.drainQ, t.drainQ[t.drainHead:])
-		t.drainQ = t.drainQ[:n]
-		t.drainHead = 0
+	if sh.drainHead > 256 && sh.drainHead > len(sh.drainQ)/2 {
+		n := copy(sh.drainQ, sh.drainQ[sh.drainHead:])
+		sh.drainQ = sh.drainQ[:n]
+		sh.drainHead = 0
 	}
 }
 
@@ -455,7 +600,10 @@ func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 	}
 	// dstID stays a []byte: the map lookups below use the inline
 	// string conversion the compiler elides, so no per-packet key
-	// allocation happens.
+	// allocation happens. Every connection ID this endpoint issues has
+	// the fixed clientCIDLen, so the destination ID is extracted — and
+	// hashed onto its shard — exactly once per datagram, with no
+	// per-candidate-length retries.
 	var dstID []byte
 	if quicwire.IsLongHeader(data[0]) {
 		_, err := quicwire.ParseLongHeaderInto(hdr, data)
@@ -474,12 +622,15 @@ func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 		dstID = data[1 : 1+clientCIDLen]
 	}
 
-	t.mu.Lock()
-	c := t.conns[string(dstID)]
+	idx := shardIndex(dstID)
+	mRouteShardHits[idx].Inc()
+	sh := &t.shards[idx]
+	sh.mu.Lock()
+	c := sh.conns[string(dstID)]
 	if c == nil {
-		drainedAt, late := t.draining[string(dstID)]
+		drainedAt, late := sh.draining[string(dstID)]
+		sh.mu.Unlock()
 		if late && time.Since(drainedAt) <= drainingPeriod {
-			t.mu.Unlock()
 			t.cLatePackets.Add(1)
 			mLatePackets.Inc()
 			return
@@ -487,8 +638,11 @@ func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 		// Unknown destination ID: stateless resets (and corrupted
 		// headers) land here. Fall back to the per-address route so the
 		// owning connection can run its reset-token check.
-		c = t.byAddr[from.String()]
-		t.mu.Unlock()
+		addr := from.String()
+		as := &t.shards[shardIndexString(addr)]
+		as.mu.Lock()
+		c = as.byAddr[addr]
+		as.mu.Unlock()
 		if c == nil {
 			t.cDropped.Add(1)
 			mDropped.Inc()
@@ -499,7 +653,7 @@ func (t *Transport) route(hdr *quicwire.Header, data []byte, from net.Addr) {
 		c.handleDatagram(data, from)
 		return
 	}
-	t.mu.Unlock()
+	sh.mu.Unlock()
 	// Routed by connection ID but from an unexpected source address:
 	// the observable shadow of NAT rebinding and migration. Counted
 	// only — the address route moves when path validation succeeds

@@ -165,33 +165,34 @@ func TestDialCompatOwnsSocket(t *testing.T) {
 	}
 }
 
-// TestDrainingSetExpiry exercises expireDrainingLocked directly: the
-// draining set is bounded by the hard cap under fast churn, entries
-// past the draining period are removed, and expiry is driven from the
-// front of the retirement-ordered queue (no full-map sweep).
+// TestDrainingSetExpiry exercises a route shard's expireDrainingLocked
+// directly: the draining set is bounded by the per-shard hard cap under
+// fast churn, entries past the draining period are removed, and expiry
+// is driven from the front of the retirement-ordered queue (no full-map
+// sweep).
 func TestDrainingSetExpiry(t *testing.T) {
-	tr := &Transport{draining: make(map[string]time.Time)}
+	sh := &routeShard{draining: make(map[string]time.Time)}
 	now := time.Now()
 
 	park := func(key string, at time.Time) {
-		tr.draining[key] = at
-		tr.drainQ = append(tr.drainQ, drainEntry{key: key, at: at})
-		tr.expireDrainingLocked(at)
+		sh.draining[key] = at
+		sh.drainQ = append(sh.drainQ, drainEntry{key: key, at: at})
+		sh.expireDrainingLocked(at)
 	}
 
-	// Fast churn: 3*maxDraining retirements inside one draining period
-	// must stay capped, evicting oldest-first.
-	for i := 0; i < 3*maxDraining; i++ {
+	// Fast churn: 3*maxDrainingPerShard retirements inside one draining
+	// period must stay capped, evicting oldest-first.
+	for i := 0; i < 3*maxDrainingPerShard; i++ {
 		park(string(rune(i))+"-churn", now.Add(time.Duration(i)*time.Microsecond))
 	}
-	if got := len(tr.draining); got > maxDraining {
-		t.Errorf("draining set size = %d, want <= %d", got, maxDraining)
+	if got := len(sh.draining); got > maxDrainingPerShard {
+		t.Errorf("draining set size = %d, want <= %d", got, maxDrainingPerShard)
 	}
-	if _, ok := tr.draining[string(rune(0))+"-churn"]; ok {
+	if _, ok := sh.draining[string(rune(0))+"-churn"]; ok {
 		t.Error("oldest entry survived cap eviction")
 	}
-	last := string(rune(3*maxDraining-1)) + "-churn"
-	if _, ok := tr.draining[last]; !ok {
+	last := string(rune(3*maxDrainingPerShard-1)) + "-churn"
+	if _, ok := sh.draining[last]; !ok {
 		t.Error("newest entry was evicted")
 	}
 
@@ -199,13 +200,13 @@ func TestDrainingSetExpiry(t *testing.T) {
 	// draining period relative to a later retirement.
 	later := now.Add(drainingPeriod + time.Second)
 	park("fresh", later)
-	if got := len(tr.draining); got != 1 {
+	if got := len(sh.draining); got != 1 {
 		t.Errorf("draining set size after period elapsed = %d, want 1 (only the fresh entry)", got)
 	}
-	if _, ok := tr.draining["fresh"]; !ok {
+	if _, ok := sh.draining["fresh"]; !ok {
 		t.Error("fresh entry missing after expiry pass")
 	}
-	if tr.drainHead != 0 || len(tr.drainQ) != 1 {
-		t.Errorf("queue not compacted: head=%d len=%d, want 0/1", tr.drainHead, len(tr.drainQ))
+	if sh.drainHead != 0 || len(sh.drainQ) != 1 {
+		t.Errorf("queue not compacted: head=%d len=%d, want 0/1", sh.drainHead, len(sh.drainQ))
 	}
 }

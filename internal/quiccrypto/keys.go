@@ -27,12 +27,19 @@ type headerProtector interface {
 	mask(sample []byte) [5]byte
 }
 
-type aesHeaderProtector struct{ block cipher.Block }
+// aesHeaderProtector carries its own scratch block: passing a stack
+// buffer through the cipher.Block interface forces it to escape, which
+// costs one heap allocation per protected packet. A Keys instance is
+// only ever driven from one side of a connection at a time, so the
+// scratch needs no locking.
+type aesHeaderProtector struct {
+	block cipher.Block
+	buf   [16]byte
+}
 
-func (p aesHeaderProtector) mask(sample []byte) [5]byte {
-	var out [16]byte
-	p.block.Encrypt(out[:], sample)
-	return [5]byte{out[0], out[1], out[2], out[3], out[4]}
+func (p *aesHeaderProtector) mask(sample []byte) [5]byte {
+	p.block.Encrypt(p.buf[:], sample)
+	return [5]byte{p.buf[0], p.buf[1], p.buf[2], p.buf[3], p.buf[4]}
 }
 
 type chachaHeaderProtector struct{ key []byte }
@@ -101,7 +108,7 @@ func NewKeys(suite uint16, secret []byte) (*Keys, error) {
 		if err != nil {
 			return nil, err
 		}
-		k.hp = aesHeaderProtector{block: hpBlock}
+		k.hp = &aesHeaderProtector{block: hpBlock}
 	case TLSChaCha20Poly1305Sha256:
 		aead, err := NewChaCha20Poly1305(key)
 		if err != nil {

@@ -80,6 +80,8 @@ func FuzzParseFrames(f *testing.F) {
 	f.Add((&RetireConnectionIDFrame{SequenceNumber: 3}).Append(nil))
 	f.Add((&PathChallengeFrame{Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}}).Append(nil))
 	f.Add((&PathResponseFrame{Data: [8]byte{8, 7, 6, 5, 4, 3, 2, 1}}).Append(nil))
+	f.Add((&NewTokenFrame{Token: []byte("resumption-token")}).Append(nil))
+	f.Add([]byte{0x07})       // NEW_TOKEN with missing length
 	f.Add([]byte{0x02, 0xff}) // truncated ACK
 	f.Add([]byte{0x1a})       // truncated PATH_CHALLENGE
 	f.Fuzz(func(t *testing.T, b []byte) {

@@ -1,0 +1,28 @@
+package resumption
+
+import (
+	"sync"
+
+	"quicscan/internal/telemetry"
+)
+
+// Registry metrics for the resumption scan (the resumption_* family),
+// resolved once at init per the package-wide convention.
+var (
+	mTargets    = telemetry.Default().Counter("resumption_targets_total")
+	mTickets    = telemetry.Default().Counter("resumption_tickets_total")
+	mVerdicts   = telemetry.Default().CounterVec("resumption_verdicts_total", "verdict")
+	mTokenReuse = telemetry.Default().Counter("resumption_token_reuse_total")
+)
+
+// verdictCounters caches mVerdicts children; the verdict set is a
+// small compile-time constant.
+var verdictCounters sync.Map // string -> *telemetry.Counter
+
+func verdictCounter(name string) *telemetry.Counter {
+	if c, ok := verdictCounters.Load(name); ok {
+		return c.(*telemetry.Counter)
+	}
+	c, _ := verdictCounters.LoadOrStore(name, mVerdicts.With(name))
+	return c.(*telemetry.Counter)
+}

@@ -1,0 +1,298 @@
+// Package resumption implements the -resumption scan mode: it
+// classifies how a QUIC deployment handles the handshake fast path.
+// Each target is dialed twice over one socket. The first dial is a
+// full handshake that harvests a session ticket (and, when the server
+// performs Retry, a NEW_TOKEN); the second dial attempts resumption
+// with 0-RTT early data carrying the HTTP/3 request. The pair of
+// observations separates four behavioural classes: servers that
+// accept early data, servers that never issue tickets, servers that
+// issue tickets but decline 0-RTT, and servers that shrink their
+// transport parameters on resumption (the RFC 9000 Section 7.4.1
+// downgrade the client must refuse).
+package resumption
+
+import (
+	"context"
+	"crypto/tls"
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"quicscan/internal/h3"
+	"quicscan/internal/quic"
+	"quicscan/internal/quicwire"
+)
+
+// Verdict names. The behavioural classes mirror
+// internet.ResumptionQuirk.String() so simulated ground truth and
+// scan output compare directly.
+const (
+	Verdict0RTT         = "0rtt"
+	VerdictNoTicket     = "no-ticket"
+	VerdictTicketNo0RTT = "ticket-no-0rtt"
+	VerdictDowngrade    = "0rtt-downgrade"
+	VerdictUnreachable  = "unreachable"
+)
+
+// Target is one endpoint to classify.
+type Target struct {
+	Addr netip.AddrPort
+	SNI  string
+}
+
+// Result is the outcome for one target.
+type Result struct {
+	Target  Target
+	Verdict string
+	// TicketIssued records whether the first dial yielded a session
+	// ticket within TicketWait.
+	TicketIssued bool
+	// Resumed records whether the second handshake actually resumed
+	// (the server's authoritative answer, not the client's attempt).
+	Resumed bool
+	// ZeroRTTAccepted records whether the server accepted the early
+	// data the second dial sent.
+	ZeroRTTAccepted bool
+	// TokenReused is true when the first dial went through a Retry
+	// round trip and the second did not: the NEW_TOKEN the server
+	// issued let the rescan skip address validation.
+	TokenReused bool
+	// RequestOK records whether the HTTP/3 request fired during the
+	// second dial completed (informational; the verdict never depends
+	// on it).
+	RequestOK bool
+	// Err carries the terminal error for unreachable targets.
+	Err string
+}
+
+// Prober runs the resumption scan. DialPacket must be set; everything
+// else has defaults. One Prober is safe for concurrent use.
+type Prober struct {
+	// DialPacket opens a fresh client socket per target. Both dials to
+	// a target share the socket: the NEW_TOKEN a server issues is
+	// bound to the client address, so the rescan must leave from the
+	// same one.
+	DialPacket func() (net.PacketConn, error)
+
+	// TLS, Versions, HandshakeTimeout, PTO, MaxPTOs mirror the
+	// migration prober's dial tuning. A nil TLS skips certificate
+	// verification (the prober measures transport behaviour, not
+	// authenticity).
+	TLS              *tls.Config
+	Versions         []quicwire.Version
+	HandshakeTimeout time.Duration
+	PTO              time.Duration
+	MaxPTOs          int
+
+	// TicketWait bounds how long the prober waits after the first
+	// handshake for a session ticket before declaring the deployment
+	// ticket-less (default 2s).
+	TicketWait time.Duration
+
+	// Workers bounds ProbeAll's concurrency (default 8).
+	Workers int
+}
+
+func (p *Prober) handshakeTimeout() time.Duration {
+	if p.HandshakeTimeout > 0 {
+		return p.HandshakeTimeout
+	}
+	return 1500 * time.Millisecond
+}
+
+func (p *Prober) pto() time.Duration {
+	if p.PTO > 0 {
+		return p.PTO
+	}
+	return 100 * time.Millisecond
+}
+
+func (p *Prober) maxPTOs() int {
+	if p.MaxPTOs != 0 {
+		return p.MaxPTOs
+	}
+	return 6
+}
+
+func (p *Prober) ticketWait() time.Duration {
+	if p.TicketWait > 0 {
+		return p.TicketWait
+	}
+	return 2 * time.Second
+}
+
+func (p *Prober) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return 8
+}
+
+// Probe classifies one target.
+func (p *Prober) Probe(ctx context.Context, t Target) Result {
+	mTargets.Inc()
+	res := p.probe(ctx, t)
+	verdictCounter(res.Verdict).Inc()
+	if res.TokenReused {
+		mTokenReuse.Inc()
+	}
+	return res
+}
+
+func (p *Prober) probe(ctx context.Context, t Target) Result {
+	res := Result{Target: t}
+	pc, err := p.DialPacket()
+	if err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	tr, err := quic.NewTransport(pc)
+	if err != nil {
+		pc.Close()
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	defer tr.Close()
+
+	// A per-target cache: the ticket from dial one feeds dial two and
+	// nothing else. Cross-target sharing would be wrong anyway — the
+	// cache is keyed by SNI and one campaign may scan many addresses
+	// behind one name.
+	cache := quic.NewSessionCache(4)
+	remote := net.UDPAddrFromAddrPort(t.Addr)
+
+	// Dial one: full handshake, then wait for a ticket.
+	dctx, cancel := context.WithTimeout(ctx, p.handshakeTimeout()+time.Second)
+	conn, err := tr.Dial(dctx, remote, p.config(t, cache))
+	cancel()
+	if err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	retriedFirst := conn.Stats().Retried
+	ticketTimer := time.NewTimer(p.ticketWait())
+	select {
+	case <-conn.SessionTicketReceived():
+		res.TicketIssued = true
+		mTickets.Inc()
+	case <-ticketTimer.C:
+	case <-ctx.Done():
+	}
+	ticketTimer.Stop()
+	conn.Close()
+	if !res.TicketIssued {
+		res.Verdict = VerdictNoTicket
+		return res
+	}
+
+	// Dial two: attempt resumption, firing the HTTP/3 request as
+	// early data. DialEarly returns as soon as 0-RTT keys are
+	// derivable, so the request rides the first flight; the verdict
+	// waits on the completed handshake, which is where resumption
+	// acceptance and the Section 7.4.1 downgrade check settle.
+	hctx, cancel := context.WithTimeout(ctx, p.handshakeTimeout()+p.ticketWait())
+	defer cancel()
+	conn, err = tr.DialEarly(hctx, remote, p.config(t, cache))
+	if err != nil {
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	defer conn.Close()
+
+	reqDone := make(chan bool, 1)
+	go func() { reqDone <- p.doH3(hctx, conn, t) }()
+
+	err = conn.HandshakeComplete(hctx)
+	res.TokenReused = retriedFirst && !conn.Stats().Retried
+	switch {
+	case errors.Is(err, quic.ErrParameterDowngrade):
+		res.Verdict = VerdictDowngrade
+		res.Err = err.Error()
+		return res
+	case err != nil:
+		res.Verdict = VerdictUnreachable
+		res.Err = err.Error()
+		return res
+	}
+	res.Resumed = conn.Resumed()
+	res.ZeroRTTAccepted = conn.EarlyDataAccepted()
+	if res.Resumed && res.ZeroRTTAccepted {
+		res.Verdict = Verdict0RTT
+	} else {
+		res.Verdict = VerdictTicketNo0RTT
+	}
+	// The request is informational; collect it only while the
+	// handshake budget lasts.
+	select {
+	case ok := <-reqDone:
+		res.RequestOK = ok
+	case <-hctx.Done():
+	}
+	return res
+}
+
+func (p *Prober) doH3(ctx context.Context, conn *quic.Conn, t Target) bool {
+	hc, err := h3.NewClientConn(conn)
+	if err != nil {
+		return false
+	}
+	authority := t.SNI
+	if authority == "" {
+		authority = t.Addr.String()
+	}
+	_, err = hc.RoundTrip(ctx, "HEAD", authority, "/", nil)
+	return err == nil
+}
+
+func (p *Prober) config(t Target, cache *quic.SessionCache) *quic.Config {
+	return &quic.Config{
+		TLS:              p.tlsFor(t),
+		Versions:         p.Versions,
+		HandshakeTimeout: p.handshakeTimeout(),
+		PTO:              p.pto(),
+		MaxPTOs:          p.maxPTOs(),
+		MaxPTOBackoff:    4 * p.pto(),
+		SessionCache:     cache,
+	}
+}
+
+func (p *Prober) tlsFor(t Target) *tls.Config {
+	var cfg *tls.Config
+	if p.TLS != nil {
+		cfg = p.TLS.Clone()
+	} else {
+		cfg = &tls.Config{InsecureSkipVerify: true}
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = t.SNI
+	}
+	if len(cfg.NextProtos) == 0 {
+		cfg.NextProtos = []string{"h3", "h3-34", "h3-32", "h3-29", "h3-28", "h3-27"}
+	}
+	return cfg
+}
+
+// ProbeAll classifies every target with a bounded worker pool,
+// preserving input order.
+func (p *Prober) ProbeAll(ctx context.Context, targets []Target) []Result {
+	out := make([]Result, len(targets))
+	sem := make(chan struct{}, p.workers())
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = p.Probe(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return out
+}

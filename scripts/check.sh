@@ -26,8 +26,25 @@ echo "==> bench regression gate"
 # bench.sh against the newest committed BENCH_*.json. A >20% regression
 # in ns/op or allocs/op fails the build. Results land in a throwaway
 # file so `make check` never dirties the committed numbers.
+#
+# A failed gate is retried once before failing the build: the short
+# fixed-iteration runs are vulnerable to one-off scheduler bursts, and
+# a true regression reproduces on the immediate re-run.
 benchout=$(mktemp)
-BENCH='ScanSocketChurn|ZmapSweep|BatchSweep|CampaignSweep' BENCHTIME=${BENCHTIME:-20x} OUT="$benchout" ./scripts/bench.sh
+bench_gate() {
+	if BENCH="$1" BENCHTIME="$2" OUT="$benchout" ./scripts/bench.sh; then
+		return 0
+	fi
+	echo "check: bench gate failed; retrying once to rule out scheduler noise"
+	BENCH="$1" BENCHTIME="$2" OUT="$benchout" ./scripts/bench.sh
+}
+bench_gate 'ScanSocketChurn|ZmapSweep|BatchSweep|CampaignSweep' "${BENCHTIME:-20x}"
+
+echo "==> handshake fast path + telemetry acceptance gates"
+# The resumed-vs-full ratio and telemetry-overhead bars enforced inside
+# bench.sh (see its header). A fixed 50 iterations keeps the ratio
+# stable against loopback scheduling noise.
+bench_gate 'QUICHandshake$|ResumedHandshake$|RescanCampaign|TelemetryOverhead$' 50x
 rm -f "$benchout"
 
 echo "check: OK"

@@ -14,6 +14,8 @@ import (
 	"quicscan/internal/core"
 	"quicscan/internal/internet"
 	"quicscan/internal/migration"
+	"quicscan/internal/quic"
+	"quicscan/internal/resumption"
 	"quicscan/internal/simnet"
 	"quicscan/internal/telemetry"
 	"quicscan/internal/zmapquic"
@@ -194,6 +196,52 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		t.Fatalf("migration probe verdict = %q (err %q), want supported", mres.Verdict, mres.Err)
 	}
 
+	// Resumption prober: classify one 0-RTT-capable deployment (the
+	// only active profile with the zero-value quirk also performs
+	// Retry, so the rescan exercises NEW_TOKEN replay too) and rescan
+	// it through a cache-sharing core scanner, so the resumption_*,
+	// quic_resumption_*, quic_zero_rtt_* and core_certcache_* families
+	// reach the exporter with real samples.
+	var resTarget resumption.Target
+	var resCore core.Target
+	resFound := false
+	for _, d := range u.Deployments {
+		if d.Behavior == internet.BehaviorActive && d.Addr.Is4() && len(d.Domains) > 0 &&
+			d.Profile.Quirks.Resumption == internet.Resumption0RTT {
+			resTarget = resumption.Target{Addr: netip.AddrPortFrom(d.Addr, 443), SNI: d.Domains[0]}
+			resCore = core.Target{Addr: d.Addr, SNI: d.Domains[0], Source: "zmap"}
+			resFound = true
+			break
+		}
+	}
+	if !resFound {
+		t.Fatal("universe has no 0-RTT-capable active deployment")
+	}
+	rp := &resumption.Prober{
+		DialPacket:       func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		HandshakeTimeout: 4 * time.Second,
+		TicketWait:       4 * time.Second,
+	}
+	if rres := rp.Probe(context.Background(), resTarget); rres.Verdict != resumption.Verdict0RTT {
+		t.Fatalf("resumption probe verdict = %q (err %q), want 0rtt", rres.Verdict, rres.Err)
+	}
+	rsc := &core.Scanner{
+		DialPacket:   func() (net.PacketConn, error) { return u.Net.DialUDP() },
+		RootCAs:      u.RootCAs(),
+		Timeout:      3 * time.Second,
+		SessionCache: quic.NewSessionCache(0),
+	}
+	defer rsc.Close()
+	for pass := 0; pass < 2; pass++ {
+		rres := rsc.Scan(context.Background(), []core.Target{resCore})
+		if rres[0].Outcome != core.OutcomeSuccess {
+			t.Fatalf("rescan pass %d: %s (%s)", pass, rres[0].Outcome, rres[0].Error)
+		}
+		if pass == 1 && !rres[0].Resumed {
+			t.Error("second core-scanner pass did not resume")
+		}
+	}
+
 	// Live exporter: Prometheus text must be non-empty and cover all
 	// four producing families with actual samples.
 	srv, addr, err := telemetry.Default().Serve("127.0.0.1:0")
@@ -230,6 +278,19 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"quic_path_challenges_received_total ",
 		"quic_path_validations_total ",
 		"quic_migrations_total ",
+		"resumption_targets_total ",
+		"resumption_tickets_total ",
+		"resumption_verdicts_total{verdict=\"0rtt\"} ",
+		"resumption_token_reuse_total ",
+		"quic_resumption_tickets_stored_total ",
+		"quic_resumption_tickets_issued_total ",
+		"quic_resumption_resumed_total ",
+		"quic_resumption_new_tokens_total ",
+		"quic_resumption_token_replays_total ",
+		"quic_zero_rtt_offered_total ",
+		"quic_zero_rtt_accepted_total ",
+		"core_certcache_hits_total ",
+		"core_certcache_misses_total ",
 	} {
 		idx := strings.Index(text, series)
 		if idx < 0 {
@@ -250,13 +311,20 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		"quic_path_validation_failures_total",
 		"quic_route_addr_miss_total",
 		"migration_tp_mismatch_total",
+		"quic_zero_rtt_rejected_total",
+		"quic_resumption_tp_downgrade_total",
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("/metrics lacks series %q", series)
 		}
 	}
+	// The sharded demux routes every short-header packet; at least one
+	// shard must have counted hits.
+	if !strings.Contains(text, "quic_route_shard_hits_total{shard=") {
+		t.Error("/metrics lacks the quic_route_shard_hits_total vector")
+	}
 	fams := telemetry.Default().Snapshot().Families()
-	for _, want := range []string{"quic", "core", "zmapquic", "simnet", "campaign", "migration"} {
+	for _, want := range []string{"quic", "core", "zmapquic", "simnet", "campaign", "migration", "resumption"} {
 		found := false
 		for _, f := range fams {
 			if f == want {
